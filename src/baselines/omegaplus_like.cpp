@@ -1,0 +1,114 @@
+#include "baselines/omegaplus_like.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/popcount.hpp"
+#include "util/contract.hpp"
+#include "util/partition.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ldla {
+
+BitMatrix all_valid_mask(const BitMatrix& g) {
+  BitMatrix valid(g.snps(), g.samples());
+  const std::size_t words = valid.words_per_snp();
+  if (words == 0) return valid;
+  const std::size_t tail_bits = g.samples() % 64;
+  const std::uint64_t tail_mask =
+      tail_bits == 0 ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << tail_bits) - 1);
+  for (std::size_t s = 0; s < g.snps(); ++s) {
+    std::uint64_t* row = valid.row_data(s);
+    for (std::size_t w = 0; w < words; ++w) row[w] = ~std::uint64_t{0};
+    row[words - 1] = tail_mask;
+  }
+  return valid;
+}
+
+namespace {
+
+// The tool's per-pair kernel: four masked popcount sweeps + normalization.
+double masked_pair_r2(const BitMatrix& g, const BitMatrix& valid,
+                      std::size_t i, std::size_t j) {
+  const PopcountMethod pm = PopcountMethod::kHardware;
+  const auto si = g.row(i);
+  const auto sj = g.row(j);
+  const auto vi = valid.row(i);
+  const auto vj = valid.row(j);
+  const std::uint64_t nij = popcount_and(vi, vj, pm);
+  const std::uint64_t ci = popcount_and(si, vj, pm);
+  const std::uint64_t cj = popcount_and(sj, vi, pm);
+  const std::uint64_t cij = popcount_and(si, sj, pm);
+  if (nij == 0) return std::numeric_limits<double>::quiet_NaN();
+  return ld_r_squared(ci, cj, cij, nij);
+}
+
+}  // namespace
+
+double omegaplus_like_r2_pair(const BitMatrix& g, const BitMatrix& valid,
+                              std::size_t i, std::size_t j) {
+  LDLA_EXPECT(i < g.snps() && j < g.snps(), "SNP index out of range");
+  LDLA_EXPECT(valid.snps() == g.snps() && valid.samples() == g.samples(),
+              "validity mask shape mismatch");
+  return masked_pair_r2(g, valid, i, j);
+}
+
+double omegaplus_like_r2_pair(const BitMatrix& g, std::size_t i,
+                              std::size_t j) {
+  const BitMatrix valid = all_valid_mask(g);
+  return omegaplus_like_r2_pair(g, valid, i, j);
+}
+
+BaselineScanResult omegaplus_like_scan(const BitMatrix& g, unsigned threads) {
+  const std::size_t n = g.snps();
+  BaselineScanResult total;
+  if (n == 0) return total;
+  if (threads == 0) threads = 1;
+
+  const BitMatrix valid = all_valid_mask(g);
+
+  const std::vector<Range> ranges = split_triangle_rows(n, threads);
+  std::vector<BaselineScanResult> partial(ranges.size());
+  ThreadPool pool(threads);
+  pool.run_tasks(ranges.size(), [&](std::size_t t) {
+    BaselineScanResult local;
+    for (std::size_t i = ranges[t].begin; i < ranges[t].end; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double r2 = masked_pair_r2(g, valid, i, j);
+        ++local.pairs;
+        if (std::isfinite(r2)) {
+          local.sum += r2;
+          ++local.finite;
+        }
+      }
+    }
+    partial[t] = local;
+  });
+  for (const auto& p : partial) {
+    total.pairs += p.pairs;
+    total.sum += p.sum;
+    total.finite += p.finite;
+  }
+  return total;
+}
+
+LdMatrix omegaplus_like_matrix(const BitMatrix& g, LdStatistic stat) {
+  const std::size_t n = g.snps();
+  LdMatrix out(n, n);
+  const BitMatrix valid = all_valid_mask(g);
+  const PopcountMethod pm = PopcountMethod::kHardware;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t nij = popcount_and(valid.row(i), valid.row(j), pm);
+      const std::uint64_t ci = popcount_and(g.row(i), valid.row(j), pm);
+      const std::uint64_t cj = popcount_and(g.row(j), valid.row(i), pm);
+      const std::uint64_t cij = popcount_and(g.row(i), g.row(j), pm);
+      out(i, j) = nij == 0 ? std::numeric_limits<double>::quiet_NaN()
+                           : ld_value(stat, ci, cj, cij, nij);
+    }
+  }
+  return out;
+}
+
+}  // namespace ldla

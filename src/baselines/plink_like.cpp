@@ -1,0 +1,205 @@
+#include "baselines/plink_like.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/popcount.hpp"
+#include "util/contract.hpp"
+#include "util/partition.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ldla {
+
+namespace {
+
+// 2-bit genotype codes (PLINK .bed-style interleaved storage; one word
+// holds 32 genotypes). Chosen so plane extraction is branch-free:
+//   00 -> dosage 0        10 -> dosage 1 (het)
+//   11 -> dosage 2        01 -> missing
+constexpr std::uint64_t kCode0 = 0b00;
+constexpr std::uint64_t kCode1 = 0b10;
+constexpr std::uint64_t kCode2 = 0b11;
+constexpr std::uint64_t kCodeMissing = 0b01;
+
+constexpr std::uint64_t kEvenBits = 0x5555555555555555ull;
+
+std::uint64_t code_for_dosage(unsigned dosage) {
+  switch (dosage) {
+    case 0: return kCode0;
+    case 1: return kCode1;
+    default: return kCode2;
+  }
+}
+
+// Extracted per-word planes (each a 0x5555-masked lane set of 32 samples).
+struct Planes {
+  std::uint64_t lo;     ///< dosage == 1
+  std::uint64_t hi;     ///< dosage == 2
+  std::uint64_t valid;  ///< genotype present
+};
+
+inline Planes extract(std::uint64_t w) {
+  const std::uint64_t b0 = w & kEvenBits;
+  const std::uint64_t b1 = (w >> 1) & kEvenBits;
+  // lo: b1 & ~b0 (code 10); hi: b1 & b0 (code 11);
+  // missing is code 01 (b0 & ~b1), so valid = ~(b0 & ~b1) on even lanes.
+  return {b1 & ~b0, b1 & b0, (b1 | ~b0) & kEvenBits};
+}
+
+}  // namespace
+
+GenotypeMatrix::GenotypeMatrix(std::size_t n_snps, std::size_t n_individuals)
+    : packed_(n_snps, 2 * n_individuals), individuals_(n_individuals) {}
+
+GenotypeMatrix GenotypeMatrix::from_haplotypes(const BitMatrix& haps) {
+  LDLA_EXPECT(haps.samples() % 2 == 0,
+              "pairing haplotypes requires an even sample count");
+  const std::size_t n_ind = haps.samples() / 2;
+  GenotypeMatrix out(haps.snps(), n_ind);
+  for (std::size_t s = 0; s < haps.snps(); ++s) {
+    for (std::size_t ind = 0; ind < n_ind; ++ind) {
+      const unsigned d = static_cast<unsigned>(haps.get(s, 2 * ind)) +
+                         static_cast<unsigned>(haps.get(s, 2 * ind + 1));
+      out.set_dosage(s, ind, d);
+    }
+  }
+  return out;
+}
+
+void GenotypeMatrix::set_code(std::size_t snp, std::size_t ind,
+                              std::uint64_t code) {
+  packed_.set(snp, 2 * ind, (code & 1) != 0);
+  packed_.set(snp, 2 * ind + 1, (code & 2) != 0);
+}
+
+std::uint64_t GenotypeMatrix::code(std::size_t snp, std::size_t ind) const {
+  return static_cast<std::uint64_t>(packed_.get(snp, 2 * ind)) |
+         (static_cast<std::uint64_t>(packed_.get(snp, 2 * ind + 1)) << 1);
+}
+
+void GenotypeMatrix::set_dosage(std::size_t snp, std::size_t ind,
+                                unsigned dosage) {
+  LDLA_EXPECT(dosage <= 2, "dosage must be 0, 1 or 2");
+  set_code(snp, ind, code_for_dosage(dosage));
+}
+
+void GenotypeMatrix::set_missing(std::size_t snp, std::size_t ind) {
+  set_code(snp, ind, kCodeMissing);
+}
+
+unsigned GenotypeMatrix::dosage(std::size_t snp, std::size_t ind) const {
+  switch (code(snp, ind)) {
+    case kCode1: return 1;
+    case kCode2: return 2;
+    default: return 0;  // dosage 0 or missing
+  }
+}
+
+bool GenotypeMatrix::is_missing(std::size_t snp, std::size_t ind) const {
+  return code(snp, ind) == kCodeMissing;
+}
+
+namespace {
+
+// The PLINK-style per-pair kernel. Every word is unpacked into dosage/
+// validity planes on the fly (the interleaved .bed layout stores no
+// separate planes), then nine masked popcount terms accumulate the moments
+// over the jointly valid samples — pair at a time, no packing, no blocking.
+double pair_r2(const GenotypeMatrix& g, std::size_t i, std::size_t j) {
+  const std::uint64_t* ra = g.packed().row_data(i);
+  const std::uint64_t* rb = g.packed().row_data(j);
+  const std::size_t words = g.packed().words_per_snp();
+
+  std::uint64_t n_c = 0, sl_i_c = 0, sh_i_c = 0, sl_j_c = 0, sh_j_c = 0;
+  std::uint64_t ll_c = 0, lh_c = 0, hl_c = 0, hh_c = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    const Planes a = extract(ra[w]);
+    const Planes b = extract(rb[w]);
+    n_c += static_cast<std::uint64_t>(__builtin_popcountll(a.valid & b.valid));
+    sl_i_c += static_cast<std::uint64_t>(__builtin_popcountll(a.lo & b.valid));
+    sh_i_c += static_cast<std::uint64_t>(__builtin_popcountll(a.hi & b.valid));
+    sl_j_c += static_cast<std::uint64_t>(__builtin_popcountll(b.lo & a.valid));
+    sh_j_c += static_cast<std::uint64_t>(__builtin_popcountll(b.hi & a.valid));
+    ll_c += static_cast<std::uint64_t>(__builtin_popcountll(a.lo & b.lo));
+    lh_c += static_cast<std::uint64_t>(__builtin_popcountll(a.lo & b.hi));
+    hl_c += static_cast<std::uint64_t>(__builtin_popcountll(a.hi & b.lo));
+    hh_c += static_cast<std::uint64_t>(__builtin_popcountll(a.hi & b.hi));
+  }
+  // Padding bits beyond 2*individuals decode as code 00 = valid dosage 0;
+  // subtract them from the valid-sample count.
+  const std::size_t pad = words * 32 - g.individuals();
+  n_c -= pad;
+
+  const double n = static_cast<double>(n_c);
+  if (n <= 1.0) return std::numeric_limits<double>::quiet_NaN();
+
+  const double sx = static_cast<double>(sl_i_c) + 2.0 * static_cast<double>(sh_i_c);
+  const double sy = static_cast<double>(sl_j_c) + 2.0 * static_cast<double>(sh_j_c);
+  const double sxx = static_cast<double>(sl_i_c) + 4.0 * static_cast<double>(sh_i_c);
+  const double syy = static_cast<double>(sl_j_c) + 4.0 * static_cast<double>(sh_j_c);
+  const double sxy = static_cast<double>(ll_c) +
+                     2.0 * static_cast<double>(lh_c) +
+                     2.0 * static_cast<double>(hl_c) +
+                     4.0 * static_cast<double>(hh_c);
+
+  const double cov = n * sxy - sx * sy;
+  const double var_x = n * sxx - sx * sx;
+  const double var_y = n * syy - sy * sy;
+  const double denom = var_x * var_y;
+  if (denom <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  const double r2 = (cov * cov) / denom;
+  return r2 > 1.0 ? 1.0 : r2;
+}
+
+}  // namespace
+
+double plink_like_r2_pair(const GenotypeMatrix& g, std::size_t i,
+                          std::size_t j) {
+  LDLA_EXPECT(i < g.snps() && j < g.snps(), "SNP index out of range");
+  return pair_r2(g, i, j);
+}
+
+BaselineScanResult plink_like_scan(const GenotypeMatrix& g, unsigned threads) {
+  const std::size_t n = g.snps();
+  BaselineScanResult total;
+  if (n == 0) return total;
+  if (threads == 0) threads = 1;
+
+  const std::vector<Range> ranges = split_triangle_rows(n, threads);
+  std::vector<BaselineScanResult> partial(ranges.size());
+  ThreadPool pool(threads);
+  pool.run_tasks(ranges.size(), [&](std::size_t t) {
+    BaselineScanResult local;
+    for (std::size_t i = ranges[t].begin; i < ranges[t].end; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double r2 = pair_r2(g, i, j);
+        ++local.pairs;
+        if (std::isfinite(r2)) {
+          local.sum += r2;
+          ++local.finite;
+        }
+      }
+    }
+    partial[t] = local;
+  });
+  for (const auto& p : partial) {
+    total.pairs += p.pairs;
+    total.sum += p.sum;
+    total.finite += p.finite;
+  }
+  return total;
+}
+
+LdMatrix plink_like_matrix(const GenotypeMatrix& g) {
+  const std::size_t n = g.snps();
+  LdMatrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out(i, j) = plink_like_r2_pair(g, i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace ldla

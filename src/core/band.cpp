@@ -1,0 +1,152 @@
+#include "core/band.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/detail/ld_stats_row.hpp"
+#include "core/gemm/count_matrix.hpp"
+#include "core/gemm/macro.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+
+void ld_band_scan(const BitMatrix& g, std::size_t bandwidth,
+                  const LdTileVisitor& visit, const BandOptions& opts) {
+  const std::size_t n = g.snps();
+  if (n == 0) return;
+  LDLA_EXPECT(g.samples() > 0, "matrix has no samples");
+  LDLA_EXPECT(bandwidth > 0, "bandwidth must be positive");
+  LDLA_EXPECT(opts.slab_rows > 0, "slab height must be positive");
+
+  const detail::StatTables tables = detail::make_stat_tables(g);
+  const std::size_t slab = opts.slab_rows;
+  const std::size_t max_rows = std::min(slab, n);
+  // A slab of rows [r0, r1) needs columns [max(0, r0 - W), r1).
+  const std::size_t max_cols = std::min(n, max_rows + bandwidth);
+
+  CountMatrix counts(max_rows, max_cols);
+  AlignedBuffer<double> values(max_rows * max_cols);
+
+  for (std::size_t r0 = 0; r0 < n; r0 += slab) {
+    const std::size_t rows = std::min(slab, n - r0);
+    const std::size_t col_begin = r0 > bandwidth ? r0 - bandwidth : 0;
+    const std::size_t col_end = r0 + rows;
+    const std::size_t cols = col_end - col_begin;
+    LDLA_ASSERT(rows <= max_rows && cols <= max_cols);
+
+    CountMatrixRef cref{counts.ref().data, rows, cols, max_cols};
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::fill_n(&cref.at(i, 0), cols, 0u);
+    }
+    gemm_count(g.view(r0, r0 + rows), g.view(col_begin, col_end), cref,
+               opts.gemm);
+
+    for (std::size_t i = 0; i < rows; ++i) {
+      // Row r0+i pairs with global columns [col_begin, col_end); compute
+      // statistics for the whole stripe (values outside the band are still
+      // valid LD values; consumers filter by index).
+      detail::stat_row_shifted(opts.stat, tables, r0 + i, col_begin,
+                               &cref.at(i, 0), cols, &values[i * cols]);
+    }
+    visit(LdTile{r0, col_begin, rows, cols, values.data(), cols});
+  }
+}
+
+namespace {
+
+DecayProfile finalize(std::vector<double> bin_upper, std::vector<double> sum,
+                      std::vector<std::uint64_t> count) {
+  DecayProfile out;
+  out.bin_upper = std::move(bin_upper);
+  out.count = std::move(count);
+  out.mean.resize(sum.size(), 0.0);
+  for (std::size_t b = 0; b < sum.size(); ++b) {
+    if (out.count[b] > 0) {
+      out.mean[b] = sum[b] / static_cast<double>(out.count[b]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DecayProfile ld_decay_profile(const BitMatrix& g, std::size_t max_distance,
+                              std::size_t bins, const BandOptions& opts) {
+  LDLA_EXPECT(max_distance > 0, "max distance must be positive");
+  LDLA_EXPECT(bins > 0, "need at least one bin");
+
+  const double bin_width =
+      static_cast<double>(max_distance) / static_cast<double>(bins);
+  std::vector<double> bin_upper(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    bin_upper[b] = bin_width * static_cast<double>(b + 1);
+  }
+  std::vector<double> sum(bins, 0.0);
+  std::vector<std::uint64_t> count(bins, 0);
+
+  ld_band_scan(
+      g, max_distance,
+      [&](const LdTile& tile) {
+        for (std::size_t i = 0; i < tile.rows; ++i) {
+          const std::size_t gi = tile.row_begin + i;
+          for (std::size_t j = 0; j < tile.cols; ++j) {
+            const std::size_t gj = tile.col_begin + j;
+            if (gj >= gi) break;  // canonical j < i only
+            const std::size_t dist = gi - gj;
+            if (dist > max_distance) continue;
+            const double v = tile.at(i, j);
+            if (!std::isfinite(v)) continue;
+            auto b = static_cast<std::size_t>(
+                static_cast<double>(dist - 1) / bin_width);
+            b = std::min(b, bins - 1);
+            sum[b] += v;
+            ++count[b];
+          }
+        }
+      },
+      opts);
+  return finalize(std::move(bin_upper), std::move(sum), std::move(count));
+}
+
+DecayProfile ld_decay_by_position(const BitMatrix& g,
+                                  const std::vector<double>& positions,
+                                  std::size_t snp_bandwidth, double max_dist,
+                                  std::size_t bins, const BandOptions& opts) {
+  LDLA_EXPECT(positions.size() == g.snps(), "need one position per SNP");
+  LDLA_EXPECT(std::is_sorted(positions.begin(), positions.end()),
+              "positions must be sorted");
+  LDLA_EXPECT(max_dist > 0.0, "max distance must be positive");
+  LDLA_EXPECT(bins > 0, "need at least one bin");
+
+  const double bin_width = max_dist / static_cast<double>(bins);
+  std::vector<double> bin_upper(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    bin_upper[b] = bin_width * static_cast<double>(b + 1);
+  }
+  std::vector<double> sum(bins, 0.0);
+  std::vector<std::uint64_t> count(bins, 0);
+
+  ld_band_scan(
+      g, snp_bandwidth,
+      [&](const LdTile& tile) {
+        for (std::size_t i = 0; i < tile.rows; ++i) {
+          const std::size_t gi = tile.row_begin + i;
+          for (std::size_t j = 0; j < tile.cols; ++j) {
+            const std::size_t gj = tile.col_begin + j;
+            if (gj >= gi) break;
+            const double dist = positions[gi] - positions[gj];
+            if (dist > max_dist || dist <= 0.0) continue;
+            const double v = tile.at(i, j);
+            if (!std::isfinite(v)) continue;
+            auto b = static_cast<std::size_t>(dist / bin_width);
+            b = std::min(b, bins - 1);
+            sum[b] += v;
+            ++count[b];
+          }
+        }
+      },
+      opts);
+  return finalize(std::move(bin_upper), std::move(sum), std::move(count));
+}
+
+}  // namespace ldla

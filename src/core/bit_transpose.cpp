@@ -1,0 +1,49 @@
+#include "core/bit_transpose.hpp"
+
+namespace ldla {
+
+void transpose_64x64(std::array<std::uint64_t, 64>& block) {
+  // Recursive quadrant swaps with shrinking masks (Hacker's Delight 7-3
+  // adapted to LSB-first bit numbering): swaps bit c of word r with bit r
+  // of word c. At step j, element (k, c+j) exchanges with (k+j, c) for
+  // every c whose j-bit is clear.
+  std::uint64_t m = 0x00000000ffffffffull;
+  for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (unsigned k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((block[k] >> j) ^ block[k + j]) & m;
+      block[k + j] ^= t;
+      block[k] ^= t << j;
+    }
+  }
+}
+
+BitMatrix transpose_bits(const BitMatrix& m) {
+  BitMatrix out(m.samples(), m.snps());
+  if (m.snps() == 0 || m.samples() == 0) return out;
+
+  const std::size_t row_blocks = (m.snps() + 63) / 64;
+  const std::size_t col_blocks = m.words_per_snp();
+
+  std::array<std::uint64_t, 64> block;
+  for (std::size_t rb = 0; rb < row_blocks; ++rb) {
+    const std::size_t rows = std::min<std::size_t>(64, m.snps() - rb * 64);
+    for (std::size_t cb = 0; cb < col_blocks; ++cb) {
+      for (std::size_t i = 0; i < 64; ++i) {
+        block[i] = i < rows ? m.row_data(rb * 64 + i)[cb] : 0;
+      }
+      transpose_64x64(block);
+      const std::size_t out_rows =
+          std::min<std::size_t>(64, m.samples() - cb * 64);
+      for (std::size_t i = 0; i < out_rows; ++i) {
+        out.row_data(cb * 64 + i)[rb] = block[i];
+      }
+    }
+  }
+  // Output padding is clean by construction: input rows beyond snps() are
+  // zero and input padding bits (beyond samples()) land in rows we never
+  // write... they land in rows >= samples(), which do not exist. Tail bits
+  // of each output row come from input rows >= snps(), zeroed above.
+  return out;
+}
+
+}  // namespace ldla

@@ -1,0 +1,22 @@
+// Bit-matrix transposition: converts between SNP-major and sample-major
+// packed layouts in 64x64 blocks (Hacker's Delight recursive swap), so
+// sample-major inputs (ms files store one haplotype per line) can be packed
+// line-at-a-time and flipped wholesale instead of bit-by-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/bit_matrix.hpp"
+
+namespace ldla {
+
+/// In-place transpose of a 64x64 bit block (rows[i] bit j  <->  rows[j]
+/// bit i).
+void transpose_64x64(std::array<std::uint64_t, 64>& block);
+
+/// Full matrix transpose: result has one row per input *column*.
+/// m.snps() rows x m.samples() bits  ->  m.samples() rows x m.snps() bits.
+BitMatrix transpose_bits(const BitMatrix& m);
+
+}  // namespace ldla

@@ -1,0 +1,129 @@
+// Internal: per-row LD statistic evaluation over a row of pair counts.
+//
+// The D = H - p pᵀ (and r²) pass is itself a dense O(n²) operation; doing
+// it with branch-free arithmetic over precomputed per-SNP factors lets the
+// compiler vectorize it, so the statistics layer never dominates the GEMM
+// (the paper's DLA formulation computes D exactly this way). Monomorphic
+// SNPs produce NaN naturally: d is exactly 0 there and inv = +inf, and
+// 0 * inf = NaN. The arithmetic matches ld_r_squared / ld_d operation for
+// operation, so scalar and row paths agree bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bit_matrix.hpp"
+#include "core/ld.hpp"
+
+namespace ldla::detail {
+
+/// Precomputed per-SNP factors for the fast statistic rows.
+struct StatTables {
+  std::uint64_t nseq = 0;
+  double n = 0.0;                ///< sample count as double
+  std::vector<double> p;         ///< allele frequency P_i = c_i / Nseq
+  std::vector<double> inv;       ///< 1 / (P_i (1 - P_i)); +inf if monomorphic
+  std::vector<std::uint64_t> c;  ///< raw derived counts (generic fallback)
+};
+
+inline StatTables make_stat_tables(const BitMatrix& g) {
+  StatTables t;
+  t.nseq = g.samples();
+  t.n = static_cast<double>(g.samples());
+  t.p.resize(g.snps());
+  t.inv.resize(g.snps());
+  t.c.resize(g.snps());
+  for (std::size_t s = 0; s < g.snps(); ++s) {
+    const std::uint64_t c = g.derived_count(s);
+    t.c[s] = c;
+    const double p = static_cast<double>(c) / t.n;
+    t.p[s] = p;
+    t.inv[s] = 1.0 / (p * (1.0 - p));
+  }
+  return t;
+}
+
+/// out[j] = statistic(SNP i, SNP col_begin + j) for j in [0, cols), given
+/// this row's pair counts: counts[j] = POPCNT(s_i & s_{col_begin+j}).
+inline void stat_row_shifted(LdStatistic stat, const StatTables& t,
+                             std::size_t i, std::size_t col_begin,
+                             const std::uint32_t* counts, std::size_t cols,
+                             double* out) {
+  const double pi = t.p[i];
+  const double inv_i = t.inv[i];
+  const double n = t.n;
+  switch (stat) {
+    case LdStatistic::kRSquared: {
+      const double* p = t.p.data() + col_begin;
+      const double* inv = t.inv.data() + col_begin;
+      for (std::size_t j = 0; j < cols; ++j) {
+        const double pij = static_cast<double>(counts[j]) / n;
+        const double d = pij - pi * p[j];
+        const double r = (d * d) * (inv_i * inv[j]);
+        out[j] = r > 1.0 ? 1.0 : r;  // NaN compares false: preserved
+      }
+      break;
+    }
+    case LdStatistic::kD: {
+      const double* p = t.p.data() + col_begin;
+      for (std::size_t j = 0; j < cols; ++j) {
+        const double pij = static_cast<double>(counts[j]) / n;
+        out[j] = pij - pi * p[j];
+      }
+      break;
+    }
+    case LdStatistic::kDPrime: {
+      // Sign-dependent normalization: generic scalar path.
+      for (std::size_t j = 0; j < cols; ++j) {
+        out[j] = ld_d_prime(t.c[i], t.c[col_begin + j], counts[j], t.nseq);
+      }
+      break;
+    }
+  }
+}
+
+/// Unshifted convenience used by the full-matrix drivers.
+inline void stat_row(LdStatistic stat, const StatTables& t, std::size_t i,
+                     const std::uint32_t* counts, std::size_t cols,
+                     double* out) {
+  stat_row_shifted(stat, t, i, 0, counts, cols, out);
+}
+
+/// Cross-matrix variant: row SNP i of table `ta`, columns from table `tb`.
+inline void stat_row_cross(LdStatistic stat, const StatTables& ta,
+                           std::size_t i, const StatTables& tb,
+                           const std::uint32_t* counts, std::size_t cols,
+                           double* out) {
+  const double pi = ta.p[i];
+  const double inv_i = ta.inv[i];
+  const double n = ta.n;
+  switch (stat) {
+    case LdStatistic::kRSquared: {
+      const double* p = tb.p.data();
+      const double* inv = tb.inv.data();
+      for (std::size_t j = 0; j < cols; ++j) {
+        const double pij = static_cast<double>(counts[j]) / n;
+        const double d = pij - pi * p[j];
+        const double r = (d * d) * (inv_i * inv[j]);
+        out[j] = r > 1.0 ? 1.0 : r;
+      }
+      break;
+    }
+    case LdStatistic::kD: {
+      const double* p = tb.p.data();
+      for (std::size_t j = 0; j < cols; ++j) {
+        const double pij = static_cast<double>(counts[j]) / n;
+        out[j] = pij - pi * p[j];
+      }
+      break;
+    }
+    case LdStatistic::kDPrime: {
+      for (std::size_t j = 0; j < cols; ++j) {
+        out[j] = ld_d_prime(ta.c[i], tb.c[j], counts[j], ta.nseq);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace ldla::detail

@@ -1,0 +1,198 @@
+#include "core/fsm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+#include "core/gemm/count_matrix.hpp"
+#include "core/gemm/macro.hpp"
+#include "core/gemm/syrk.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+int nucleotide_from_char(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'A': return kA;
+    case 'C': return kC;
+    case 'G': return kG;
+    case 'T': return kT;
+    case '-':
+    case 'N': return -1;
+    default: return -2;
+  }
+}
+}  // namespace
+
+FsmMatrix::FsmMatrix(std::size_t n_snps, std::size_t n_samples)
+    : planes_{BitMatrix(n_snps, n_samples), BitMatrix(n_snps, n_samples),
+              BitMatrix(n_snps, n_samples), BitMatrix(n_snps, n_samples)} {}
+
+FsmMatrix FsmMatrix::from_snp_strings(std::span<const std::string> snps) {
+  if (snps.empty()) return {};
+  const std::size_t samples = snps.front().size();
+  FsmMatrix out(snps.size(), samples);
+  for (std::size_t s = 0; s < snps.size(); ++s) {
+    const std::string& str = snps[s];
+    if (str.size() != samples) {
+      throw ParseError("FSM SNP " + std::to_string(s) + " length mismatch");
+    }
+    for (std::size_t i = 0; i < samples; ++i) {
+      const int nuc = nucleotide_from_char(str[i]);
+      if (nuc == -2) {
+        throw ParseError(std::string("invalid nucleotide '") + str[i] +
+                         "' in FSM SNP " + std::to_string(s));
+      }
+      if (nuc >= 0) {
+        out.set_state(s, i, static_cast<Nucleotide>(nuc));
+      }
+    }
+  }
+  return out;
+}
+
+void FsmMatrix::set_state(std::size_t snp, std::size_t sample,
+                          Nucleotide nuc) {
+  for (std::size_t p = 0; p < 4; ++p) {
+    planes_[p].set(snp, sample, p == nuc);
+  }
+}
+
+void FsmMatrix::set_gap(std::size_t snp, std::size_t sample) {
+  for (auto& plane : planes_) plane.set(snp, sample, false);
+}
+
+int FsmMatrix::state(std::size_t snp, std::size_t sample) const {
+  for (std::size_t p = 0; p < 4; ++p) {
+    if (planes_[p].get(snp, sample)) return static_cast<int>(p);
+  }
+  return -1;
+}
+
+unsigned FsmMatrix::states_present(std::size_t snp) const {
+  unsigned v = 0;
+  for (const auto& plane : planes_) {
+    if (plane.derived_count(snp) > 0) ++v;
+  }
+  return v;
+}
+
+BitMatrix FsmMatrix::validity() const {
+  BitMatrix out(snps(), samples());
+  for (std::size_t s = 0; s < snps(); ++s) {
+    std::uint64_t* dst = out.row_data(s);
+    for (std::size_t p = 0; p < 4; ++p) {
+      const std::uint64_t* src = planes_[p].row_data(s);
+      for (std::size_t w = 0; w < out.words_per_snp(); ++w) {
+        dst[w] |= src[w];
+      }
+    }
+  }
+  return out;
+}
+
+double fsm_t_pair_reference(const FsmMatrix& g, std::size_t i, std::size_t j) {
+  const std::size_t samples = g.samples();
+  // Joint contingency counts over jointly valid samples.
+  std::uint64_t pair_count[4][4] = {};
+  std::uint64_t margin_i[4] = {};
+  std::uint64_t margin_j[4] = {};
+  std::uint64_t vij = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const int a = g.state(i, s);
+    const int b = g.state(j, s);
+    if (a < 0 || b < 0) continue;
+    ++vij;
+    ++pair_count[a][b];
+    ++margin_i[a];
+    ++margin_j[b];
+  }
+  unsigned vi = 0, vj = 0;
+  for (int a = 0; a < 4; ++a) {
+    if (g.plane(static_cast<Nucleotide>(a)).derived_count(i) > 0) ++vi;
+    if (g.plane(static_cast<Nucleotide>(a)).derived_count(j) > 0) ++vj;
+  }
+  if (vij == 0 || vi < 2 || vj < 2) return kNaN;
+
+  double sum_r2 = 0.0;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      const double r2 =
+          ld_r_squared(margin_i[a], margin_j[b], pair_count[a][b], vij);
+      if (std::isfinite(r2)) sum_r2 += r2;
+    }
+  }
+  const double factor =
+      (static_cast<double>(vi) - 1.0) * (static_cast<double>(vj) - 1.0) *
+      static_cast<double>(vij) /
+      (static_cast<double>(vi) * static_cast<double>(vj));
+  return factor * sum_r2;
+}
+
+LdMatrix fsm_t_matrix(const FsmMatrix& g, const LdOptions& opts) {
+  const std::size_t n = g.snps();
+  LdMatrix out(n, n);
+  if (n == 0) return out;
+  LDLA_EXPECT(g.samples() > 0, "matrix has no samples");
+
+  const BitMatrix valid = g.validity();
+  const BitMatrixView v = valid.view();
+
+  // 1 GEMM: jointly valid sample counts v_ij.
+  CountMatrix nv(n, n);
+  syrk_count(v, nv.ref(), opts.gemm);
+
+  // 4 GEMMs: masked marginals M_a(i, j) = POPCNT(plane_a_i & valid_j).
+  // (The reverse marginal POPCNT(plane_b_j & valid_i) is M_b(j, i).)
+  std::array<CountMatrix, 4> marg;
+  for (std::size_t a = 0; a < 4; ++a) {
+    marg[a] = CountMatrix(n, n);
+    gemm_count(g.plane(static_cast<Nucleotide>(a)).view(), v, marg[a].ref(),
+               opts.gemm);
+  }
+
+  // 16 GEMMs: state-pair counts P_ab(i, j) = POPCNT(plane_a_i & plane_b_j).
+  std::array<std::array<CountMatrix, 4>, 4> pair;
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      pair[a][b] = CountMatrix(n, n);
+      gemm_count(g.plane(static_cast<Nucleotide>(a)).view(),
+                 g.plane(static_cast<Nucleotide>(b)).view(),
+                 pair[a][b].ref(), opts.gemm);
+    }
+  }
+
+  std::vector<unsigned> v_states(n);
+  for (std::size_t s = 0; s < n; ++s) v_states[s] = g.states_present(s);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t vij = nv(i, j);
+      const unsigned vi = v_states[i];
+      const unsigned vj = v_states[j];
+      if (vij == 0 || vi < 2 || vj < 2) {
+        out(i, j) = kNaN;
+        continue;
+      }
+      double sum_r2 = 0.0;
+      for (std::size_t a = 0; a < 4; ++a) {
+        for (std::size_t b = 0; b < 4; ++b) {
+          const double r2 = ld_r_squared(marg[a](i, j), marg[b](j, i),
+                                         pair[a][b](i, j), vij);
+          if (std::isfinite(r2)) sum_r2 += r2;
+        }
+      }
+      const double factor =
+          (static_cast<double>(vi) - 1.0) * (static_cast<double>(vj) - 1.0) *
+          static_cast<double>(vij) /
+          (static_cast<double>(vi) * static_cast<double>(vj));
+      out(i, j) = factor * sum_r2;
+    }
+  }
+  return out;
+}
+
+}  // namespace ldla

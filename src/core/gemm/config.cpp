@@ -1,0 +1,138 @@
+#include "core/gemm/config.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/gemm/kernel.hpp"
+#include "util/contract.hpp"
+#include "util/cpu_info.hpp"
+
+namespace ldla {
+
+std::string kernel_arch_name(KernelArch a) {
+  switch (a) {
+    case KernelArch::kAuto: return "auto";
+    case KernelArch::kScalar: return "scalar-popcnt";
+    case KernelArch::kSwar: return "swar";
+    case KernelArch::kStrawman: return "simd-extract-strawman";
+    case KernelArch::kAvx2: return "avx2-pshufb";
+    case KernelArch::kAvx512: return "avx512-vpopcntdq";
+    case KernelArch::kAvx512Wide: return "avx512-vpopcntdq-2x8";
+  }
+  return "unknown";
+}
+
+bool kernel_available(KernelArch a) {
+  const CpuFeatures& f = cpu_info().features;
+  switch (a) {
+    case KernelArch::kAuto:
+    case KernelArch::kSwar:
+      return true;
+    case KernelArch::kScalar:
+      return f.popcnt;
+    case KernelArch::kStrawman:
+    case KernelArch::kAvx2:
+#if LDLA_HAVE_AVX2_TU
+      return f.avx2;
+#else
+      return false;
+#endif
+    case KernelArch::kAvx512:
+    case KernelArch::kAvx512Wide:
+#if LDLA_HAVE_AVX512_TU
+      return f.avx512f && f.avx512bw && f.avx512vpopcntdq;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::vector<KernelArch> available_kernels() {
+  std::vector<KernelArch> out;
+  for (KernelArch a : {KernelArch::kScalar, KernelArch::kSwar,
+                       KernelArch::kStrawman, KernelArch::kAvx2,
+                       KernelArch::kAvx512, KernelArch::kAvx512Wide}) {
+    if (kernel_available(a)) out.push_back(a);
+  }
+  return out;
+}
+
+namespace {
+
+KernelArch resolve_auto_arch() {
+  if (kernel_available(KernelArch::kAvx512)) return KernelArch::kAvx512;
+  // Note: the paper's Section V analysis holds — without a vectorized
+  // popcount, the *scalar* POPCNT kernel is the honest default; the AVX2
+  // PSHUFB kernel is available explicitly for the SIMD study.
+  if (kernel_available(KernelArch::kScalar)) return KernelArch::kScalar;
+  return KernelArch::kSwar;
+}
+
+}  // namespace
+
+GemmPlan resolve_plan(const GemmConfig& cfg, std::size_t k_words) {
+  KernelArch arch = cfg.arch;
+  if (arch == KernelArch::kAuto) arch = resolve_auto_arch();
+  LDLA_EXPECT(kernel_available(arch),
+              "requested GEMM kernel is unavailable on this CPU/build");
+  const KernelInfo& info = kernel_info(arch);
+
+  GemmPlan plan;
+  plan.arch = arch;
+  plan.mr = info.mr;
+  plan.nr = info.nr;
+  plan.ku = info.ku;
+  plan.packing = cfg.packing;
+
+  const CacheInfo& cache = cpu_info().cache;
+
+  // kc: one mr-sliver of A (mr*kc words) plus one nr-sliver of B should sit
+  // comfortably in L1 alongside the C tile; a third of L1d measures best
+  // (bench_blocking_ablation) — it leaves headroom for the streaming B
+  // panel lines.
+  if (cfg.kc_words != 0) {
+    plan.kc_words = cfg.kc_words;
+  } else {
+    const std::size_t bytes_per_k = (plan.mr + plan.nr) * sizeof(std::uint64_t);
+    plan.kc_words = std::max<std::size_t>(
+        plan.ku, (cache.l1d / 3) / std::max<std::size_t>(1, bytes_per_k));
+    plan.kc_words = std::min<std::size_t>(plan.kc_words, 256);
+  }
+  // Round kc to the kernel's k-unroll so packed panels stay uniform.
+  plan.kc_words = (plan.kc_words + plan.ku - 1) / plan.ku * plan.ku;
+
+  // mc: packed A block (mc * kc words) should fit in ~half of L2.
+  if (cfg.mc != 0) {
+    plan.mc = cfg.mc;
+  } else {
+    const std::size_t a_block_budget = cache.l2 / 2;
+    plan.mc = std::max<std::size_t>(
+        plan.mr, a_block_budget / (plan.kc_words * sizeof(std::uint64_t)));
+    plan.mc = std::min<std::size_t>(plan.mc, 512);
+  }
+  plan.mc = (plan.mc + plan.mr - 1) / plan.mr * plan.mr;
+
+  // nc: packed B panel (nc * kc words) targets L3 (or a fixed budget when
+  // L3 is undetected).
+  if (cfg.nc != 0) {
+    plan.nc = cfg.nc;
+  } else {
+    const std::size_t l3 = cache.l3 != 0 ? cache.l3 : 8 * 1024 * 1024;
+    plan.nc = std::max<std::size_t>(
+        plan.nr, (l3 / 2) / (plan.kc_words * sizeof(std::uint64_t)));
+    plan.nc = std::min<std::size_t>(plan.nc, 8192);
+  }
+  plan.nc = (plan.nc + plan.nr - 1) / plan.nr * plan.nr;
+
+  if (!cfg.blocking) {
+    // Ablation: single unblocked pass — kc spans all of k, one giant block.
+    plan.kc_words = std::max<std::size_t>(
+        plan.ku, (k_words + plan.ku - 1) / plan.ku * plan.ku);
+    plan.mc = std::numeric_limits<std::size_t>::max() / 2;
+    plan.nc = std::numeric_limits<std::size_t>::max() / 2;
+  }
+  return plan;
+}
+
+}  // namespace ldla

@@ -1,0 +1,65 @@
+// Blocking configuration for the popcount-GEMM (the GotoBLAS parameters).
+//
+// Names follow the GotoBLAS/BLIS convention: the k dimension is split into
+// kc-word panels (packed to fit L1/L2), m into mc-row blocks (packed A block
+// resident in L2), n into nc-column panels (packed B panel resident in L3),
+// and the macro-kernel sweeps mr x nr register tiles.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ldla {
+
+/// Which micro-kernel implementation the GEMM uses.
+enum class KernelArch {
+  kAuto,      ///< widest available (runtime CPUID dispatch)
+  kScalar,    ///< scalar 64-bit POPCNT micro-kernel (the paper's kernel)
+  kSwar,      ///< portable bit-twiddling popcount (no POPCNT instruction)
+  kStrawman,  ///< Section V strawman: AVX2 AND + lane extract + scalar POPCNT
+  kAvx2,      ///< AVX2 PSHUFB-popcount micro-kernel (best pre-VPOPCNT SIMD)
+  kAvx512,    ///< AVX-512 VPOPCNTDQ micro-kernel, 4x4 register tile
+  kAvx512Wide,///< AVX-512 VPOPCNTDQ, 2x8 tile (tile-geometry ablation)
+};
+
+std::string kernel_arch_name(KernelArch a);
+
+struct GemmConfig {
+  KernelArch arch = KernelArch::kAuto;
+
+  /// Cache-blocking parameters in *words* (kc) and rows/columns (mc, nc).
+  /// Zero means "derive from the detected cache hierarchy".
+  std::size_t kc_words = 0;
+  std::size_t mc = 0;
+  std::size_t nc = 0;
+
+  /// Ablation switches (bench_blocking_ablation): disable the packed
+  /// micro-tile layout and/or cache blocking to quantify their value.
+  bool packing = true;
+  bool blocking = true;
+};
+
+/// Fully-resolved blocking plan for a concrete problem.
+struct GemmPlan {
+  KernelArch arch = KernelArch::kScalar;
+  std::size_t mr = 4;
+  std::size_t nr = 4;
+  std::size_t ku = 1;  ///< k-dimension unroll granularity of the kernel
+  std::size_t kc_words = 256;
+  std::size_t mc = 64;
+  std::size_t nc = 4096;
+  bool packing = true;
+};
+
+/// Resolve `cfg` against the machine (kernel availability, cache sizes) and
+/// the problem's k extent. Throws when a forced kernel is unavailable.
+GemmPlan resolve_plan(const GemmConfig& cfg, std::size_t k_words);
+
+/// Kernel usable on this CPU/build?
+bool kernel_available(KernelArch a);
+
+/// All kernels usable on this CPU/build (excluding kAuto).
+std::vector<KernelArch> available_kernels();
+
+}  // namespace ldla

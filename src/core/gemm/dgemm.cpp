@@ -1,0 +1,105 @@
+#include "core/gemm/dgemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/aligned_buffer.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+
+namespace {
+
+// Pack rows [row_begin, row_begin+rows) x columns [k_begin, k_begin+kc) of
+// src (row-major, leading dimension ld) into r-interleaved slivers:
+// out[(sliver * kc + k) * r + i]. Edge rows zero-padded.
+void pack_rows(const double* src, std::size_t ld, std::size_t row_begin,
+               std::size_t rows, std::size_t total_rows, std::size_t k_begin,
+               std::size_t kc, std::size_t r, double* out) {
+  const std::size_t slivers = (rows + r - 1) / r;
+  for (std::size_t s = 0; s < slivers; ++s) {
+    double* dst = out + s * r * kc;
+    for (std::size_t k = 0; k < kc; ++k) {
+      for (std::size_t i = 0; i < r; ++i) {
+        const std::size_t row = row_begin + s * r + i;
+        dst[k * r + i] = (row < row_begin + rows && row < total_rows)
+                             ? src[row * ld + k_begin + k]
+                             : 0.0;
+      }
+    }
+  }
+}
+
+// Scalar 4x8 micro-kernel; with -O3 the compiler turns the inner loop into
+// FMA vector code, which is exactly what we want for the control arm.
+void kernel_4x8(std::size_t kc, const double* ap, const double* bp, double* c,
+                std::size_t ldc) {
+  double acc[4][8] = {};
+  for (std::size_t k = 0; k < kc; ++k) {
+    const double* a = ap + k * 4;
+    const double* b = bp + k * 8;
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        acc[i][j] += a[i] * b[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      c[i * ldc + j] += acc[i][j];
+    }
+  }
+}
+
+}  // namespace
+
+void dgemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a,
+              std::size_t lda, const double* b, std::size_t ldb, double* c,
+              std::size_t ldc, const DgemmPlan& plan) {
+  LDLA_EXPECT(lda >= k && ldb >= k && ldc >= n, "leading dimensions too small");
+  if (m == 0 || n == 0 || k == 0) return;
+  const std::size_t mr = plan.mr;
+  const std::size_t nr = plan.nr;
+  LDLA_EXPECT(mr == 4 && nr == 8, "only the 4x8 kernel is registered");
+
+  const std::size_t kc = std::max<std::size_t>(1, plan.kc);
+  const std::size_t mc = (std::max<std::size_t>(mr, plan.mc) + mr - 1) / mr * mr;
+  const std::size_t nc = (std::max<std::size_t>(nr, plan.nc) + nr - 1) / nr * nr;
+
+  AlignedBuffer<double> a_pack(((mc + mr - 1) / mr) * mr * kc);
+  AlignedBuffer<double> b_pack(((nc + nr - 1) / nr) * nr * kc);
+
+  for (std::size_t jc = 0; jc < n; jc += nc) {
+    const std::size_t ncb = std::min(nc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kc) {
+      const std::size_t kcb = std::min(kc, k - pc);
+      pack_rows(b, ldb, jc, ncb, n, pc, kcb, nr, b_pack.data());
+      for (std::size_t ic = 0; ic < m; ic += mc) {
+        const std::size_t mcb = std::min(mc, m - ic);
+        pack_rows(a, lda, ic, mcb, m, pc, kcb, mr, a_pack.data());
+
+        for (std::size_t jr = 0; jr < ncb; jr += nr) {
+          const double* bp = b_pack.data() + (jr / nr) * nr * kcb;
+          const std::size_t nrb = std::min(nr, ncb - jr);
+          for (std::size_t ir = 0; ir < mcb; ir += mr) {
+            const double* ap = a_pack.data() + (ir / mr) * mr * kcb;
+            const std::size_t mrb = std::min(mr, mcb - ir);
+            if (mrb == mr && nrb == nr) {
+              kernel_4x8(kcb, ap, bp, &c[(ic + ir) * ldc + jc + jr], ldc);
+            } else {
+              double tile[4 * 8] = {};
+              kernel_4x8(kcb, ap, bp, tile, nr);
+              for (std::size_t i = 0; i < mrb; ++i) {
+                for (std::size_t j = 0; j < nrb; ++j) {
+                  c[(ic + ir + i) * ldc + jc + jr + j] += tile[i * nr + j];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ldla

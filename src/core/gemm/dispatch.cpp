@@ -1,0 +1,47 @@
+// Micro-kernel registry and CPUID-based dispatch.
+#include "core/gemm/kernel.hpp"
+
+#include "util/contract.hpp"
+
+namespace ldla {
+
+const KernelInfo& kernel_info(KernelArch arch) {
+  static const KernelInfo scalar{KernelArch::kScalar, "scalar-popcnt-4x4",
+                                 4, 4, 1, &kernels::scalar_4x4};
+  static const KernelInfo swar{KernelArch::kSwar, "swar-4x4", 4, 4, 1,
+                               &kernels::swar_4x4};
+#if LDLA_HAVE_AVX2_TU
+  static const KernelInfo avx2{KernelArch::kAvx2, "avx2-pshufb-2x4", 2, 4, 4,
+                               &kernels::avx2_2x4};
+  static const KernelInfo strawman{KernelArch::kStrawman,
+                                   "simd-extract-strawman-2x4", 2, 4, 4,
+                                   &kernels::strawman_2x4};
+#endif
+#if LDLA_HAVE_AVX512_TU
+  static const KernelInfo avx512{KernelArch::kAvx512, "avx512-vpopcntdq-4x4",
+                                 4, 4, 8, &kernels::avx512_4x4};
+  static const KernelInfo avx512_wide{KernelArch::kAvx512Wide,
+                                      "avx512-vpopcntdq-2x8", 2, 8, 8,
+                                      &kernels::avx512_2x8};
+#endif
+
+  LDLA_EXPECT(arch != KernelArch::kAuto,
+              "resolve kAuto via resolve_plan before kernel lookup");
+  LDLA_EXPECT(kernel_available(arch), "kernel unavailable on this CPU/build");
+  switch (arch) {
+    case KernelArch::kScalar: return scalar;
+    case KernelArch::kSwar: return swar;
+#if LDLA_HAVE_AVX2_TU
+    case KernelArch::kAvx2: return avx2;
+    case KernelArch::kStrawman: return strawman;
+#endif
+#if LDLA_HAVE_AVX512_TU
+    case KernelArch::kAvx512: return avx512;
+    case KernelArch::kAvx512Wide: return avx512_wide;
+#endif
+    default: break;
+  }
+  throw ContractViolation("no kernel registered for architecture");
+}
+
+}  // namespace ldla

@@ -1,0 +1,62 @@
+// Micro-kernel ABI for the popcount-GEMM.
+//
+// A micro-kernel computes the register tile
+//
+//     C[i][j] += sum_{k=0}^{kc-1} POPCNT(Ap[k][i] & Bp[k][j])
+//
+// for i < mr, j < nr, over *packed* operand panels:
+//
+//   Ap: kc words of each of mr rows, interleaved in groups of ku words:
+//       Ap[(kchunk*mr + i)*ku + kk]  holds word  k = kchunk*ku + kk  of row i
+//   Bp: same layout with nr in place of mr.
+//
+// kc is always a multiple of ku (the packer zero-pads; zero words are
+// identity elements of the (AND, POPCNT, +) semiring so padding is free).
+// C is row-major with leading dimension ldc, accumulated into (beta = 1);
+// callers zero C first for beta = 0 semantics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/gemm/config.hpp"
+
+namespace ldla {
+
+using MicroKernelFn = void (*)(std::size_t kc, const std::uint64_t* ap,
+                               const std::uint64_t* bp, std::uint32_t* c,
+                               std::size_t ldc);
+
+struct KernelInfo {
+  KernelArch arch = KernelArch::kScalar;
+  const char* name = "";
+  std::size_t mr = 0;
+  std::size_t nr = 0;
+  std::size_t ku = 0;
+  MicroKernelFn fn = nullptr;
+};
+
+/// Registry lookup; `arch` must not be kAuto and must be available.
+const KernelInfo& kernel_info(KernelArch arch);
+
+// Kernel entry points (defined in the kernels_*.cpp translation units).
+namespace kernels {
+void scalar_4x4(std::size_t kc, const std::uint64_t* ap,
+                const std::uint64_t* bp, std::uint32_t* c, std::size_t ldc);
+void swar_4x4(std::size_t kc, const std::uint64_t* ap, const std::uint64_t* bp,
+              std::uint32_t* c, std::size_t ldc);
+#if LDLA_HAVE_AVX2_TU
+void avx2_2x4(std::size_t kc, const std::uint64_t* ap, const std::uint64_t* bp,
+              std::uint32_t* c, std::size_t ldc);
+void strawman_2x4(std::size_t kc, const std::uint64_t* ap,
+                  const std::uint64_t* bp, std::uint32_t* c, std::size_t ldc);
+#endif
+#if LDLA_HAVE_AVX512_TU
+void avx512_4x4(std::size_t kc, const std::uint64_t* ap,
+                const std::uint64_t* bp, std::uint32_t* c, std::size_t ldc);
+void avx512_2x8(std::size_t kc, const std::uint64_t* ap,
+                const std::uint64_t* bp, std::uint32_t* c, std::size_t ldc);
+#endif
+}  // namespace kernels
+
+}  // namespace ldla

@@ -1,0 +1,31 @@
+// Portable micro-kernel for machines without a POPCNT instruction: the same
+// 4x4 tile as the scalar kernel with a branch-free SWAR popcount. Serves as
+// the "software popcount" arm of the Section IV-A comparison and as the
+// always-available fallback.
+#include "core/gemm/kernel.hpp"
+#include "core/popcount.hpp"
+
+namespace ldla::kernels {
+
+void swar_4x4(std::size_t kc, const std::uint64_t* ap, const std::uint64_t* bp,
+              std::uint32_t* c, std::size_t ldc) {
+  std::uint32_t acc[4][4] = {};
+  for (std::size_t k = 0; k < kc; ++k) {
+    const std::uint64_t a[4] = {ap[0], ap[1], ap[2], ap[3]};
+    const std::uint64_t b[4] = {bp[0], bp[1], bp[2], bp[3]};
+    ap += 4;
+    bp += 4;
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        acc[i][j] += static_cast<std::uint32_t>(popcount_u64_swar(a[i] & b[j]));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      c[i * ldc + j] += acc[i][j];
+    }
+  }
+}
+
+}  // namespace ldla::kernels

@@ -1,0 +1,188 @@
+#include "core/gemm/macro.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+#include "core/gemm/kernel.hpp"
+#include "core/gemm/packing.hpp"
+#include "core/popcount.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/contract.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace ldla {
+
+namespace {
+
+// Unpacked fallback for the packing ablation: same cache blocking, but the
+// inner loops read operand rows in place via strided spans.
+void gemm_count_unpacked(const BitMatrixView& a, const BitMatrixView& b,
+                         CountMatrixRef c, const GemmPlan& plan) {
+  const std::size_t m = a.n_snps;
+  const std::size_t n = b.n_snps;
+  const std::size_t k = a.n_words;
+  const PopcountMethod pm = plan.arch == KernelArch::kSwar
+                                ? PopcountMethod::kSwar
+                                : PopcountMethod::kHardware;
+  for (std::size_t jc = 0; jc < n; jc += plan.nc) {
+    const std::size_t ncb = std::min(plan.nc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += plan.kc_words) {
+      const std::size_t kcb = std::min(plan.kc_words, k - pc);
+      for (std::size_t ic = 0; ic < m; ic += plan.mc) {
+        const std::size_t mcb = std::min(plan.mc, m - ic);
+        for (std::size_t j = 0; j < ncb; ++j) {
+          const std::uint64_t* rb = b.row(jc + j) + pc;
+          for (std::size_t i = 0; i < mcb; ++i) {
+            const std::uint64_t* ra = a.row(ic + i) + pc;
+            c.at(ic + i, jc + j) += static_cast<std::uint32_t>(
+                popcount_and({ra, kcb}, {rb, kcb}, pm));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GemmPlan gemm_plan_for(const BitMatrixView& a, const GemmConfig& cfg) {
+  return resolve_plan(cfg, a.n_words);
+}
+
+void gemm_count(const BitMatrixView& a, const BitMatrixView& b,
+                CountMatrixRef c, const GemmConfig& cfg) {
+  if (a.empty() || b.empty()) return;
+  LDLA_EXPECT(a.n_words == b.n_words,
+              "operands disagree on words per SNP (different sample sets?)");
+  LDLA_EXPECT(c.rows >= a.n_snps && c.cols >= b.n_snps,
+              "output matrix is too small");
+  LDLA_EXPECT(c.ld >= c.cols, "output leading dimension too small");
+
+  const GemmPlan plan = resolve_plan(cfg, a.n_words);
+  if (!plan.packing) {
+    gemm_count_unpacked(a, b, c, plan);
+    return;
+  }
+
+  const KernelInfo& kern = kernel_info(plan.arch);
+  const std::size_t mr = plan.mr;
+  const std::size_t nr = plan.nr;
+  const std::size_t ku = plan.ku;
+  const std::size_t m = a.n_snps;
+  const std::size_t n = b.n_snps;
+  const std::size_t k = a.n_words;
+
+  const std::size_t mc = std::min(plan.mc, (m + mr - 1) / mr * mr);
+  const std::size_t nc = std::min(plan.nc, (n + nr - 1) / nr * nr);
+  const std::size_t kc = std::min(plan.kc_words, (k + ku - 1) / ku * ku);
+
+  AlignedBuffer<std::uint64_t> a_pack(packed_panel_words(mc, kc, mr, ku));
+  AlignedBuffer<std::uint64_t> b_pack(packed_panel_words(nc, kc, nr, ku));
+
+  // Loop 5 (jc): B column panels, packed once per (jc, pc) and reused
+  // across every A block — the L3-resident operand.
+  for (std::size_t jc = 0; jc < n; jc += nc) {
+    const std::size_t ncb = std::min(nc, n - jc);
+    // Loop 4 (pc): rank-kc updates. For genomic matrices k is small, so
+    // this usually runs a handful of iterations (the paper's rank-k shape).
+    for (std::size_t pc = 0; pc < k; pc += kc) {
+      const std::size_t kcb = std::min(kc, k - pc);
+      const std::size_t kcb_padded = (kcb + ku - 1) / ku * ku;
+      pack_panel(b, jc, ncb, pc, kcb, nr, ku, b_pack.data());
+
+      // Loop 3 (ic): A row blocks — the L2-resident packed operand.
+      for (std::size_t ic = 0; ic < m; ic += mc) {
+        const std::size_t mcb = std::min(mc, m - ic);
+        pack_panel(a, ic, mcb, pc, kcb, mr, ku, a_pack.data());
+
+        // Macro-kernel: loops 2 and 1 over register tiles.
+        for (std::size_t jr = 0; jr < ncb; jr += nr) {
+          const std::uint64_t* bp = b_pack.data() + (jr / nr) * nr * kcb_padded;
+          const std::size_t nrb = std::min(nr, ncb - jr);
+          for (std::size_t ir = 0; ir < mcb; ir += mr) {
+            const std::uint64_t* ap =
+                a_pack.data() + (ir / mr) * mr * kcb_padded;
+            const std::size_t mrb = std::min(mr, mcb - ir);
+            if (mrb == mr && nrb == nr) {
+              kern.fn(kcb_padded, ap, bp, &c.at(ic + ir, jc + jr), c.ld);
+            } else {
+              // Edge tile: compute into a zeroed temporary, copy the valid
+              // region out (padded rows are zero so the extra work is nil).
+              std::uint32_t tile[16 * 16];
+              LDLA_ASSERT(mr * nr <= 256);
+              std::memset(tile, 0, mr * nr * sizeof(std::uint32_t));
+              kern.fn(kcb_padded, ap, bp, tile, nr);
+              for (std::size_t i = 0; i < mrb; ++i) {
+                for (std::size_t j = 0; j < nrb; ++j) {
+                  c.at(ic + ir + i, jc + jr + j) += tile[i * nr + j];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+
+void gemm_count_parallel(const BitMatrixView& a, const BitMatrixView& b,
+                         CountMatrixRef c, const GemmConfig& cfg,
+                         unsigned threads) {
+  if (a.empty() || b.empty()) return;
+  LDLA_EXPECT(c.rows >= a.n_snps && c.cols >= b.n_snps,
+              "output matrix is too small");
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (threads == 1 || a.n_snps < 2) {
+    gemm_count(a, b, c, cfg);
+    return;
+  }
+
+  ThreadPool pool(threads);
+  pool.parallel_for(0, a.n_snps, [&](std::size_t lo, std::size_t hi) {
+    BitMatrixView slice = a;
+    slice.data = a.data + lo * a.stride_words;
+    slice.n_snps = hi - lo;
+    CountMatrixRef out{c.data + lo * c.ld, hi - lo, c.cols, c.ld};
+    gemm_count(slice, b, out, cfg);
+  });
+}
+
+GemmConfig tune_gemm_config(const BitMatrixView& sample,
+                            const GemmConfig& base) {
+  GemmConfig best = base;
+  if (sample.n_snps == 0 || sample.n_words == 0) return best;
+
+  // A problem-shaped probe: up to 128 rows of the sample against itself.
+  BitMatrixView probe = sample;
+  probe.n_snps = std::min<std::size_t>(probe.n_snps, 128);
+  CountMatrix c(probe.n_snps, probe.n_snps);
+
+  double best_time = std::numeric_limits<double>::infinity();
+  for (const std::size_t kc : {64u, 128u, 256u, 512u}) {
+    for (const std::size_t mc : {32u, 64u, 128u, 256u}) {
+      GemmConfig cfg = base;
+      cfg.kc_words = kc;
+      cfg.mc = mc;
+      double fastest = std::numeric_limits<double>::infinity();
+      for (int rep = 0; rep < 2; ++rep) {
+        c.zero();
+        Timer t;
+        gemm_count(probe, probe, c.ref(), cfg);
+        fastest = std::min(fastest, t.seconds());
+      }
+      if (fastest < best_time) {
+        best_time = fastest;
+        best = cfg;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ldla

@@ -1,0 +1,41 @@
+// The popcount-GEMM driver: GotoBLAS 5-loop structure over the
+// (AND, POPCNT, +) semiring.
+//
+//     C[i][j] += sum_k POPCNT(a.row(i)[k] & b.row(j)[k])
+//
+// a supplies m rows, b supplies n rows (C = A · Bᵀ in row terms; with
+// a == b this is the paper's  H·Nseq = Gᵀ G  haplotype-count matrix).
+// Callers zero C first for assignment semantics; the driver accumulates.
+#pragma once
+
+#include "core/bit_matrix.hpp"
+#include "core/gemm/config.hpp"
+#include "core/gemm/count_matrix.hpp"
+
+namespace ldla {
+
+/// Full rectangular count GEMM. C must be at least a.n_snps x b.n_snps.
+/// Both operands must have the same word count (same sample universe).
+void gemm_count(const BitMatrixView& a, const BitMatrixView& b,
+                CountMatrixRef c, const GemmConfig& cfg = {});
+
+/// Statistics of the most recent plan resolution (for bench reporting).
+GemmPlan gemm_plan_for(const BitMatrixView& a, const GemmConfig& cfg = {});
+
+/// Threaded variant of gemm_count: the m dimension is split into row
+/// blocks, each worker running the sequential driver on its slice with its
+/// own packing buffers (BLIS-style ic-loop parallelism; C row slices are
+/// disjoint so no synchronization is needed). threads = 0 means hardware
+/// concurrency. Results identical to gemm_count.
+void gemm_count_parallel(const BitMatrixView& a, const BitMatrixView& b,
+                         CountMatrixRef c, const GemmConfig& cfg = {},
+                         unsigned threads = 0);
+
+/// Empirically pick blocking parameters: runs short trials of candidate
+/// (kc, mc) pairs on a problem-shaped sample and returns cfg with the
+/// fastest combination filled in. Intended for long-running pipelines
+/// where a few hundred milliseconds of tuning amortizes.
+GemmConfig tune_gemm_config(const BitMatrixView& sample,
+                            const GemmConfig& base = {});
+
+}  // namespace ldla

@@ -1,0 +1,35 @@
+// Packing of bit-matrix panels into the micro-kernel's interleaved layout.
+//
+// The GotoBLAS approach copies each cache block of A and B into contiguous
+// memory ordered exactly as the micro-kernel consumes it, so the innermost
+// loop performs only unit-stride, aligned loads. For the popcount semiring,
+// rows beyond the matrix edge and words beyond kc are padded with zeros,
+// which are identity elements — edge handling costs nothing in the kernel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/bit_matrix.hpp"
+
+namespace ldla {
+
+/// Words required to pack `rows` rows of `kc` words with register blocking
+/// `r` and k-unroll `ku` (rows rounds up to a multiple of r, kc to ku).
+std::size_t packed_panel_words(std::size_t rows, std::size_t kc, std::size_t r,
+                               std::size_t ku);
+
+/// Pack rows [row_begin, row_begin+rows) and words [k_begin, k_begin+kc)
+/// of `m` into `out` using the layout documented in kernel.hpp:
+///
+///   out[((kchunk * slivers + s) * r + i) * ku + kk]  -- wait, see .cpp; the
+/// layout is sliver-major: for each sliver of r rows, all kc words of that
+/// sliver are contiguous, grouped ku words at a time per row.
+///
+/// Rows past the end of the matrix and words past the row payload are
+/// zero-filled. `out` must hold packed_panel_words(...) words.
+void pack_panel(const BitMatrixView& m, std::size_t row_begin,
+                std::size_t rows, std::size_t k_begin, std::size_t kc,
+                std::size_t r, std::size_t ku, std::uint64_t* out);
+
+}  // namespace ldla

@@ -1,0 +1,105 @@
+#include "core/gemm/syrk.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/gemm/kernel.hpp"
+#include "core/gemm/macro.hpp"
+#include "core/gemm/packing.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+
+void syrk_count(const BitMatrixView& a, CountMatrixRef c,
+                const GemmConfig& cfg) {
+  const std::size_t n = a.n_snps;
+  LDLA_EXPECT(c.rows >= n && c.cols >= n, "output matrix is too small");
+  if (n == 0) return;
+
+  // Zero the lower triangle (the part we accumulate into).
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memset(&c.at(i, 0), 0, (i + 1) * sizeof(std::uint32_t));
+  }
+
+  const GemmPlan plan = resolve_plan(cfg, a.n_words);
+  if (!plan.packing) {
+    // Ablation path: reuse the rectangular driver on the full matrix
+    // (no triangle savings without tiles), then fall through to mirroring.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memset(&c.at(i, 0), 0, c.cols * sizeof(std::uint32_t));
+    }
+    gemm_count(a, a, c, cfg);
+    return;
+  }
+
+  const KernelInfo& kern = kernel_info(plan.arch);
+  const std::size_t mr = plan.mr;
+  const std::size_t nr = plan.nr;
+  const std::size_t ku = plan.ku;
+  const std::size_t k = a.n_words;
+
+  const std::size_t mc = std::min(plan.mc, (n + mr - 1) / mr * mr);
+  const std::size_t nc = std::min(plan.nc, (n + nr - 1) / nr * nr);
+  const std::size_t kc = std::min(plan.kc_words, (k + ku - 1) / ku * ku);
+
+  AlignedBuffer<std::uint64_t> a_pack(packed_panel_words(mc, kc, mr, ku));
+  AlignedBuffer<std::uint64_t> b_pack(packed_panel_words(nc, kc, nr, ku));
+
+  for (std::size_t jc = 0; jc < n; jc += nc) {
+    const std::size_t ncb = std::min(nc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kc) {
+      const std::size_t kcb = std::min(kc, k - pc);
+      const std::size_t kcb_padded = (kcb + ku - 1) / ku * ku;
+      pack_panel(a, jc, ncb, pc, kcb, nr, ku, b_pack.data());
+
+      // Only row blocks that intersect the lower triangle of this column
+      // panel: rows >= jc (snapped down to an mc boundary).
+      const std::size_t ic_start = (jc / mc) * mc;
+      for (std::size_t ic = ic_start; ic < n; ic += mc) {
+        const std::size_t mcb = std::min(mc, n - ic);
+        pack_panel(a, ic, mcb, pc, kcb, mr, ku, a_pack.data());
+
+        for (std::size_t jr = 0; jr < ncb; jr += nr) {
+          const std::uint64_t* bp = b_pack.data() + (jr / nr) * nr * kcb_padded;
+          const std::size_t nrb = std::min(nr, ncb - jr);
+          const std::size_t j_global = jc + jr;
+          for (std::size_t ir = 0; ir < mcb; ir += mr) {
+            const std::size_t i_global = ic + ir;
+            // Skip tiles strictly above the diagonal band.
+            if (i_global + mr <= j_global) continue;
+            const std::uint64_t* ap =
+                a_pack.data() + (ir / mr) * mr * kcb_padded;
+            const std::size_t mrb = std::min(mr, mcb - ir);
+            if (mrb == mr && nrb == nr && i_global >= j_global + nr - 1) {
+              // Tile entirely on/below the diagonal: write straight to C.
+              kern.fn(kcb_padded, ap, bp, &c.at(i_global, j_global), c.ld);
+            } else {
+              // Diagonal-crossing or edge tile: temporary, then copy only
+              // the lower-triangle entries.
+              std::uint32_t tile[16 * 16];
+              std::memset(tile, 0, mr * nr * sizeof(std::uint32_t));
+              kern.fn(kcb_padded, ap, bp, tile, nr);
+              for (std::size_t i = 0; i < mrb; ++i) {
+                for (std::size_t j = 0; j < nrb; ++j) {
+                  if (i_global + i >= j_global + j) {
+                    c.at(i_global + i, j_global + j) += tile[i * nr + j];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Mirror the lower triangle into the upper one.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      c.at(i, j) = c.at(j, i);
+    }
+  }
+}
+
+}  // namespace ldla

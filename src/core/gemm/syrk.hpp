@@ -1,0 +1,18 @@
+// Symmetric (SYRK-like) count driver: H·Nseq = GᵀG for a single genomic
+// matrix, exploiting  POPCNT(s_i & s_j) = POPCNT(s_j & s_i)  to compute only
+// register tiles that touch the lower triangle, then mirroring.
+#pragma once
+
+#include "core/bit_matrix.hpp"
+#include "core/gemm/config.hpp"
+#include "core/gemm/count_matrix.hpp"
+
+namespace ldla {
+
+/// Fill the full symmetric count matrix (both triangles and the diagonal;
+/// C[i][i] is the derived-allele count of SNP i). C must be n x n where
+/// n = a.n_snps, and is overwritten (not accumulated).
+void syrk_count(const BitMatrixView& a, CountMatrixRef c,
+                const GemmConfig& cfg = {});
+
+}  // namespace ldla

@@ -1,0 +1,93 @@
+#include "core/higher_order.hpp"
+
+#include <vector>
+
+#include "core/gemm/count_matrix.hpp"
+#include "core/gemm/macro.hpp"
+#include "core/gemm/syrk.hpp"
+
+namespace ldla {
+
+namespace {
+
+double d3_from_counts(double n, double ci, double cj, double ck, double cij,
+                      double cik, double cjk, double cijk) {
+  const double pi = ci / n;
+  const double pj = cj / n;
+  const double pk = ck / n;
+  const double dij = cij / n - pi * pj;
+  const double dik = cik / n - pi * pk;
+  const double djk = cjk / n - pj * pk;
+  const double pijk = cijk / n;
+  return pijk - pi * djk - pj * dik - pk * dij - pi * pj * pk;
+}
+
+}  // namespace
+
+double third_order_d_reference(const BitMatrix& g, std::size_t i,
+                               std::size_t j, std::size_t k) {
+  LDLA_EXPECT(i < g.snps() && j < g.snps() && k < g.snps(),
+              "SNP index out of range");
+  double ci = 0, cj = 0, ck = 0, cij = 0, cik = 0, cjk = 0, cijk = 0;
+  for (std::size_t s = 0; s < g.samples(); ++s) {
+    const bool a = g.get(i, s);
+    const bool b = g.get(j, s);
+    const bool c = g.get(k, s);
+    ci += a;
+    cj += b;
+    ck += c;
+    cij += a && b;
+    cik += a && c;
+    cjk += b && c;
+    cijk += a && b && c;
+  }
+  return d3_from_counts(static_cast<double>(g.samples()), ci, cj, ck, cij,
+                        cik, cjk, cijk);
+}
+
+ThirdOrderTensor third_order_d(const BitMatrix& g, std::size_t snp_begin,
+                               std::size_t snp_end, const GemmConfig& cfg) {
+  LDLA_EXPECT(snp_begin <= snp_end && snp_end <= g.snps(),
+              "window out of range");
+  const std::size_t w = snp_end - snp_begin;
+  LDLA_EXPECT(w <= kMaxThirdOrderWindow,
+              "third-order window exceeds the supported width");
+  ThirdOrderTensor out(w);
+  if (w == 0) return out;
+  LDLA_EXPECT(g.samples() > 0, "matrix has no samples");
+
+  const BitMatrixView window = g.view(snp_begin, snp_end);
+  const double n = static_cast<double>(g.samples());
+
+  // Pairwise counts: one symmetric GEMM.
+  CountMatrix pair(w, w);
+  syrk_count(window, pair.ref(), cfg);
+
+  // Three-way counts: one GEMM per conditioning SNP k over the k-masked
+  // window X_k = S & s_k.
+  BitMatrix masked(w, g.samples());
+  CountMatrix triple(w, w);
+  for (std::size_t k = 0; k < w; ++k) {
+    const std::uint64_t* sk = window.row(k);
+    for (std::size_t r = 0; r < w; ++r) {
+      const std::uint64_t* src = window.row(r);
+      std::uint64_t* dst = masked.row_data(r);
+      for (std::size_t word = 0; word < window.n_words; ++word) {
+        dst[word] = src[word] & sk[word];
+      }
+    }
+    triple.zero();
+    gemm_count(masked.view(), window, triple.ref(), cfg);
+
+    for (std::size_t i = 0; i < w; ++i) {
+      for (std::size_t j = 0; j < w; ++j) {
+        out(i, j, k) = d3_from_counts(
+            n, pair(i, i), pair(j, j), pair(k, k), pair(i, j), pair(i, k),
+            pair(j, k), triple(i, j));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ldla

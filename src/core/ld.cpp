@@ -1,0 +1,184 @@
+#include "core/ld.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/detail/ld_stats_row.hpp"
+#include "core/gemm/count_matrix.hpp"
+#include "core/gemm/macro.hpp"
+#include "core/gemm/syrk.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string ld_statistic_name(LdStatistic s) {
+  switch (s) {
+    case LdStatistic::kD: return "D";
+    case LdStatistic::kDPrime: return "D'";
+    case LdStatistic::kRSquared: return "r^2";
+  }
+  return "unknown";
+}
+
+double ld_d(std::uint64_t ci, std::uint64_t cj, std::uint64_t cij,
+            std::uint64_t nseq) {
+  LDLA_EXPECT(nseq > 0, "sample size must be positive");
+  const double n = static_cast<double>(nseq);
+  const double pij = static_cast<double>(cij) / n;
+  const double pi = static_cast<double>(ci) / n;
+  const double pj = static_cast<double>(cj) / n;
+  return pij - pi * pj;
+}
+
+double ld_r_squared(std::uint64_t ci, std::uint64_t cj, std::uint64_t cij,
+                    std::uint64_t nseq) {
+  LDLA_EXPECT(nseq > 0, "sample size must be positive");
+  // The operation order matches detail::stat_row exactly so the scalar and
+  // vectorized row paths agree bit-for-bit.
+  const double n = static_cast<double>(nseq);
+  const double pi = static_cast<double>(ci) / n;
+  const double pj = static_cast<double>(cj) / n;
+  const double inv_i = 1.0 / (pi * (1.0 - pi));
+  const double inv_j = 1.0 / (pj * (1.0 - pj));
+  if (pi <= 0.0 || pi >= 1.0 || pj <= 0.0 || pj >= 1.0) {
+    return kNaN;  // monomorphic SNP: r^2 undefined
+  }
+  const double pij = static_cast<double>(cij) / n;
+  const double d = pij - pi * pj;
+  const double r = (d * d) * (inv_i * inv_j);
+  // Clamp tiny floating-point excursions so the documented r^2 in [0, 1]
+  // invariant holds exactly.
+  return r > 1.0 ? 1.0 : r;
+}
+
+double ld_d_prime(std::uint64_t ci, std::uint64_t cj, std::uint64_t cij,
+                  std::uint64_t nseq) {
+  LDLA_EXPECT(nseq > 0, "sample size must be positive");
+  const double n = static_cast<double>(nseq);
+  const double pi = static_cast<double>(ci) / n;
+  const double pj = static_cast<double>(cj) / n;
+  if (pi <= 0.0 || pi >= 1.0 || pj <= 0.0 || pj >= 1.0) return kNaN;
+  const double d = static_cast<double>(cij) / n - pi * pj;
+  double dmax;
+  if (d >= 0.0) {
+    dmax = std::min(pi * (1.0 - pj), (1.0 - pi) * pj);
+  } else {
+    dmax = std::min(pi * pj, (1.0 - pi) * (1.0 - pj));
+  }
+  if (dmax <= 0.0) return kNaN;
+  return std::clamp(d / dmax, -1.0, 1.0);
+}
+
+double ld_value(LdStatistic stat, std::uint64_t ci, std::uint64_t cj,
+                std::uint64_t cij, std::uint64_t nseq) {
+  switch (stat) {
+    case LdStatistic::kD: return ld_d(ci, cj, cij, nseq);
+    case LdStatistic::kDPrime: return ld_d_prime(ci, cj, cij, nseq);
+    case LdStatistic::kRSquared: return ld_r_squared(ci, cj, cij, nseq);
+  }
+  return kNaN;
+}
+
+LdMatrix ld_matrix(const BitMatrix& g, const LdOptions& opts) {
+  const std::size_t n = g.snps();
+  LdMatrix out(n, n);
+  if (n == 0) return out;
+  LDLA_EXPECT(g.samples() > 0, "matrix has no samples");
+
+  CountMatrix counts(n, n);
+  syrk_count(g.view(), counts.ref(), opts.gemm);
+
+  const detail::StatTables tables = detail::make_stat_tables(g);
+  for (std::size_t i = 0; i < n; ++i) {
+    detail::stat_row(opts.stat, tables, i, &counts(i, 0), n, &out(i, 0));
+  }
+  return out;
+}
+
+LdMatrix ld_cross_matrix(const BitMatrix& a, const BitMatrix& b,
+                         const LdOptions& opts) {
+  LDLA_EXPECT(a.samples() == b.samples(),
+              "cross-matrix LD needs matching sample sets");
+  const std::size_t m = a.snps();
+  const std::size_t n = b.snps();
+  LdMatrix out(m, n);
+  if (m == 0 || n == 0) return out;
+
+  CountMatrix counts(m, n);
+  gemm_count(a.view(), b.view(), counts.ref(), opts.gemm);
+
+  const detail::StatTables ta = detail::make_stat_tables(a);
+  const detail::StatTables tb = detail::make_stat_tables(b);
+  for (std::size_t i = 0; i < m; ++i) {
+    detail::stat_row_cross(opts.stat, ta, i, tb, &counts(i, 0), n,
+                           &out(i, 0));
+  }
+  return out;
+}
+
+void ld_scan(const BitMatrix& g, const LdTileVisitor& visit,
+             const LdOptions& opts) {
+  const std::size_t n = g.snps();
+  if (n == 0) return;
+  LDLA_EXPECT(g.samples() > 0, "matrix has no samples");
+  LDLA_EXPECT(opts.slab_rows > 0, "slab height must be positive");
+
+  const detail::StatTables tables = detail::make_stat_tables(g);
+  const std::size_t slab = opts.slab_rows;
+
+  CountMatrix counts(std::min(slab, n), n);
+  AlignedBuffer<double> values(std::min(slab, n) * n);
+
+  for (std::size_t r0 = 0; r0 < n; r0 += slab) {
+    const std::size_t rows = std::min(slab, n - r0);
+    const std::size_t cols = r0 + rows;  // lower-trapezoid: j < slab end
+    CountMatrixRef cref{counts.ref().data, rows, cols, n};
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::fill_n(&cref.at(i, 0), cols, 0u);
+    }
+    gemm_count(g.view(r0, r0 + rows), g.view(0, cols), cref, opts.gemm);
+
+    for (std::size_t i = 0; i < rows; ++i) {
+      detail::stat_row(opts.stat, tables, r0 + i, &cref.at(i, 0), cols,
+                       &values[i * cols]);
+    }
+    visit(LdTile{r0, 0, rows, cols, values.data(), cols});
+  }
+}
+
+void ld_cross_scan(const BitMatrix& a, const BitMatrix& b,
+                   const LdTileVisitor& visit, const LdOptions& opts) {
+  LDLA_EXPECT(a.samples() == b.samples(),
+              "cross-matrix LD needs matching sample sets");
+  const std::size_t m = a.snps();
+  const std::size_t n = b.snps();
+  if (m == 0 || n == 0) return;
+  LDLA_EXPECT(opts.slab_rows > 0, "slab height must be positive");
+
+  const detail::StatTables ta = detail::make_stat_tables(a);
+  const detail::StatTables tb = detail::make_stat_tables(b);
+  const std::size_t slab = opts.slab_rows;
+
+  CountMatrix counts(std::min(slab, m), n);
+  AlignedBuffer<double> values(std::min(slab, m) * n);
+
+  for (std::size_t r0 = 0; r0 < m; r0 += slab) {
+    const std::size_t rows = std::min(slab, m - r0);
+    counts.zero();
+    CountMatrixRef cref{counts.ref().data, rows, n, n};
+    gemm_count(a.view(r0, r0 + rows), b.view(), cref, opts.gemm);
+
+    for (std::size_t i = 0; i < rows; ++i) {
+      detail::stat_row_cross(opts.stat, ta, r0 + i, tb, &cref.at(i, 0), n,
+                             &values[i * n]);
+    }
+    visit(LdTile{r0, 0, rows, n, values.data(), n});
+  }
+}
+
+}  // namespace ldla

@@ -1,0 +1,123 @@
+// Linkage-disequilibrium statistics on top of the popcount-GEMM engine.
+//
+// Section II of the paper: with allele count c_i = s_i^T s_i, haplotype
+// count c_ij = s_i^T s_j and sample size Nseq,
+//
+//   P_i  = c_i  / Nseq                (allele frequency, Eq. 3)
+//   P_ij = c_ij / Nseq                (haplotype frequency, Eq. 4)
+//   D    = P_ij - P_i P_j             (Eq. 1/5)
+//   r^2  = D^2 / (P_i P_j (1-P_i)(1-P_j))   (Eq. 2)
+//
+// plus the conventional normalized D' = D / D_max. Monomorphic SNPs make
+// r^2 and D' undefined; those entries are reported as NaN.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/bit_matrix.hpp"
+#include "core/gemm/config.hpp"
+#include "util/aligned_buffer.hpp"
+
+namespace ldla {
+
+enum class LdStatistic {
+  kD,         ///< raw disequilibrium coefficient D
+  kDPrime,    ///< D normalized by its theoretical extreme, in [-1, 1]
+  kRSquared,  ///< squared Pearson correlation, in [0, 1]
+};
+
+std::string ld_statistic_name(LdStatistic s);
+
+/// Scalar formulas (building blocks; exposed for tests and baselines).
+/// All take raw counts plus the sample size.
+double ld_d(std::uint64_t ci, std::uint64_t cj, std::uint64_t cij,
+            std::uint64_t nseq);
+double ld_r_squared(std::uint64_t ci, std::uint64_t cj, std::uint64_t cij,
+                    std::uint64_t nseq);
+double ld_d_prime(std::uint64_t ci, std::uint64_t cj, std::uint64_t cij,
+                  std::uint64_t nseq);
+double ld_value(LdStatistic stat, std::uint64_t ci, std::uint64_t cj,
+                std::uint64_t cij, std::uint64_t nseq);
+
+struct LdOptions {
+  LdStatistic stat = LdStatistic::kRSquared;
+  GemmConfig gemm;
+  /// Row-slab height of the streaming drivers (memory/latency trade-off).
+  std::size_t slab_rows = 256;
+};
+
+/// Dense row-major matrix of doubles (LD values).
+class LdMatrix {
+ public:
+  LdMatrix() = default;
+  LdMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), buf_(rows * cols) {
+    buf_.zero();
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const {
+    return buf_[i * cols_ + j];
+  }
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) {
+    return buf_[i * cols_ + j];
+  }
+  [[nodiscard]] const double* data() const noexcept { return buf_.data(); }
+  [[nodiscard]] double* data() noexcept { return buf_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  AlignedBuffer<double> buf_;
+};
+
+/// All-pairs LD within one genomic matrix (full symmetric n x n result,
+/// diagonal = LD of a SNP with itself). Intended for moderate n; for large
+/// regions use ld_scan.
+LdMatrix ld_matrix(const BitMatrix& g, const LdOptions& opts = {});
+
+/// LD between every SNP of `a` and every SNP of `b` (the Fig. 4 / long-range
+/// association use case). Both matrices must cover the same samples.
+LdMatrix ld_cross_matrix(const BitMatrix& a, const BitMatrix& b,
+                         const LdOptions& opts = {});
+
+/// A tile of LD values streamed out of a scan. Row/col indices are SNP
+/// indices in the input matrices; `values` is row-major with leading
+/// dimension `ld`.
+struct LdTile {
+  std::size_t row_begin = 0;
+  std::size_t col_begin = 0;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  const double* values = nullptr;
+  std::size_t ld = 0;
+
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const {
+    return values[i * ld + j];
+  }
+};
+
+using LdTileVisitor = std::function<void(const LdTile&)>;
+
+/// Streaming all-pairs LD over one matrix: emits row slabs covering every
+/// pair (i, j) with j <= i exactly once (tiles are lower-trapezoidal: a
+/// slab of rows [r0, r1) comes with columns [0, r1)). Memory use is
+/// O(slab_rows * n), independent of the number of pairs.
+void ld_scan(const BitMatrix& g, const LdTileVisitor& visit,
+             const LdOptions& opts = {});
+
+/// Streaming cross-matrix LD over row slabs of `a` (columns span all of b).
+void ld_cross_scan(const BitMatrix& a, const BitMatrix& b,
+                   const LdTileVisitor& visit, const LdOptions& opts = {});
+
+/// Number of LD values a full symmetric analysis of n SNPs produces,
+/// N(N+1)/2 including the diagonal — the paper's "50M pairwise LDs" figure
+/// counts exactly this for N = 10,000.
+[[nodiscard]] constexpr std::uint64_t ld_pair_count(std::uint64_t n) {
+  return n * (n + 1) / 2;
+}
+
+}  // namespace ldla

@@ -1,0 +1,39 @@
+// Haplotype-block partitioning — a standard application of the pairwise
+// r^2 matrix (Gabriel-style blocks, simplified to an r^2 criterion),
+// built on the banded GEMM scan so cost is O(n · max_span) pairs.
+//
+// A block is a maximal run of consecutive SNPs in which every SNP's mean
+// r^2 against the block's existing members stays at or above a threshold.
+// Greedy left-to-right construction; deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/bit_matrix.hpp"
+#include "core/gemm/config.hpp"
+
+namespace ldla {
+
+struct LdBlock {
+  std::size_t begin = 0;  ///< first SNP of the block
+  std::size_t end = 0;    ///< one past the last SNP
+  double mean_r2 = 0.0;   ///< mean pairwise r^2 inside the block
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  friend bool operator==(const LdBlock&, const LdBlock&) = default;
+};
+
+struct LdBlockParams {
+  double threshold = 0.5;     ///< minimum mean r^2 to join a block
+  std::size_t max_span = 200; ///< pairs farther apart are never evaluated
+  GemmConfig gemm;
+};
+
+/// Partition [0, n) into blocks; every SNP belongs to exactly one block
+/// (singleton blocks have mean_r2 = 0). NaN r^2 (monomorphic partners)
+/// counts as 0 toward the mean.
+std::vector<LdBlock> find_ld_blocks(const BitMatrix& g,
+                                    const LdBlockParams& params = {});
+
+}  // namespace ldla

@@ -1,0 +1,150 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "core/detail/ld_stats_row.hpp"
+#include "core/gemm/count_matrix.hpp"
+#include "core/gemm/macro.hpp"
+#include "util/contract.hpp"
+#include "util/partition.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ldla {
+
+namespace {
+
+unsigned resolve_threads(unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return threads;
+}
+
+// Sequential trapezoid scan over rows [range.begin, range.end): each slab of
+// rows [r0, r1) pairs with columns [0, r1). Used as the per-worker body.
+void scan_row_range(const BitMatrix& g, const Range& range,
+                    const detail::StatTables& tables,
+                    const LdTileVisitor& visit, const LdOptions& opts) {
+  const std::size_t slab = opts.slab_rows;
+  const std::size_t max_rows = std::min(slab, range.size());
+  const std::size_t max_cols = range.end;
+
+  CountMatrix counts(max_rows, max_cols);
+  AlignedBuffer<double> values(max_rows * max_cols);
+
+  for (std::size_t r0 = range.begin; r0 < range.end; r0 += slab) {
+    const std::size_t rows = std::min(slab, range.end - r0);
+    const std::size_t cols = r0 + rows;
+    CountMatrixRef cref{counts.ref().data, rows, cols, max_cols};
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::fill_n(&cref.at(i, 0), cols, 0u);
+    }
+    gemm_count(g.view(r0, r0 + rows), g.view(0, cols), cref, opts.gemm);
+
+    for (std::size_t i = 0; i < rows; ++i) {
+      detail::stat_row(opts.stat, tables, r0 + i, &cref.at(i, 0), cols,
+                       &values[i * cols]);
+    }
+    visit(LdTile{r0, 0, rows, cols, values.data(), cols});
+  }
+}
+
+}  // namespace
+
+void ld_scan_parallel(const BitMatrix& g, const LdTileVisitor& visit,
+                      const LdOptions& opts, unsigned threads) {
+  const std::size_t n = g.snps();
+  if (n == 0) return;
+  LDLA_EXPECT(g.samples() > 0, "matrix has no samples");
+  threads = resolve_threads(threads);
+
+  const detail::StatTables tables = detail::make_stat_tables(g);
+  const std::vector<Range> ranges = split_triangle_rows(n, threads);
+  ThreadPool pool(threads);
+  pool.run_tasks(ranges.size(), [&](std::size_t t) {
+    scan_row_range(g, ranges[t], tables, visit, opts);
+  });
+}
+
+void ld_cross_scan_parallel(const BitMatrix& a, const BitMatrix& b,
+                            const LdTileVisitor& visit, const LdOptions& opts,
+                            unsigned threads) {
+  LDLA_EXPECT(a.samples() == b.samples(),
+              "cross-matrix LD needs matching sample sets");
+  const std::size_t m = a.snps();
+  const std::size_t n = b.snps();
+  if (m == 0 || n == 0) return;
+  threads = resolve_threads(threads);
+
+  const detail::StatTables ta = detail::make_stat_tables(a);
+  const detail::StatTables tb = detail::make_stat_tables(b);
+
+  const std::vector<Range> ranges = split_uniform(m, threads);
+  ThreadPool pool(threads);
+  pool.run_tasks(ranges.size(), [&](std::size_t t) {
+    const Range range = ranges[t];
+    const std::size_t slab = opts.slab_rows;
+    const std::size_t max_rows = std::min(slab, range.size());
+    CountMatrix counts(max_rows, n);
+    AlignedBuffer<double> values(max_rows * n);
+    for (std::size_t r0 = range.begin; r0 < range.end; r0 += slab) {
+      const std::size_t rows = std::min(slab, range.end - r0);
+      counts.zero();
+      CountMatrixRef cref{counts.ref().data, rows, n, n};
+      gemm_count(a.view(r0, r0 + rows), b.view(), cref, opts.gemm);
+      for (std::size_t i = 0; i < rows; ++i) {
+        detail::stat_row_cross(opts.stat, ta, r0 + i, tb, &cref.at(i, 0), n,
+                               &values[i * n]);
+      }
+      visit(LdTile{r0, 0, rows, n, values.data(), n});
+    }
+  });
+}
+
+LdMatrix ld_matrix_parallel(const BitMatrix& g, const LdOptions& opts,
+                            unsigned threads) {
+  const std::size_t n = g.snps();
+  LdMatrix out(n, n);
+  if (n == 0) return out;
+
+  // Tiles cover disjoint rows, so concurrent writes never alias.
+  ld_scan_parallel(
+      g,
+      [&out](const LdTile& tile) {
+        for (std::size_t i = 0; i < tile.rows; ++i) {
+          for (std::size_t j = 0; j < tile.cols; ++j) {
+            out(tile.row_begin + i, tile.col_begin + j) = tile.at(i, j);
+          }
+        }
+      },
+      opts, threads);
+
+  // Mirror the computed lower trapezoids into the upper triangle.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      out(i, j) = out(j, i);
+    }
+  }
+  return out;
+}
+
+LdMatrix ld_cross_matrix_parallel(const BitMatrix& a, const BitMatrix& b,
+                                  const LdOptions& opts, unsigned threads) {
+  LdMatrix out(a.snps(), b.snps());
+  if (a.snps() == 0 || b.snps() == 0) return out;
+  ld_cross_scan_parallel(
+      a, b,
+      [&out](const LdTile& tile) {
+        for (std::size_t i = 0; i < tile.rows; ++i) {
+          for (std::size_t j = 0; j < tile.cols; ++j) {
+            out(tile.row_begin + i, tile.col_begin + j) = tile.at(i, j);
+          }
+        }
+      },
+      opts, threads);
+  return out;
+}
+
+}  // namespace ldla

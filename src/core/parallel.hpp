@@ -1,0 +1,35 @@
+// Multi-threaded LD drivers.
+//
+// Parallelization strategy (DESIGN.md §4.4): each worker runs the complete
+// sequential slabbed scan over a disjoint row range with its own packing
+// buffers — zero shared mutable state, so scaling is limited only by memory
+// bandwidth. Symmetric scans balance the triangle workload with
+// split_triangle_rows (later rows own more pairs).
+#pragma once
+
+#include "core/ld.hpp"
+
+namespace ldla {
+
+/// All-pairs LD with `threads` workers (0 = hardware concurrency).
+/// Semantically identical to ld_matrix.
+LdMatrix ld_matrix_parallel(const BitMatrix& g, const LdOptions& opts = {},
+                            unsigned threads = 0);
+
+/// Cross-matrix LD with `threads` workers; identical to ld_cross_matrix.
+LdMatrix ld_cross_matrix_parallel(const BitMatrix& a, const BitMatrix& b,
+                                  const LdOptions& opts = {},
+                                  unsigned threads = 0);
+
+/// Streaming all-pairs scan; `visit` is invoked CONCURRENTLY from worker
+/// threads and must be thread-safe. Tile coverage is identical to ld_scan:
+/// every pair (i, j) with j <= i appears in exactly one tile.
+void ld_scan_parallel(const BitMatrix& g, const LdTileVisitor& visit,
+                      const LdOptions& opts = {}, unsigned threads = 0);
+
+/// Streaming cross-matrix scan; same thread-safety contract as above.
+void ld_cross_scan_parallel(const BitMatrix& a, const BitMatrix& b,
+                            const LdTileVisitor& visit,
+                            const LdOptions& opts = {}, unsigned threads = 0);
+
+}  // namespace ldla

@@ -1,0 +1,74 @@
+// SSSE3 (128-bit) PSHUFB popcount backend — the "128-bit-wide SSE" arm of
+// the paper's Section V discussion. Compiled with -mssse3 and reached only
+// behind the CPUID dispatch in popcount.cpp.
+#include <tmmintrin.h>
+
+#include "core/detail/popcount_simd.hpp"
+
+namespace ldla::detail {
+namespace {
+
+inline __m128i popcount_bytes(__m128i v) {
+  const __m128i lookup =
+      _mm_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m128i low_mask = _mm_set1_epi8(0x0f);
+  const __m128i lo = _mm_and_si128(v, low_mask);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi32(v, 4), low_mask);
+  return _mm_add_epi8(_mm_shuffle_epi8(lookup, lo),
+                      _mm_shuffle_epi8(lookup, hi));
+}
+
+inline __m128i popcount_epi64(__m128i v) {
+  return _mm_sad_epu8(popcount_bytes(v), _mm_setzero_si128());
+}
+
+inline std::uint64_t hsum(__m128i acc) {
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(acc)) +
+         static_cast<std::uint64_t>(
+             _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc)));
+}
+
+}  // namespace
+
+std::uint64_t sse_count(const std::uint64_t* p, std::size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    acc = _mm_add_epi64(acc, popcount_epi64(v));
+  }
+  std::uint64_t out = hsum(acc);
+  for (; i < n; ++i) {
+    // SWAR tail: this TU must not assume the POPCNT instruction exists.
+    std::uint64_t x = p[i];
+    x -= (x >> 1) & 0x5555555555555555ull;
+    x = (x & 0x3333333333333333ull) + ((x >> 2) & 0x3333333333333333ull);
+    x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0full;
+    out += (x * 0x0101010101010101ull) >> 56;
+  }
+  return out;
+}
+
+std::uint64_t sse_count_and(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v = _mm_and_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm_add_epi64(acc, popcount_epi64(v));
+  }
+  std::uint64_t out = hsum(acc);
+  for (; i < n; ++i) {
+    std::uint64_t x = a[i] & b[i];
+    x -= (x >> 1) & 0x5555555555555555ull;
+    x = (x & 0x3333333333333333ull) + ((x >> 2) & 0x3333333333333333ull);
+    x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0full;
+    out += (x * 0x0101010101010101ull) >> 56;
+  }
+  return out;
+}
+
+}  // namespace ldla::detail

@@ -1,0 +1,71 @@
+#include "io/ldm_binary.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "util/contract.hpp"
+
+namespace ldla {
+
+namespace {
+constexpr std::array<char, 8> kMagic = {'L', 'D', 'L', 'A', 'B', 'M', '0', '1'};
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw ParseError("ldm: truncated header");
+  return v;
+}
+}  // namespace
+
+void write_ldm(std::ostream& out, const BitMatrix& m) {
+  out.write(kMagic.data(), kMagic.size());
+  write_u64(out, m.snps());
+  write_u64(out, m.samples());
+  for (std::size_t s = 0; s < m.snps(); ++s) {
+    out.write(reinterpret_cast<const char*>(m.row_data(s)),
+              static_cast<std::streamsize>(m.words_per_snp() *
+                                           sizeof(std::uint64_t)));
+  }
+  if (!out) throw Error("ldm: write failed");
+}
+
+void write_ldm_file(const std::string& path, const BitMatrix& m) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open ldm file for writing: " + path);
+  write_ldm(out, m);
+}
+
+BitMatrix read_ldm(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) throw ParseError("ldm: bad magic");
+  const std::uint64_t snps = read_u64(in);
+  const std::uint64_t samples = read_u64(in);
+
+  BitMatrix m(snps, samples);
+  for (std::size_t s = 0; s < m.snps(); ++s) {
+    in.read(reinterpret_cast<char*>(m.row_data(s)),
+            static_cast<std::streamsize>(m.words_per_snp() *
+                                         sizeof(std::uint64_t)));
+    if (!in) throw ParseError("ldm: truncated payload at SNP " +
+                              std::to_string(s));
+  }
+  if (!m.padding_is_clean()) {
+    throw ParseError("ldm: payload has non-zero padding bits");
+  }
+  return m;
+}
+
+BitMatrix read_ldm_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open ldm file: " + path);
+  return read_ldm(in);
+}
+
+}  // namespace ldla

@@ -1,0 +1,20 @@
+// Binary snapshot of a BitMatrix (.ldm): magic + dimensions + packed words.
+// Loads in O(size) with no re-packing — the fast path for repeated analyses
+// of the same dataset.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/bit_matrix.hpp"
+
+namespace ldla {
+
+void write_ldm(std::ostream& out, const BitMatrix& m);
+void write_ldm_file(const std::string& path, const BitMatrix& m);
+
+/// Throws ParseError on bad magic/version/truncation; validates padding.
+BitMatrix read_ldm(std::istream& in);
+BitMatrix read_ldm_file(const std::string& path);
+
+}  // namespace ldla

@@ -1,0 +1,133 @@
+#include "io/ms_format.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/bit_transpose.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+
+namespace {
+
+MsReplicate parse_one(std::istream& in) {
+  MsReplicate rep;
+  std::string line;
+
+  // segsites:
+  std::size_t segsites = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("segsites:", 0) == 0) {
+      std::istringstream ss(line.substr(9));
+      if (!(ss >> segsites)) throw ParseError("ms: bad segsites line");
+      break;
+    }
+    if (!line.empty() && line != "//") {
+      throw ParseError("ms: expected 'segsites:', got '" + line + "'");
+    }
+  }
+  if (segsites == 0) return rep;  // empty replicate is legal
+
+  // positions:
+  if (!std::getline(in, line) || line.rfind("positions:", 0) != 0) {
+    throw ParseError("ms: expected 'positions:' line");
+  }
+  {
+    std::istringstream ss(line.substr(10));
+    rep.positions.reserve(segsites);
+    double p;
+    while (ss >> p) rep.positions.push_back(p);
+    if (rep.positions.size() != segsites) {
+      throw ParseError("ms: positions count (" +
+                       std::to_string(rep.positions.size()) +
+                       ") != segsites (" + std::to_string(segsites) + ")");
+    }
+  }
+
+  // haplotype rows until blank line / EOF / next replicate.
+  std::vector<std::string> haps;
+  while (std::getline(in, line)) {
+    if (line.empty()) break;
+    if (line == "//") {
+      throw ParseError("ms: replicate separator inside haplotype block");
+    }
+    if (line.size() != segsites) {
+      throw ParseError("ms: haplotype length " + std::to_string(line.size()) +
+                       " != segsites " + std::to_string(segsites));
+    }
+    haps.push_back(line);
+  }
+  if (haps.empty()) throw ParseError("ms: replicate has no haplotypes");
+
+  // Pack each haplotype line into a sample-major row, then transpose the
+  // whole block into the SNP-major layout in 64x64 word blocks.
+  BitMatrix sample_major(haps.size(), segsites);
+  for (std::size_t h = 0; h < haps.size(); ++h) {
+    const std::string& row = haps[h];
+    std::uint64_t* dst = sample_major.row_data(h);
+    for (std::size_t w = 0; w < sample_major.words_per_snp(); ++w) {
+      std::uint64_t word = 0;
+      const std::size_t limit = std::min<std::size_t>(64, segsites - w * 64);
+      for (std::size_t b = 0; b < limit; ++b) {
+        const char c = row[w * 64 + b];
+        if (c == '1') {
+          word |= std::uint64_t{1} << b;
+        } else if (c != '0') {
+          throw ParseError(std::string("ms: invalid character '") + c +
+                           "' in haplotype " + std::to_string(h));
+        }
+      }
+      dst[w] = word;
+    }
+  }
+  rep.genotypes = transpose_bits(sample_major);
+  return rep;
+}
+
+}  // namespace
+
+std::vector<MsReplicate> parse_ms(std::istream& in) {
+  std::vector<MsReplicate> reps;
+  std::string line;
+  // Skip the command/seed header up to the first "//".
+  while (std::getline(in, line)) {
+    if (line == "//") {
+      reps.push_back(parse_one(in));
+    }
+  }
+  if (reps.empty()) throw ParseError("ms: no replicates ('//' blocks) found");
+  return reps;
+}
+
+std::vector<MsReplicate> parse_ms_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open ms file: " + path);
+  return parse_ms(in);
+}
+
+void write_ms(std::ostream& out, const MsReplicate& rep) {
+  LDLA_EXPECT(rep.positions.size() == rep.genotypes.snps(),
+              "positions/SNP count mismatch");
+  out << "ldla " << rep.genotypes.samples() << " 1\n0 0 0\n\n//\n";
+  out << "segsites: " << rep.genotypes.snps() << "\n";
+  // max_digits10 so positions survive a write/parse round trip exactly.
+  out << std::setprecision(17);
+  out << "positions:";
+  for (const double p : rep.positions) out << ' ' << p;
+  out << "\n";
+  const BitMatrix sample_major = transpose_bits(rep.genotypes);
+  for (std::size_t h = 0; h < sample_major.snps(); ++h) {
+    out << sample_major.snp_string(h) << "\n";
+  }
+  out << "\n";
+}
+
+void write_ms_file(const std::string& path, const MsReplicate& rep) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open ms file for writing: " + path);
+  write_ms(out, rep);
+}
+
+}  // namespace ldla

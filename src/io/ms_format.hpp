@@ -1,0 +1,40 @@
+// Hudson `ms` coalescent-simulator output format — the lingua franca of
+// population-genetics tooling (OmegaPlus consumes it directly).
+//
+// Layout of one replicate:
+//
+//   //
+//   segsites: <n>
+//   positions: <p1> <p2> ... <pn>      (fractions of the region, sorted)
+//   <haplotype line 1: n chars of 0/1>   (one line per sample)
+//   ...
+//
+// ms stores samples as rows and SNPs as columns; parsing transposes into
+// this library's SNP-major BitMatrix.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/bit_matrix.hpp"
+
+namespace ldla {
+
+struct MsReplicate {
+  BitMatrix genotypes;            ///< SNP-major
+  std::vector<double> positions;  ///< one per SNP, in [0, 1]
+};
+
+/// Parse every replicate in a stream; throws ParseError on malformed input.
+std::vector<MsReplicate> parse_ms(std::istream& in);
+
+/// Parse a file (convenience; throws on I/O failure too).
+std::vector<MsReplicate> parse_ms_file(const std::string& path);
+
+/// Serialize one replicate in ms format (with a leading "ldla" command
+/// line and "//" separator so standard tools accept it).
+void write_ms(std::ostream& out, const MsReplicate& rep);
+void write_ms_file(const std::string& path, const MsReplicate& rep);
+
+}  // namespace ldla

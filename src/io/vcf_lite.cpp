@@ -1,0 +1,109 @@
+#include "io/vcf_lite.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/contract.hpp"
+
+namespace ldla {
+
+namespace {
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+// Append the haplotype alleles of one GT field ("0|1", "1", ...) to `row`.
+// Returns false when the genotype is missing or not parseable as biallelic.
+bool append_gt(const std::string& field, std::string& row) {
+  const std::string gt = field.substr(0, field.find(':'));
+  std::size_t i = 0;
+  while (i < gt.size()) {
+    const char c = gt[i];
+    if (c == '0' || c == '1') {
+      row.push_back(c);
+    } else {
+      return false;  // missing '.', multi-allelic '2', unphased guesswork
+    }
+    ++i;
+    if (i < gt.size()) {
+      if (gt[i] != '|' && gt[i] != '/') return false;
+      ++i;
+    }
+  }
+  return !gt.empty();
+}
+
+}  // namespace
+
+VcfData parse_vcf(std::istream& in, bool skip_invalid) {
+  VcfData out;
+  std::vector<std::string> snp_rows;
+  std::string line;
+  bool saw_header = false;
+  std::size_t haplotypes = 0;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.rfind("#CHROM", 0) == 0) saw_header = true;
+      continue;
+    }
+    if (!saw_header) throw ParseError("vcf: record before #CHROM header");
+
+    const std::vector<std::string> cols = split_tabs(line);
+    if (cols.size() < 10) {
+      throw ParseError("vcf: record has fewer than 10 columns");
+    }
+    const std::string& alt = cols[4];
+    std::string row;
+    bool ok = alt.find(',') == std::string::npos;  // biallelic only
+    if (ok) {
+      for (std::size_t c = 9; c < cols.size() && ok; ++c) {
+        ok = append_gt(cols[c], row);
+      }
+    }
+    if (!ok) {
+      if (skip_invalid) {
+        ++out.skipped;
+        continue;
+      }
+      throw ParseError("vcf: unsupported genotype at POS " + cols[1]);
+    }
+    if (haplotypes == 0) {
+      haplotypes = row.size();
+    } else if (row.size() != haplotypes) {
+      throw ParseError("vcf: inconsistent haplotype count at POS " + cols[1]);
+    }
+    std::uint64_t pos = 0;
+    try {
+      pos = std::stoull(cols[1]);
+    } catch (...) {
+      throw ParseError("vcf: bad POS '" + cols[1] + "'");
+    }
+    out.positions.push_back(pos);
+    out.ids.push_back(cols[2]);
+    snp_rows.push_back(std::move(row));
+  }
+
+  out.genotypes = BitMatrix::from_snp_strings(snp_rows);
+  return out;
+}
+
+VcfData parse_vcf_file(const std::string& path, bool skip_invalid) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open VCF file: " + path);
+  return parse_vcf(in, skip_invalid);
+}
+
+}  // namespace ldla

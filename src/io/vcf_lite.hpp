@@ -1,0 +1,29 @@
+// Minimal VCF reader for phased haplotype data (the 1000-Genomes-style
+// input of the paper's Dataset A).
+//
+// Supports the subset LD analysis needs: '#'-prefixed headers skipped,
+// tab-separated records, GT as the first FORMAT field, phased diploid
+// ("0|1") or haploid ("1") genotypes, biallelic sites. Multi-allelic sites
+// and missing genotypes ("./.") raise ParseError unless `skip_invalid` is
+// set, in which case those sites are dropped.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/bit_matrix.hpp"
+
+namespace ldla {
+
+struct VcfData {
+  BitMatrix genotypes;                 ///< SNP-major haplotype matrix
+  std::vector<std::uint64_t> positions;  ///< POS column per kept SNP
+  std::vector<std::string> ids;          ///< ID column per kept SNP
+  std::size_t skipped = 0;               ///< sites dropped (skip_invalid)
+};
+
+VcfData parse_vcf(std::istream& in, bool skip_invalid = false);
+VcfData parse_vcf_file(const std::string& path, bool skip_invalid = false);
+
+}  // namespace ldla

@@ -1,0 +1,120 @@
+#include "omega/omega_stat.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/gemm/count_matrix.hpp"
+#include "core/gemm/syrk.hpp"
+#include "core/popcount.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+
+namespace {
+
+double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+double pairs2(double k) { return k * (k - 1.0) / 2.0; }
+
+struct PrefixSums {
+  // within[l]  = sum of r2 over pairs (i < j < l)
+  // upper[i]   = sum of r2 over (i, j>i)
+  std::vector<double> within;
+  std::vector<double> prefix_upper;
+};
+
+PrefixSums build_prefix(const LdMatrix& r2) {
+  const std::size_t w = r2.rows();
+  PrefixSums ps;
+  ps.within.assign(w + 1, 0.0);
+  ps.prefix_upper.assign(w + 1, 0.0);
+  std::vector<double> upper(w, 0.0);
+  for (std::size_t i = 0; i < w; ++i) {
+    for (std::size_t j = i + 1; j < w; ++j) {
+      upper[i] += finite_or_zero(r2(i, j));
+    }
+  }
+  // within[l+1] = within[l] + sum_{i<l} r2(i, l)
+  for (std::size_t l = 0; l < w; ++l) {
+    double col = 0.0;
+    for (std::size_t i = 0; i < l; ++i) col += finite_or_zero(r2(i, l));
+    ps.within[l + 1] = ps.within[l] + col;
+    ps.prefix_upper[l + 1] = ps.prefix_upper[l] + upper[l];
+  }
+  return ps;
+}
+
+double omega_from_sums(double sum_l, double sum_r, double cross,
+                       std::size_t l, std::size_t w) {
+  const double n_within = pairs2(static_cast<double>(l)) +
+                          pairs2(static_cast<double>(w - l));
+  const double n_cross = static_cast<double>(l) * static_cast<double>(w - l);
+  if (n_within <= 0.0 || n_cross <= 0.0) return 0.0;
+  const double numer = (sum_l + sum_r) / n_within;
+  const double denom = cross / n_cross;
+  if (denom <= 0.0) {
+    return numer > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return numer / denom;
+}
+
+}  // namespace
+
+double omega_at_split(const LdMatrix& r2, std::size_t l) {
+  const std::size_t w = r2.rows();
+  LDLA_EXPECT(r2.rows() == r2.cols(), "window matrix must be square");
+  LDLA_EXPECT(l >= 1 && l < w, "split must leave both groups non-empty");
+  const PrefixSums ps = build_prefix(r2);
+  const double sum_l = ps.within[l];
+  const double total = ps.within[w];
+  const double cross = ps.prefix_upper[l] - ps.within[l];
+  const double sum_r = total - sum_l - cross;
+  return omega_from_sums(sum_l, sum_r, cross, l, w);
+}
+
+OmegaMax omega_max(const LdMatrix& r2) {
+  const std::size_t w = r2.rows();
+  LDLA_EXPECT(r2.rows() == r2.cols(), "window matrix must be square");
+  OmegaMax best;
+  if (w < 2) return best;
+  const PrefixSums ps = build_prefix(r2);
+  const double total = ps.within[w];
+  for (std::size_t l = 1; l < w; ++l) {
+    const double sum_l = ps.within[l];
+    const double cross = ps.prefix_upper[l] - ps.within[l];
+    const double sum_r = total - sum_l - cross;
+    const double omega = omega_from_sums(sum_l, sum_r, cross, l, w);
+    if (omega > best.omega) {
+      best.omega = omega;
+      best.split = l;
+    }
+  }
+  return best;
+}
+
+LdMatrix window_r2(const BitMatrix& g, std::size_t snp_begin,
+                   std::size_t snp_end, const GemmConfig& cfg) {
+  LDLA_EXPECT(snp_begin <= snp_end && snp_end <= g.snps(),
+              "window out of range");
+  const std::size_t w = snp_end - snp_begin;
+  LdMatrix out(w, w);
+  if (w == 0) return out;
+
+  const BitMatrixView view = g.view(snp_begin, snp_end);
+  CountMatrix counts(w, w);
+  syrk_count(view, counts.ref(), cfg);
+
+  std::vector<std::uint64_t> ci(w);
+  for (std::size_t s = 0; s < w; ++s) {
+    ci[s] = popcount_words({view.row(s), view.n_words});
+  }
+  for (std::size_t i = 0; i < w; ++i) {
+    for (std::size_t j = 0; j < w; ++j) {
+      out(i, j) = ld_r_squared(ci[i], ci[j], counts(i, j), g.samples());
+    }
+  }
+  return out;
+}
+
+}  // namespace ldla

@@ -1,0 +1,44 @@
+// The omega statistic of Kim & Nielsen (2004) — the selective-sweep
+// detector OmegaPlus builds on LD (the paper's second comparator and its
+// motivating application).
+//
+// For a window of w SNPs split after the l-th SNP into a left group L and a
+// right group R:
+//
+//             ( C(l,2) + C(w-l,2) )^-1  ( sum_{i<j in L} r2 + sum_{i<j in R} r2 )
+//   omega_l = ---------------------------------------------------------------
+//             ( l (w-l) )^-1  sum_{i in L, j in R} r2
+//
+// High omega = strong LD within each flank but weak LD across them — the
+// signature left by a completed selective sweep between the groups.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/bit_matrix.hpp"
+#include "core/ld.hpp"
+
+namespace ldla {
+
+/// omega for one split of a window whose pairwise r^2 matrix is given.
+/// `l` SNPs go left (1 <= l <= w-1). NaN r^2 entries (monomorphic SNPs)
+/// contribute zero. Returns 0 when the cross term vanishes with empty
+/// within-groups, and +inf when within-LD is positive but cross-LD is zero.
+double omega_at_split(const LdMatrix& r2, std::size_t l);
+
+struct OmegaMax {
+  double omega = 0.0;
+  std::size_t split = 0;  ///< best l
+};
+
+/// omega maximized over all splits of the window (OmegaPlus's omega_max),
+/// computed in O(w^2) total via prefix sums.
+OmegaMax omega_max(const LdMatrix& r2);
+
+/// Pairwise r^2 matrix of a contiguous SNP window via the GEMM engine
+/// (helper shared by the scan and the examples).
+LdMatrix window_r2(const BitMatrix& g, std::size_t snp_begin,
+                   std::size_t snp_end, const GemmConfig& cfg = {});
+
+}  // namespace ldla

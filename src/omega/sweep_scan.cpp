@@ -1,0 +1,120 @@
+#include "omega/sweep_scan.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <thread>
+
+#include "omega/omega_stat.hpp"
+#include "util/contract.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ldla {
+
+namespace {
+
+void validate(const BitMatrix& g, const std::vector<double>& positions,
+              const SweepScanParams& params) {
+  LDLA_EXPECT(positions.size() == g.snps(), "need one position per SNP");
+  LDLA_EXPECT(std::is_sorted(positions.begin(), positions.end()),
+              "positions must be sorted");
+  LDLA_EXPECT(params.grid_points > 0, "need at least one grid point");
+  LDLA_EXPECT(params.window_snps >= 2, "window needs at least 2 SNPs a side");
+}
+
+std::optional<OmegaPoint> scan_window(const BitMatrix& g, double x,
+                                      std::size_t center, std::size_t half,
+                                      const GemmConfig& gemm) {
+  const std::size_t n = g.snps();
+  const std::size_t begin = center > half ? center - half : 0;
+  const std::size_t end = std::min(n, center + half);
+  if (end - begin < 4) return std::nullopt;
+
+  // Monomorphic SNPs have undefined r^2 and, at window edges, produce
+  // degenerate zero-cross splits (omega = inf); drop them, as OmegaPlus
+  // does, and compute omega on the compacted window.
+  std::vector<std::size_t> keep;
+  keep.reserve(end - begin);
+  for (std::size_t s = begin; s < end; ++s) {
+    if (g.is_polymorphic(s)) keep.push_back(s);
+  }
+  if (keep.size() < 4) return std::nullopt;
+
+  const BitMatrix window = g.gather_rows(keep);
+  const LdMatrix r2 = window_r2(window, 0, window.snps(), gemm);
+  const OmegaMax m = omega_max(r2);
+  return OmegaPoint{x, m.omega, begin, end, m.split};
+}
+
+std::optional<OmegaPoint> scan_grid_point(
+    const BitMatrix& g, const std::vector<double>& positions,
+    const SweepScanParams& params, std::size_t gp) {
+  const double x = (static_cast<double>(gp) + 0.5) /
+                   static_cast<double>(params.grid_points);
+  const std::size_t center = static_cast<std::size_t>(
+      std::lower_bound(positions.begin(), positions.end(), x) -
+      positions.begin());
+
+  std::optional<OmegaPoint> best =
+      scan_window(g, x, center, params.window_snps, params.gemm);
+  // OmegaPlus-style search over window extents: report the maximizing one.
+  for (const std::size_t half : params.window_candidates) {
+    if (half == params.window_snps || half < 2) continue;
+    const auto candidate = scan_window(g, x, center, half, params.gemm);
+    if (candidate && (!best || candidate->omega > best->omega)) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<OmegaPoint> omega_scan(const BitMatrix& g,
+                                   const std::vector<double>& positions,
+                                   const SweepScanParams& params) {
+  validate(g, positions, params);
+  std::vector<OmegaPoint> out;
+  out.reserve(params.grid_points);
+  if (g.snps() < 4) return out;
+  for (std::size_t gp = 0; gp < params.grid_points; ++gp) {
+    if (const auto point = scan_grid_point(g, positions, params, gp)) {
+      out.push_back(*point);
+    }
+  }
+  return out;
+}
+
+std::vector<OmegaPoint> omega_scan_parallel(
+    const BitMatrix& g, const std::vector<double>& positions,
+    const SweepScanParams& params, unsigned threads) {
+  validate(g, positions, params);
+  if (g.snps() < 4) return {};
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  std::vector<std::optional<OmegaPoint>> slots(params.grid_points);
+  ThreadPool pool(threads);
+  pool.parallel_for(0, params.grid_points, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t gp = lo; gp < hi; ++gp) {
+      slots[gp] = scan_grid_point(g, positions, params, gp);
+    }
+  });
+
+  std::vector<OmegaPoint> out;
+  out.reserve(params.grid_points);
+  for (const auto& slot : slots) {
+    if (slot) out.push_back(*slot);
+  }
+  return out;
+}
+
+OmegaPoint omega_scan_peak(const std::vector<OmegaPoint>& scan) {
+  LDLA_EXPECT(!scan.empty(), "scan produced no points");
+  return *std::max_element(scan.begin(), scan.end(),
+                           [](const OmegaPoint& a, const OmegaPoint& b) {
+                             return a.omega < b.omega;
+                           });
+}
+
+}  // namespace ldla

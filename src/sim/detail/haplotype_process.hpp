@@ -1,0 +1,154 @@
+// Internal engine shared by the Wright-Fisher and sweep simulators.
+//
+// Two layers of correlation produce realistic LD:
+//
+//  1. Founder level — the carrier set of each SNP (which founder haplotypes
+//     carry the derived allele) is a contiguous range over a founder
+//     permutation, standing in for a subtree of the founder genealogy.
+//     Between SNPs the range endpoints drift and the permutation receives
+//     occasional transpositions, so nearby SNPs have nested/overlapping
+//     carrier sets (high |D'| and r^2) while distant SNPs decorrelate.
+//
+//  2. Sample level — every sample copies one founder (Li-Stephens mosaic)
+//     and switches founder with a per-SNP probability.
+//
+// All decay rates are tied to `switch_rate`, the recombination analog.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace ldla::detail {
+
+class HaplotypeProcess {
+ public:
+  HaplotypeProcess(Rng& rng, unsigned founders, std::size_t samples,
+                   double min_freq)
+      : rng_(rng),
+        founders_(founders),
+        min_freq_(min_freq),
+        perm_(founders),
+        path_(samples) {
+    std::iota(perm_.begin(), perm_.end(), std::uint8_t{0});
+    shuffle_perm();
+    for (auto& p : path_) {
+      p = static_cast<std::uint8_t>(rng_.next_below(founders_));
+    }
+    redraw_range();
+  }
+
+  /// Advance the founder-level state by one SNP with the given
+  /// recombination intensity and emit the packed founder carrier word.
+  std::uint64_t advance_founders(double switch_rate) {
+    // Occasional transpositions decorrelate the genealogy stand-in.
+    if (switch_rate > 0.0) {
+      const double swap_p = std::min(1.0, switch_rate);
+      std::size_t j = static_cast<std::size_t>(rng_.next_geometric(swap_p));
+      while (j < founders_) {
+        std::swap(perm_[j], perm_[rng_.next_below(founders_)]);
+        j += 1 + static_cast<std::size_t>(rng_.next_geometric(swap_p));
+      }
+    }
+    // Carrier range: full redraw occasionally, otherwise endpoint drift.
+    const double redraw_p = std::clamp(4.0 * switch_rate, 0.02, 1.0);
+    if (rng_.next_bool(redraw_p)) {
+      redraw_range();
+    } else {
+      jitter_endpoint(lo_);
+      jitter_endpoint(hi_);
+      if (lo_ >= hi_) redraw_range();
+    }
+    std::uint64_t word = 0;
+    for (std::size_t j = lo_; j < hi_; ++j) {
+      word |= std::uint64_t{1} << perm_[j];
+    }
+    return word;
+  }
+
+  /// Advance the sample mosaic: each sample re-draws its founder (from
+  /// [0, pool)) with probability switch_rate.
+  void advance_paths(double switch_rate, unsigned pool) {
+    if (switch_rate <= 0.0) return;
+    std::size_t idx =
+        static_cast<std::size_t>(rng_.next_geometric(switch_rate));
+    while (idx < path_.size()) {
+      path_[idx] = static_cast<std::uint8_t>(rng_.next_below(pool));
+      idx += 1 + static_cast<std::size_t>(rng_.next_geometric(switch_rate));
+    }
+  }
+
+  /// Total reset of founder-level correlation AND every sample path —
+  /// the sweep-site event that decouples the two flanks.
+  void reset_all(unsigned pool) {
+    shuffle_perm();
+    redraw_range();
+    for (auto& p : path_) {
+      p = static_cast<std::uint8_t>(rng_.next_below(pool));
+    }
+  }
+
+  /// Clamp every path into [0, pool) (entering a collapsed-diversity region).
+  void clamp_paths(unsigned pool) {
+    for (auto& p : path_) {
+      if (p >= pool) p = static_cast<std::uint8_t>(p % pool);
+    }
+  }
+
+  /// Emit one packed SNP row: sample i carries bit path_[i] of filtered
+  /// founder word. `row` must hold ceil(samples/64) words.
+  void emit_row(std::uint64_t founder_word, std::uint64_t* row,
+                std::size_t words) const {
+    std::size_t i = 0;
+    const std::size_t samples = path_.size();
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t word = 0;
+      const std::size_t limit = std::min<std::size_t>(64, samples - i);
+      for (std::size_t b = 0; b < limit; ++b, ++i) {
+        word |= ((founder_word >> path_[i]) & 1u) << b;
+      }
+      row[w] = word;
+    }
+  }
+
+ private:
+  void shuffle_perm() {
+    for (std::size_t j = perm_.size(); j > 1; --j) {
+      std::swap(perm_[j - 1], perm_[rng_.next_below(j)]);
+    }
+  }
+
+  void redraw_range() {
+    // Range length from the truncated 1/q frequency spectrum.
+    const double lo = std::log(min_freq_);
+    const double hi = std::log(0.5);
+    const double q = std::exp(lo + (hi - lo) * rng_.next_double());
+    std::size_t len = static_cast<std::size_t>(
+        std::lround(q * static_cast<double>(founders_)));
+    len = std::clamp<std::size_t>(len, 1, founders_ - 1);
+    lo_ = rng_.next_below(founders_ - len + 1);
+    hi_ = lo_ + len;
+  }
+
+  void jitter_endpoint(std::size_t& e) {
+    if (rng_.next_bool(0.5)) {
+      if (e < founders_) ++e;
+    } else {
+      if (e > 0) --e;
+    }
+  }
+
+  Rng& rng_;
+  unsigned founders_;
+  double min_freq_;
+  std::vector<std::uint8_t> perm_;
+  std::vector<std::uint8_t> path_;
+  std::size_t lo_ = 0;
+  std::size_t hi_ = 1;
+};
+
+}  // namespace ldla::detail

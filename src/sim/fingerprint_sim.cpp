@@ -1,0 +1,62 @@
+#include "sim/fingerprint_sim.hpp"
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+
+BitMatrix simulate_fingerprints(const FingerprintParams& params) {
+  LDLA_EXPECT(params.count > 0 && params.bits > 0,
+              "fingerprint dimensions must be positive");
+  LDLA_EXPECT(params.clusters > 0, "need at least one cluster");
+  LDLA_EXPECT(params.bit_density > 0.0 && params.bit_density < 1.0,
+              "bit density is a probability");
+  LDLA_EXPECT(params.noise >= 0.0 && params.noise < 1.0,
+              "noise is a probability");
+
+  Rng rng(params.seed);
+  const std::size_t words = words_for_bits(params.bits);
+
+  // Cluster centers as packed words.
+  std::vector<std::vector<std::uint64_t>> centers(params.clusters);
+  for (auto& center : centers) {
+    center.resize(words, 0);
+    for (std::size_t b = 0; b < params.bits; ++b) {
+      if (rng.next_bool(params.bit_density)) {
+        center[b / 64] |= std::uint64_t{1} << (b % 64);
+      }
+    }
+  }
+
+  const std::size_t tail_bits = params.bits % 64;
+  const std::uint64_t tail_mask =
+      tail_bits == 0 ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << tail_bits) - 1);
+
+  BitMatrix out(params.count, params.bits);
+  for (std::size_t i = 0; i < params.count; ++i) {
+    const auto& center = centers[i % params.clusters];
+    std::uint64_t* row = out.row_data(i);
+    for (std::size_t w = 0; w < words; ++w) {
+      // Per-bit noise: build a flip mask word (noise is small, so sample
+      // flip positions geometrically).
+      std::uint64_t flips = 0;
+      if (params.noise > 0.0) {
+        std::size_t b = static_cast<std::size_t>(
+            rng.next_geometric(params.noise));
+        while (b < 64) {
+          flips |= std::uint64_t{1} << b;
+          b += 1 + static_cast<std::size_t>(rng.next_geometric(params.noise));
+        }
+      }
+      row[w] = center[w] ^ flips;
+      if (w + 1 == words) row[w] &= tail_mask;
+    }
+  }
+  LDLA_ASSERT(out.padding_is_clean());
+  return out;
+}
+
+}  // namespace ldla

@@ -1,0 +1,25 @@
+// Synthetic 2-D chemical fingerprints for the Tanimoto adaptation
+// (Section VII): clustered binary vectors so nearest-neighbor structure is
+// non-trivial, standing in for real subgraph-isomorphism fingerprints.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bit_matrix.hpp"
+
+namespace ldla {
+
+struct FingerprintParams {
+  std::size_t count = 1000;     ///< number of fingerprints
+  std::size_t bits = 2048;      ///< fingerprint width (typical ECFP width)
+  unsigned clusters = 16;       ///< number of scaffold clusters
+  double bit_density = 0.08;    ///< fraction of bits set in a cluster center
+  double noise = 0.01;          ///< per-bit flip probability around the center
+  std::uint64_t seed = 7;
+};
+
+/// Rows of the result are fingerprints; row i belongs to cluster
+/// i % params.clusters, so same-cluster pairs have high Tanimoto similarity.
+BitMatrix simulate_fingerprints(const FingerprintParams& params);
+
+}  // namespace ldla

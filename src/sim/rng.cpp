@@ -1,0 +1,79 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace ldla {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the full state via splitmix64 as the xoshiro authors recommend.
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  LDLA_EXPECT(bound > 0, "bound must be positive");
+  // Lemire's nearly-divisionless bounded generation with rejection.
+  for (;;) {
+    const std::uint64_t x = next_u64();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo >= bound || lo >= (0 - bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+double Rng::next_exponential(double rate) {
+  LDLA_EXPECT(rate > 0.0, "rate must be positive");
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::next_geometric(double p) {
+  LDLA_EXPECT(p > 0.0 && p <= 1.0, "probability must be in (0, 1]");
+  if (p >= 1.0) return 0;
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+}  // namespace ldla

@@ -1,0 +1,76 @@
+#include "sim/sweep_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/detail/haplotype_process.hpp"
+#include "sim/rng.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+
+SimulatedDataset simulate_sweep(const SweepParams& params) {
+  const WrightFisherParams& base = params.base;
+  LDLA_EXPECT(base.n_snps > 0 && base.n_samples > 0,
+              "dataset dimensions must be positive");
+  LDLA_EXPECT(base.founders >= 4 && base.founders <= 64,
+              "founder pool must have 4..64 haplotypes");
+  LDLA_EXPECT(base.switch_rate >= 0.0 && base.switch_rate <= 1.0,
+              "switch rate is a probability");
+  LDLA_EXPECT(base.min_freq > 0.0 && base.min_freq <= 0.5,
+              "minimum frequency must be in (0, 0.5]");
+  LDLA_EXPECT(params.sweep_center >= 0.0 && params.sweep_center < 1.0,
+              "sweep center must lie in [0, 1)");
+  LDLA_EXPECT(params.sweep_width > 0.0 && params.sweep_width < 0.5,
+              "sweep width must lie in (0, 0.5)");
+  LDLA_EXPECT(params.sweep_intensity >= 0.0 && params.sweep_intensity <= 1.0,
+              "sweep intensity must lie in [0, 1]");
+
+  Rng rng(base.seed);
+  SimulatedDataset out;
+  out.genotypes = BitMatrix(base.n_snps, base.n_samples);
+  out.positions.resize(base.n_snps);
+  for (auto& p : out.positions) p = rng.next_double();
+  std::sort(out.positions.begin(), out.positions.end());
+
+  // The SNP at which all lineages re-coalesce (the swept site): first SNP
+  // at or beyond the sweep center.
+  const std::size_t center_idx = static_cast<std::size_t>(
+      std::lower_bound(out.positions.begin(), out.positions.end(),
+                       params.sweep_center) -
+      out.positions.begin());
+
+  detail::HaplotypeProcess process(rng, base.founders, base.n_samples,
+                                   base.min_freq);
+  bool was_in_sweep = false;
+  for (std::size_t s = 0; s < base.n_snps; ++s) {
+    const double dist = std::abs(out.positions[s] - params.sweep_center);
+    const bool in_sweep = dist < params.sweep_width;
+    // Inside the sweep region recombination is damped and haplotype
+    // diversity collapsed — the long shared tracts of a recent sweep.
+    const double damp = in_sweep ? (1.0 - params.sweep_intensity) : 1.0;
+    const double rate = base.switch_rate * damp;
+    const unsigned pool =
+        in_sweep ? std::max(2u, static_cast<unsigned>(std::lround(
+                                    base.founders * std::max(0.125, damp))))
+                 : base.founders;
+    if (in_sweep && !was_in_sweep) process.clamp_paths(pool);
+    was_in_sweep = in_sweep;
+
+    const std::uint64_t founder_word = process.advance_founders(rate);
+    if (s == center_idx) {
+      // The swept site itself: founder correlation and every copying path
+      // reset, decoupling the left flank from the right.
+      process.reset_all(pool);
+    } else {
+      process.advance_paths(rate, pool);
+    }
+    process.emit_row(founder_word, out.genotypes.row_data(s),
+                     out.genotypes.words_per_snp());
+  }
+
+  LDLA_ASSERT(out.genotypes.padding_is_clean());
+  return out;
+}
+
+}  // namespace ldla

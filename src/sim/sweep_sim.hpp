@@ -1,0 +1,26 @@
+// Selective-sweep overlay on the haplotype-copying simulator.
+//
+// Emulates the post-sweep LD signature of Kim & Nielsen (2004) that the
+// omega statistic detects: elevated LD *within* each flank of the swept
+// site, but LD broken *across* it. Inside the sweep region the founder
+// switch rate is damped and the founder pool collapsed (reduced diversity =
+// longer shared tracts = high flank LD); exactly at the sweep center every
+// sample re-draws its founder, decoupling the two flanks.
+#pragma once
+
+#include "sim/wright_fisher.hpp"
+
+namespace ldla {
+
+struct SweepParams {
+  WrightFisherParams base;
+  double sweep_center = 0.5;   ///< position of the swept site in [0, 1)
+  double sweep_width = 0.1;    ///< half-width of the affected region
+  /// 0 = no sweep; 1 = switch rate fully suppressed and pool maximally
+  /// collapsed inside the region.
+  double sweep_intensity = 0.9;
+};
+
+SimulatedDataset simulate_sweep(const SweepParams& params);
+
+}  // namespace ldla

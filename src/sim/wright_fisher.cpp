@@ -1,0 +1,46 @@
+#include "sim/wright_fisher.hpp"
+
+#include <algorithm>
+
+#include "sim/detail/haplotype_process.hpp"
+#include "sim/rng.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+
+SimulatedDataset simulate_wright_fisher(const WrightFisherParams& params) {
+  LDLA_EXPECT(params.n_snps > 0 && params.n_samples > 0,
+              "dataset dimensions must be positive");
+  LDLA_EXPECT(params.founders >= 2 && params.founders <= 64,
+              "founder pool must have 2..64 haplotypes");
+  LDLA_EXPECT(params.switch_rate >= 0.0 && params.switch_rate <= 1.0,
+              "switch rate is a probability");
+  LDLA_EXPECT(params.min_freq > 0.0 && params.min_freq <= 0.5,
+              "minimum frequency must be in (0, 0.5]");
+
+  Rng rng(params.seed);
+  SimulatedDataset out;
+  out.genotypes = BitMatrix(params.n_snps, params.n_samples);
+  out.positions.resize(params.n_snps);
+  for (auto& p : out.positions) p = rng.next_double();
+  std::sort(out.positions.begin(), out.positions.end());
+
+  detail::HaplotypeProcess process(rng, params.founders, params.n_samples,
+                                   params.min_freq);
+  for (std::size_t s = 0; s < params.n_snps; ++s) {
+    const std::uint64_t founder_word =
+        process.advance_founders(params.switch_rate);
+    process.advance_paths(params.switch_rate, params.founders);
+    process.emit_row(founder_word, out.genotypes.row_data(s),
+                     out.genotypes.words_per_snp());
+  }
+
+  LDLA_ASSERT(out.genotypes.padding_is_clean());
+  return out;
+}
+
+BitMatrix simulate_genotypes(const WrightFisherParams& params) {
+  return simulate_wright_fisher(params).genotypes;
+}
+
+}  // namespace ldla

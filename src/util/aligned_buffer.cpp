@@ -1,0 +1,22 @@
+#include "util/aligned_buffer.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#include "util/contract.hpp"
+
+namespace ldla::detail {
+
+void* aligned_alloc_bytes(std::size_t bytes, std::size_t alignment) {
+  LDLA_EXPECT(alignment != 0 && (alignment & (alignment - 1)) == 0,
+              "alignment must be a power of two");
+  // std::aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (bytes + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void aligned_free_bytes(void* p) noexcept { std::free(p); }
+
+}  // namespace ldla::detail

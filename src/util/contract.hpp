@@ -1,0 +1,54 @@
+// Lightweight contract checking used across ldla.
+//
+// LDLA_EXPECT   — precondition on public API boundaries; always checked,
+//                 throws ldla::ContractViolation so callers can test misuse.
+// LDLA_ASSERT   — internal invariant; checked in debug builds only.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace ldla {
+
+/// Base class for all errors thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a public-API precondition is violated.
+class ContractViolation : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown on malformed input files.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* msg,
+                                       const std::source_location loc =
+                                           std::source_location::current()) {
+  throw ContractViolation(std::string(loc.file_name()) + ":" +
+                          std::to_string(loc.line()) + ": requirement (" +
+                          expr + ") failed: " + msg);
+}
+}  // namespace detail
+
+}  // namespace ldla
+
+#define LDLA_EXPECT(cond, msg)                      \
+  do {                                              \
+    if (!(cond)) [[unlikely]]                       \
+      ::ldla::detail::contract_fail(#cond, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define LDLA_ASSERT(cond) ((void)0)
+#else
+#define LDLA_ASSERT(cond) LDLA_EXPECT(cond, "internal invariant")
+#endif

@@ -1,0 +1,96 @@
+#include "util/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.hpp"
+
+namespace ldla {
+
+std::vector<Range> split_uniform(std::size_t n, std::size_t parts) {
+  LDLA_EXPECT(parts > 0, "need at least one part");
+  std::vector<Range> out;
+  const std::size_t p = std::min(parts, n);
+  out.reserve(p);
+  for (std::size_t t = 0; t < p; ++t) {
+    const std::size_t lo = n * t / p;
+    const std::size_t hi = n * (t + 1) / p;
+    if (lo < hi) out.push_back({lo, hi});
+  }
+  return out;
+}
+
+std::size_t triangle_work(std::size_t n, const Range& r) {
+  LDLA_EXPECT(r.end <= n, "range exceeds matrix size");
+  // sum_{j=r.begin}^{r.end-1} (n - j), including the diagonal element.
+  std::size_t work = 0;
+  for (std::size_t j = r.begin; j < r.end; ++j) work += n - j;
+  return work;
+}
+
+std::size_t triangle_row_work(const Range& r) {
+  std::size_t work = 0;
+  for (std::size_t i = r.begin; i < r.end; ++i) work += i + 1;
+  return work;
+}
+
+std::vector<Range> split_triangle_rows(std::size_t n, std::size_t parts) {
+  LDLA_EXPECT(parts > 0, "need at least one part");
+  std::vector<Range> out;
+  if (n == 0) return out;
+  const std::size_t p = std::min(parts, n);
+  const double total = static_cast<double>(n) * (static_cast<double>(n) + 1) / 2.0;
+  const double per_part = total / static_cast<double>(p);
+
+  // Cumulative work of rows [0, e) is e(e+1)/2; solve e^2 + e - 2*target = 0.
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < p; ++t) {
+    std::size_t end;
+    if (t + 1 == p) {
+      end = n;
+    } else {
+      const double target = per_part * static_cast<double>(t + 1);
+      const double e = (-1.0 + std::sqrt(1.0 + 8.0 * target)) / 2.0;
+      end = std::min<std::size_t>(n, static_cast<std::size_t>(std::ceil(e)));
+      end = std::max(end, begin + 1);
+    }
+    if (begin < end) out.push_back({begin, end});
+    begin = end;
+    if (begin >= n) break;
+  }
+  return out;
+}
+
+std::vector<Range> split_triangle(std::size_t n, std::size_t parts) {
+  LDLA_EXPECT(parts > 0, "need at least one part");
+  std::vector<Range> out;
+  if (n == 0) return out;
+  const std::size_t p = std::min(parts, n);
+  const double total = static_cast<double>(n) * (static_cast<double>(n) + 1) / 2.0;
+  const double per_part = total / static_cast<double>(p);
+
+  // Column j (0-based) owns (n - j) pairs. Cumulative work of columns
+  // [0, j) is  n*j - j(j-1)/2 ; solve for boundaries analytically and snap
+  // to integers, guaranteeing monotone non-empty ranges.
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < p; ++t) {
+    std::size_t end;
+    if (t + 1 == p) {
+      end = n;
+    } else {
+      const double target = per_part * static_cast<double>(t + 1);
+      // Solve n*e - e(e-1)/2 = target  =>  e^2 - (2n+1)e + 2*target = 0.
+      const double b = 2.0 * static_cast<double>(n) + 1.0;
+      const double disc = b * b - 8.0 * target;
+      const double e = (b - std::sqrt(std::max(0.0, disc))) / 2.0;
+      end = std::min<std::size_t>(n, static_cast<std::size_t>(std::ceil(e)));
+      end = std::max(end, begin + 1);  // never empty
+    }
+    if (begin < end) out.push_back({begin, end});
+    begin = end;
+    if (begin >= n) break;
+  }
+  return out;
+}
+
+}  // namespace ldla

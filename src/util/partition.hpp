@@ -1,0 +1,41 @@
+// Range partitioners for the threaded LD drivers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ldla {
+
+/// Half-open index range [begin, end).
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept { return begin == end; }
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+/// Split [0, n) into at most `parts` contiguous ranges of near-equal size.
+/// Fewer ranges are returned when n < parts; never returns empty ranges.
+std::vector<Range> split_uniform(std::size_t n, std::size_t parts);
+
+/// Split [0, n) into at most `parts` contiguous ranges such that the *lower
+/// triangle* work — range r owns all pairs (i, j) with j in r and i >= j —
+/// is near-equal across ranges. Used to balance the symmetric LD driver,
+/// where later columns own fewer pairs than earlier ones.
+std::vector<Range> split_triangle(std::size_t n, std::size_t parts);
+
+/// Number of lower-triangle pairs (i >= j) owned by columns [r.begin, r.end)
+/// out of n total columns: sum over j of (n - j).
+std::size_t triangle_work(std::size_t n, const Range& r);
+
+/// Split [0, n) into at most `parts` contiguous ranges such that *row*
+/// ownership of the lower triangle — range r owns all pairs (i, j) with
+/// i in r and j <= i — is near-equal. Row i owns i + 1 pairs, so later
+/// ranges get fewer rows. Used by the threaded symmetric LD scan.
+std::vector<Range> split_triangle_rows(std::size_t n, std::size_t parts);
+
+/// Lower-triangle pairs owned by rows [r.begin, r.end): sum over i of (i+1).
+std::size_t triangle_row_work(const Range& r);
+
+}  // namespace ldla

@@ -1,0 +1,35 @@
+// Theoretical-peak calibration for the %-of-peak reporting (Figs. 3 and 4).
+//
+// The paper defines the scalar theoretical peak of LD as 3 operations per
+// cycle: one AND, one POPCNT and one ADD issued in parallel, i.e. exactly
+// one (AND, POPCNT, ADD) *word triple* per cycle. We therefore report kernel
+// performance as
+//
+//     word-triples per second  /  core frequency
+//
+// and cross-check the frequency-derived peak with a directly measured
+// register-resident popcount loop (the attainable machine peak under the
+// same instruction mix).
+#pragma once
+
+#include <cstdint>
+
+namespace ldla {
+
+struct PeakEstimate {
+  double core_hz = 0.0;  ///< estimated sustained core clock
+  /// Measured best-case scalar (AND,POPCNT,ADD) triples per second on
+  /// L1-resident data. Ideally ~= core_hz (1 triple/cycle).
+  double scalar_triples_per_sec = 0.0;
+  /// Measured best-case AVX-512 VPOPCNTDQ triples per second (8 words per
+  /// instruction); zero when the ISA is unavailable.
+  double vector_triples_per_sec = 0.0;
+};
+
+/// Calibrate once per process (takes a few hundred milliseconds).
+const PeakEstimate& peak_estimate();
+
+/// The paper's scalar theoretical peak in word-triples/second.
+double scalar_peak_triples_per_sec();
+
+}  // namespace ldla

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "util/contract.hpp"
+
+namespace ldla {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  LDLA_EXPECT(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LDLA_EXPECT(cells.size() == header_.size(),
+              "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  return std::isdigit(static_cast<unsigned char>(s.front())) != 0 ||
+         s.front() == '-' || s.front() == '+' || s.front() == '.';
+}
+}  // namespace
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      const bool right = looks_numeric(row[c]);
+      out << (right ? std::right : std::left) << std::setw(static_cast<int>(width[c]))
+          << row[c];
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << v;
+  return out.str();
+}
+
+std::string fmt_sci(double v, int decimals) {
+  std::ostringstream out;
+  out << std::scientific << std::setprecision(decimals) << v;
+  return out.str();
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return fmt_fixed(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace ldla

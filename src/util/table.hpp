@@ -1,0 +1,30 @@
+// Paper-style ASCII table formatting for the benchmark harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ldla {
+
+/// Accumulates rows of string cells and renders an aligned table with a
+/// header rule, matching the layout of Tables I-III in the paper.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment; numeric-looking cells right-align.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by the bench binaries.
+std::string fmt_fixed(double v, int decimals);
+std::string fmt_sci(double v, int decimals);
+std::string fmt_percent(double fraction, int decimals);
+
+}  // namespace ldla

@@ -1,0 +1,89 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace ldla {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  // The caller participates in run_tasks, so spawn one fewer worker.
+  const unsigned spawned = threads > 0 ? threads - 1 : 0;
+  workers_.reserve(spawned);
+  for (unsigned i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mutex_);
+      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_tasks(std::size_t tasks,
+                           const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (tasks == 1 || workers_.empty()) {
+    for (std::size_t t = 0; t < tasks; ++t) fn(t);
+    return;
+  }
+  // Enqueue all but the last task; the caller runs the last one, then helps
+  // drain by waiting on the completion condition.
+  {
+    std::lock_guard lock(mutex_);
+    LDLA_ASSERT(in_flight_ == 0);
+    in_flight_ = tasks - 1;
+    for (std::size_t t = 0; t + 1 < tasks; ++t) {
+      queue_.emplace([&fn, t] { fn(t); });
+    }
+  }
+  cv_work_.notify_all();
+  fn(tasks - 1);
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  LDLA_EXPECT(begin <= end, "parallel_for range is inverted");
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  const std::size_t parts = std::min<std::size_t>(size() + 1, n);
+  run_tasks(parts, [&](std::size_t t) {
+    const std::size_t lo = begin + n * t / parts;
+    const std::size_t hi = begin + n * (t + 1) / parts;
+    if (lo < hi) fn(lo, hi);
+  });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ldla

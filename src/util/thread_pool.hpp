@@ -1,0 +1,56 @@
+// A small fixed-size worker pool with a parallel_for primitive.
+//
+// The LD drivers parallelize by handing each worker an independent column
+// slab (no shared mutable state), so the pool only needs fork-join task
+// groups — no work stealing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ldla {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Run fn(t) for t in [0, tasks) across the pool and wait for completion.
+  /// The calling thread participates, so a pool of size 1 still provides
+  /// two-way overlap-free execution with zero queueing overhead.
+  void run_tasks(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+  /// Split [begin, end) into contiguous chunks, one per worker (including
+  /// the caller), and run fn(chunk_begin, chunk_end) on each.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::queue<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide pool sized to the machine; created on first use.
+ThreadPool& global_pool();
+
+}  // namespace ldla

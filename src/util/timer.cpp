@@ -1,0 +1,83 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace ldla {
+
+std::uint64_t rdtsc_serialized() {
+#if defined(__x86_64__)
+  unsigned aux = 0;
+  return __rdtscp(&aux);
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+namespace {
+
+double measure_tsc_hz() {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const std::uint64_t c0 = rdtsc_serialized();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const std::uint64_t c1 = rdtsc_serialized();
+  const auto t1 = clock::now();
+  const double dt = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(c1 - c0) / dt;
+}
+
+// Estimate the effective core clock from the *independent POPCNT
+// throughput*, which is architecturally one instruction per cycle on the
+// x86 parts this study targets (POPCNT issues on a single port). This is
+// also exactly the resource that defines the paper's 3-ops/cycle LD peak,
+// so calibrating on it makes the %-of-peak ratio robust even on
+// virtualized/emulated hosts where simple ALU chains are not 1 cycle.
+// Inline asm keeps the compiler from folding or vectorizing the probe.
+double measure_core_hz() {
+#if defined(__x86_64__)
+  constexpr std::uint64_t kIters = 100'000'000;
+  std::uint64_t a = 0x1234, b = 0x5678, c = 0x9abc, d = 0xdef0;
+  const std::uint64_t src = 0x0123456789abcdefull;
+  Timer t;
+  for (std::uint64_t i = 0; i < kIters; i += 4) {
+    asm volatile(
+        "popcnt %4, %0\n\t"
+        "popcnt %4, %1\n\t"
+        "popcnt %4, %2\n\t"
+        "popcnt %4, %3"
+        : "+r"(a), "+r"(b), "+r"(c), "+r"(d)
+        : "r"(src));
+  }
+  const double sec = t.seconds();
+  do_not_optimize(a + b + c + d);
+  return static_cast<double>(kIters) / sec;
+#else
+  return 1e9;  // placeholder on non-x86 hosts
+#endif
+}
+
+}  // namespace
+
+double tsc_hz() {
+  static const double hz = measure_tsc_hz();
+  return hz;
+}
+
+double estimated_core_hz() {
+  // Best of three probes: see util/peak.cpp for why a single probe can be
+  // contaminated by contention on shared hosts.
+  static const double hz = [] {
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) best = std::max(best, measure_core_hz());
+    return best;
+  }();
+  return hz;
+}
+
+}  // namespace ldla

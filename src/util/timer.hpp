@@ -1,0 +1,46 @@
+// Wall-clock and TSC timing utilities for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ldla {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Serialized read of the time-stamp counter (constant-rate on modern x86).
+std::uint64_t rdtsc_serialized();
+
+/// Estimated TSC ticks per second, measured once against the steady clock.
+double tsc_hz();
+
+/// Estimated sustained core frequency in Hz, measured by timing a dependent
+/// ALU chain of known length. Used to convert ops/sec into ops/cycle for the
+/// %-of-peak reporting in Figures 3 and 4.
+double estimated_core_hz();
+
+/// Prevent the optimizer from deleting a computed value.
+template <typename T>
+inline void do_not_optimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+/// Force memory side effects to be visible to the compiler.
+inline void clobber_memory() { asm volatile("" : : : "memory"); }
+
+}  // namespace ldla

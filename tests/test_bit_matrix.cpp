@@ -1,0 +1,147 @@
+#include "core/bit_matrix.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+TEST(BitMatrix, EmptyMatrix) {
+  BitMatrix m;
+  EXPECT_EQ(m.snps(), 0u);
+  EXPECT_EQ(m.samples(), 0u);
+  EXPECT_TRUE(m.view().empty());
+}
+
+TEST(BitMatrix, DimensionsAndPadding) {
+  BitMatrix m(3, 100);
+  EXPECT_EQ(m.snps(), 3u);
+  EXPECT_EQ(m.samples(), 100u);
+  EXPECT_EQ(m.words_per_snp(), 2u);             // ceil(100/64)
+  EXPECT_EQ(m.stride_words() % BitMatrix::kRowAlignWords, 0u);
+  EXPECT_GE(m.stride_words(), m.words_per_snp());
+  EXPECT_TRUE(m.padding_is_clean());
+}
+
+TEST(BitMatrix, SetGetRoundTrip) {
+  BitMatrix m(2, 130);
+  m.set(0, 0, true);
+  m.set(0, 63, true);
+  m.set(0, 64, true);
+  m.set(1, 129, true);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(0, 63));
+  EXPECT_TRUE(m.get(0, 64));
+  EXPECT_TRUE(m.get(1, 129));
+  EXPECT_FALSE(m.get(0, 1));
+  EXPECT_FALSE(m.get(1, 0));
+  m.set(0, 63, false);
+  EXPECT_FALSE(m.get(0, 63));
+  EXPECT_TRUE(m.padding_is_clean());
+}
+
+TEST(BitMatrix, OutOfRangeAccessThrows) {
+  BitMatrix m(2, 10);
+  EXPECT_THROW(m.set(2, 0, true), ContractViolation);
+  EXPECT_THROW(m.set(0, 10, true), ContractViolation);
+  EXPECT_THROW((void)m.get(5, 5), ContractViolation);
+  EXPECT_THROW((void)m.derived_count(2), ContractViolation);
+}
+
+TEST(BitMatrix, FromSnpStrings) {
+  const std::vector<std::string> snps = {"0101", "1111", "0000"};
+  BitMatrix m = BitMatrix::from_snp_strings(snps);
+  EXPECT_EQ(m.snps(), 3u);
+  EXPECT_EQ(m.samples(), 4u);
+  EXPECT_EQ(m.snp_string(0), "0101");
+  EXPECT_EQ(m.snp_string(1), "1111");
+  EXPECT_EQ(m.snp_string(2), "0000");
+}
+
+TEST(BitMatrix, FromSnpStringsRejectsRaggedInput) {
+  const std::vector<std::string> snps = {"0101", "01"};
+  EXPECT_THROW(BitMatrix::from_snp_strings(snps), ParseError);
+}
+
+TEST(BitMatrix, FromSnpStringsRejectsBadCharacters) {
+  const std::vector<std::string> snps = {"01x1"};
+  EXPECT_THROW(BitMatrix::from_snp_strings(snps), ParseError);
+}
+
+TEST(BitMatrix, DerivedCountAndFrequency) {
+  const std::vector<std::string> snps = {"110010", "000000", "111111"};
+  BitMatrix m = BitMatrix::from_snp_strings(snps);
+  EXPECT_EQ(m.derived_count(0), 3u);
+  EXPECT_EQ(m.derived_count(1), 0u);
+  EXPECT_EQ(m.derived_count(2), 6u);
+  EXPECT_DOUBLE_EQ(m.allele_frequency(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.allele_frequency(1), 0.0);
+  EXPECT_DOUBLE_EQ(m.allele_frequency(2), 1.0);
+  const auto p = m.allele_frequencies();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+}
+
+TEST(BitMatrix, DerivedCountAcrossWordBoundary) {
+  BitMatrix m(1, 200);
+  for (std::size_t s = 0; s < 200; s += 3) m.set(0, s, true);
+  std::uint64_t expected = 0;
+  for (std::size_t s = 0; s < 200; s += 3) ++expected;
+  EXPECT_EQ(m.derived_count(0), expected);
+}
+
+TEST(BitMatrix, ViewExposesRows) {
+  BitMatrix m(5, 70);
+  m.set(3, 65, true);
+  const BitMatrixView v = m.view();
+  EXPECT_EQ(v.n_snps, 5u);
+  EXPECT_EQ(v.n_words, 2u);
+  EXPECT_EQ(v.n_samples, 70u);
+  EXPECT_EQ(v.row(3)[1] & 0b10, 0b10u);
+}
+
+TEST(BitMatrix, SubViewSelectsRowRange) {
+  BitMatrix m(10, 64);
+  m.set(4, 0, true);
+  const BitMatrixView v = m.view(4, 7);
+  EXPECT_EQ(v.n_snps, 3u);
+  EXPECT_EQ(v.row(0)[0] & 1u, 1u);
+  EXPECT_THROW((void)m.view(7, 4), ContractViolation);
+  EXPECT_THROW((void)m.view(0, 11), ContractViolation);
+}
+
+TEST(BitMatrix, CloneIsDeepAndEqual) {
+  const std::vector<std::string> snps = {"1010101", "0110011"};
+  BitMatrix m = BitMatrix::from_snp_strings(snps);
+  BitMatrix c = m.clone();
+  EXPECT_EQ(c.snp_string(0), m.snp_string(0));
+  c.set(0, 0, false);
+  EXPECT_TRUE(m.get(0, 0)) << "clone must not alias the original";
+}
+
+TEST(BitMatrix, PaddingInvariantDetectsDirtyTail) {
+  BitMatrix m(1, 65);  // one padding word tail of 63 bits
+  EXPECT_TRUE(m.padding_is_clean());
+  // Corrupt a padding bit directly.
+  m.row_data(0)[1] |= std::uint64_t{1} << 40;
+  EXPECT_FALSE(m.padding_is_clean());
+}
+
+TEST(BitMatrix, RejectsAstronomicalSampleCounts) {
+  EXPECT_THROW(BitMatrix(1, std::uint64_t{1} << 32), ContractViolation);
+}
+
+TEST(WordsForBits, Boundary) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(128), 2u);
+}
+
+}  // namespace
+}  // namespace ldla

@@ -1,0 +1,214 @@
+// Randomized differential and robustness ("fuzz") suites.
+//
+// 1. GEMM differential fuzz: random shapes, densities, kernels and blocking
+//    parameters must always match the per-bit oracle.
+// 2. Parser robustness: randomly mutated inputs either parse or throw
+//    ParseError/Error — never crash, never return corrupt matrices.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baselines/naive.hpp"
+#include "core/gemm/macro.hpp"
+#include "core/gemm/syrk.hpp"
+#include "io/ms_format.hpp"
+#include "io/vcf_lite.hpp"
+#include "sim/rng.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+BitMatrix random_matrix(Rng& rng, std::size_t snps, std::size_t samples,
+                        double density) {
+  BitMatrix m(snps, samples);
+  for (std::size_t s = 0; s < snps; ++s) {
+    for (std::size_t b = 0; b < samples; ++b) {
+      if (rng.next_bool(density)) m.set(s, b, true);
+    }
+  }
+  return m;
+}
+
+TEST(GemmFuzz, RandomShapesMatchOracle) {
+  Rng rng(0xF00D);
+  const auto kernels = available_kernels();
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t m = 1 + rng.next_below(40);
+    const std::size_t n = 1 + rng.next_below(40);
+    const std::size_t k = 1 + rng.next_below(700);
+    const double density = 0.05 + 0.9 * rng.next_double();
+    const BitMatrix a = random_matrix(rng, m, k, density);
+    const BitMatrix b = random_matrix(rng, n, k, density);
+    const CountMatrix expected = naive_count_matrix(a, b);
+
+    GemmConfig cfg;
+    cfg.arch = kernels[rng.next_below(kernels.size())];
+    cfg.kc_words = 1 + rng.next_below(64);
+    cfg.mc = 1 + rng.next_below(48);
+    cfg.nc = 1 + rng.next_below(48);
+    cfg.packing = rng.next_bool(0.9);
+
+    CountMatrix c(m, n);
+    gemm_count(a.view(), b.view(), c.ref(), cfg);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(c(i, j), expected(i, j))
+            << "trial " << trial << " kernel "
+            << kernel_arch_name(cfg.arch) << " m=" << m << " n=" << n
+            << " k=" << k << " kc=" << cfg.kc_words << " mc=" << cfg.mc
+            << " nc=" << cfg.nc << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(GemmFuzz, RandomSymmetricShapesMatchOracle) {
+  Rng rng(0xBEEF);
+  const auto kernels = available_kernels();
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + rng.next_below(48);
+    const std::size_t k = 1 + rng.next_below(500);
+    const BitMatrix g =
+        random_matrix(rng, n, k, 0.05 + 0.9 * rng.next_double());
+    const CountMatrix expected = naive_count_matrix(g, g);
+
+    GemmConfig cfg;
+    cfg.arch = kernels[rng.next_below(kernels.size())];
+    cfg.kc_words = 1 + rng.next_below(48);
+    cfg.mc = 1 + rng.next_below(32);
+    cfg.nc = 1 + rng.next_below(32);
+
+    CountMatrix c(n, n);
+    syrk_count(g.view(), c.ref(), cfg);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(c(i, j), expected(i, j))
+            << "trial " << trial << " n=" << n << " k=" << k << " at (" << i
+            << "," << j << ")";
+      }
+    }
+  }
+}
+
+// --- parser robustness -------------------------------------------------------
+
+std::string valid_ms_text(Rng& rng) {
+  const std::size_t segsites = 1 + rng.next_below(20);
+  const std::size_t samples = 1 + rng.next_below(10);
+  std::ostringstream out;
+  out << "ms " << samples << " 1\n1 2 3\n\n//\nsegsites: " << segsites
+      << "\npositions:";
+  for (std::size_t s = 0; s < segsites; ++s) {
+    out << " " << static_cast<double>(s) / static_cast<double>(segsites);
+  }
+  out << "\n";
+  for (std::size_t h = 0; h < samples; ++h) {
+    for (std::size_t s = 0; s < segsites; ++s) {
+      out << (rng.next_bool(0.5) ? '1' : '0');
+    }
+    out << "\n";
+  }
+  out << "\n";
+  return out.str();
+}
+
+TEST(ParserFuzz, MutatedMsNeverCrashes) {
+  Rng rng(0xABCD);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string text = valid_ms_text(rng);
+    // Apply a handful of random byte mutations.
+    const std::size_t mutations = 1 + rng.next_below(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.next_below(text.size());
+      const char c = static_cast<char>(32 + rng.next_below(95));
+      text[pos] = c;
+    }
+    std::istringstream in(text);
+    try {
+      const auto reps = parse_ms(in);
+      for (const auto& rep : reps) {
+        // Any accepted matrix must satisfy the packing invariant.
+        EXPECT_TRUE(rep.genotypes.padding_is_clean());
+        EXPECT_EQ(rep.positions.size(), rep.genotypes.snps());
+      }
+      ++parsed;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  // Sanity: mutations must actually trigger both outcomes.
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+std::string valid_vcf_text(Rng& rng) {
+  const std::size_t snps = 1 + rng.next_below(10);
+  const std::size_t inds = 1 + rng.next_below(6);
+  std::ostringstream out;
+  out << "##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\t"
+         "INFO\tFORMAT";
+  for (std::size_t i = 0; i < inds; ++i) out << "\tS" << i;
+  out << "\n";
+  for (std::size_t s = 0; s < snps; ++s) {
+    out << "1\t" << (100 + s * 10) << "\trs" << s << "\tA\tG\t.\tPASS\t.\tGT";
+    for (std::size_t i = 0; i < inds; ++i) {
+      out << '\t' << (rng.next_bool(0.5) ? '1' : '0') << '|'
+          << (rng.next_bool(0.5) ? '1' : '0');
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+TEST(ParserFuzz, MutatedVcfNeverCrashes) {
+  Rng rng(0x1234);
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string text = valid_vcf_text(rng);
+    const std::size_t mutations = 1 + rng.next_below(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      text[rng.next_below(text.size())] =
+          static_cast<char>(32 + rng.next_below(95));
+    }
+    std::istringstream in(text);
+    try {
+      const VcfData d = parse_vcf(in, /*skip_invalid=*/rng.next_bool(0.5));
+      EXPECT_TRUE(d.genotypes.padding_is_clean());
+      EXPECT_EQ(d.positions.size(), d.genotypes.snps());
+      ++parsed;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(ParserFuzz, RandomGarbageIsRejectedOrEmpty) {
+  Rng rng(0x9999);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text(rng.next_below(300), ' ');
+    for (auto& c : text) c = static_cast<char>(rng.next_below(256));
+    {
+      std::istringstream in(text);
+      try {
+        (void)parse_ms(in);
+      } catch (const Error&) {
+      }
+    }
+    {
+      std::istringstream in(text);
+      try {
+        (void)parse_vcf(in, true);
+      } catch (const Error&) {
+      }
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ldla

@@ -1,0 +1,291 @@
+#include "core/gemm/macro.hpp"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baselines/naive.hpp"
+#include "core/gemm/kernel.hpp"
+#include "sim/rng.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+BitMatrix random_matrix(std::size_t snps, std::size_t samples,
+                        std::uint64_t seed, double density = 0.4) {
+  Rng rng(seed);
+  BitMatrix m(snps, samples);
+  for (std::size_t s = 0; s < snps; ++s) {
+    for (std::size_t b = 0; b < samples; ++b) {
+      if (rng.next_bool(density)) m.set(s, b, true);
+    }
+  }
+  return m;
+}
+
+void expect_equal_counts(const CountMatrix& got, const CountMatrix& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t i = 0; i < got.rows(); ++i) {
+    for (std::size_t j = 0; j < got.cols(); ++j) {
+      ASSERT_EQ(got(i, j), want(i, j)) << "at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// (kernel, m, n, samples) sweep — shapes chosen to stress register-tile
+// edges (m, n not multiples of mr/nr), word-boundary samples, and multiple
+// kc panels.
+using GemmCase = std::tuple<KernelArch, std::size_t, std::size_t, std::size_t>;
+
+class GemmOracle : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmOracle, MatchesNaiveBitLoop) {
+  const auto [arch, m, n, samples] = GetParam();
+  const BitMatrix a = random_matrix(m, samples, 42 + m);
+  const BitMatrix b = random_matrix(n, samples, 99 + n);
+
+  GemmConfig cfg;
+  cfg.arch = arch;
+  CountMatrix c(m, n);
+  gemm_count(a.view(), b.view(), c.ref(), cfg);
+
+  const CountMatrix expected = naive_count_matrix(a, b);
+  expect_equal_counts(c, expected);
+}
+
+std::vector<GemmCase> oracle_cases() {
+  std::vector<GemmCase> cases;
+  for (KernelArch arch : available_kernels()) {
+    for (const auto& [m, n, k] :
+         std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>{
+             {1, 1, 1},      // minimal
+             {4, 4, 64},     // one exact tile, one word
+             {3, 5, 64},     // sub-tile edges
+             {17, 9, 100},   // ragged everything
+             {16, 16, 1000}, // multiple words, word tail
+             {33, 47, 64 * 9 + 7},  // several kc chunks for vector kernels
+             {8, 70, 129},   // n wider than a B sliver row
+         }) {
+      cases.emplace_back(arch, m, n, k);
+    }
+  }
+  return cases;
+}
+
+std::string oracle_case_name(const ::testing::TestParamInfo<GemmCase>& info) {
+  std::string name = kernel_arch_name(std::get<0>(info.param)) + "_m" +
+                     std::to_string(std::get<1>(info.param)) + "_n" +
+                     std::to_string(std::get<2>(info.param)) + "_k" +
+                     std::to_string(std::get<3>(info.param));
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmOracle,
+                         ::testing::ValuesIn(oracle_cases()),
+                         oracle_case_name);
+
+TEST(Gemm, AllKernelsAgreeOnLargerProblem) {
+  const BitMatrix a = random_matrix(53, 64 * 40 + 13, 7);
+  const BitMatrix b = random_matrix(61, 64 * 40 + 13, 8);
+  const auto kernels = available_kernels();
+  ASSERT_FALSE(kernels.empty());
+
+  CountMatrix reference(53, 61);
+  {
+    GemmConfig cfg;
+    cfg.arch = kernels.front();
+    gemm_count(a.view(), b.view(), reference.ref(), cfg);
+  }
+  for (std::size_t ki = 1; ki < kernels.size(); ++ki) {
+    GemmConfig cfg;
+    cfg.arch = kernels[ki];
+    CountMatrix c(53, 61);
+    gemm_count(a.view(), b.view(), c.ref(), cfg);
+    SCOPED_TRACE(kernel_arch_name(kernels[ki]));
+    expect_equal_counts(c, reference);
+  }
+}
+
+TEST(Gemm, ResultInvariantUnderBlockingParameters) {
+  const BitMatrix a = random_matrix(40, 2000, 11);
+  const BitMatrix b = random_matrix(35, 2000, 12);
+  const CountMatrix expected = naive_count_matrix(a, b);
+
+  for (const auto& [kc, mc, nc] :
+       std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>{
+           {8, 8, 8}, {16, 12, 20}, {1024, 64, 64}, {3, 4, 4}}) {
+    GemmConfig cfg;
+    cfg.kc_words = kc;
+    cfg.mc = mc;
+    cfg.nc = nc;
+    CountMatrix c(40, 35);
+    gemm_count(a.view(), b.view(), c.ref(), cfg);
+    SCOPED_TRACE("kc=" + std::to_string(kc) + " mc=" + std::to_string(mc) +
+                 " nc=" + std::to_string(nc));
+    expect_equal_counts(c, expected);
+  }
+}
+
+TEST(Gemm, PackingAblationMatches) {
+  const BitMatrix a = random_matrix(21, 500, 13);
+  const BitMatrix b = random_matrix(19, 500, 14);
+  const CountMatrix expected = naive_count_matrix(a, b);
+
+  GemmConfig cfg;
+  cfg.packing = false;
+  CountMatrix c(21, 19);
+  gemm_count(a.view(), b.view(), c.ref(), cfg);
+  expect_equal_counts(c, expected);
+}
+
+TEST(Gemm, BlockingAblationMatches) {
+  const BitMatrix a = random_matrix(21, 500, 15);
+  const BitMatrix b = random_matrix(19, 500, 16);
+  const CountMatrix expected = naive_count_matrix(a, b);
+
+  GemmConfig cfg;
+  cfg.blocking = false;
+  CountMatrix c(21, 19);
+  gemm_count(a.view(), b.view(), c.ref(), cfg);
+  expect_equal_counts(c, expected);
+}
+
+TEST(Gemm, AccumulatesIntoExistingOutput) {
+  const BitMatrix a = random_matrix(6, 64, 17);
+  const BitMatrix b = random_matrix(6, 64, 18);
+  CountMatrix c(6, 6);
+  gemm_count(a.view(), b.view(), c.ref());
+  const std::uint32_t first = c(2, 3);
+  gemm_count(a.view(), b.view(), c.ref());
+  EXPECT_EQ(c(2, 3), 2 * first);
+}
+
+TEST(Gemm, PaddingBitsNeverLeakIntoCounts) {
+  // samples = 1: rows are 1/64th full; any kernel reading padding would
+  // inflate counts.
+  const BitMatrix a = random_matrix(9, 1, 19, 1.0);  // all ones (1 bit)
+  CountMatrix c(9, 9);
+  gemm_count(a.view(), a.view(), c.ref());
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) {
+      EXPECT_EQ(c(i, j), 1u);
+    }
+  }
+}
+
+TEST(Gemm, SubViewsComputeSubBlocks) {
+  const BitMatrix g = random_matrix(20, 300, 20);
+  const CountMatrix full = naive_count_matrix(g, g);
+
+  CountMatrix c(5, 8);
+  gemm_count(g.view(10, 15), g.view(2, 10), c.ref());
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(c(i, j), full(10 + i, 2 + j));
+    }
+  }
+}
+
+TEST(Gemm, RejectsMismatchedOperands) {
+  const BitMatrix a = random_matrix(4, 64, 21);
+  const BitMatrix b = random_matrix(4, 128, 22);
+  CountMatrix c(4, 4);
+  EXPECT_THROW(gemm_count(a.view(), b.view(), c.ref()), ContractViolation);
+}
+
+TEST(Gemm, RejectsTooSmallOutput) {
+  const BitMatrix a = random_matrix(4, 64, 23);
+  CountMatrix c(3, 4);
+  EXPECT_THROW(gemm_count(a.view(), a.view(), c.ref()), ContractViolation);
+}
+
+TEST(Gemm, EmptyOperandsAreNoops) {
+  const BitMatrix a = random_matrix(4, 64, 24);
+  BitMatrix empty;
+  CountMatrix c(4, 4);
+  gemm_count(empty.view(), a.view(), c.ref());  // must not crash
+  gemm_count(a.view(), empty.view(), c.ref());
+}
+
+TEST(GemmParallel, MatchesSequentialAcrossThreadCounts) {
+  const BitMatrix a = random_matrix(45, 900, 31);
+  const BitMatrix b = random_matrix(38, 900, 32);
+  CountMatrix expected(45, 38);
+  gemm_count(a.view(), b.view(), expected.ref());
+  for (unsigned t : {1u, 2u, 3u, 8u}) {
+    CountMatrix c(45, 38);
+    gemm_count_parallel(a.view(), b.view(), c.ref(), {}, t);
+    SCOPED_TRACE(t);
+    expect_equal_counts(c, expected);
+  }
+}
+
+TEST(GemmParallel, SingleRowAndEmptyAreSafe) {
+  const BitMatrix a = random_matrix(1, 64, 33);
+  CountMatrix c(1, 1);
+  gemm_count_parallel(a.view(), a.view(), c.ref(), {}, 4);
+  EXPECT_EQ(c(0, 0), static_cast<std::uint32_t>(a.derived_count(0)));
+  BitMatrix empty;
+  gemm_count_parallel(empty.view(), a.view(), c.ref(), {}, 4);
+}
+
+TEST(GemmTuner, ReturnsValidConfigThatComputesCorrectly) {
+  const BitMatrix g = random_matrix(60, 3000, 34);
+  const GemmConfig tuned = tune_gemm_config(g.view());
+  EXPECT_GT(tuned.kc_words, 0u);
+  EXPECT_GT(tuned.mc, 0u);
+  CountMatrix c(60, 60);
+  gemm_count(g.view(), g.view(), c.ref(), tuned);
+  const CountMatrix expected = naive_count_matrix(g, g);
+  expect_equal_counts(c, expected);
+}
+
+TEST(GemmTuner, EmptySampleReturnsBase) {
+  BitMatrix empty;
+  GemmConfig base;
+  base.kc_words = 123;
+  const GemmConfig tuned = tune_gemm_config(empty.view(), base);
+  EXPECT_EQ(tuned.kc_words, 123u);
+}
+
+TEST(GemmPlan, ForcedUnavailableKernelThrows) {
+  // kStrawman requires AVX2; if this machine lacks it the resolve must
+  // throw rather than silently fall back.
+  GemmConfig cfg;
+  cfg.arch = KernelArch::kStrawman;
+  if (!kernel_available(KernelArch::kStrawman)) {
+    EXPECT_THROW(resolve_plan(cfg, 10), ContractViolation);
+  } else {
+    EXPECT_EQ(resolve_plan(cfg, 10).arch, KernelArch::kStrawman);
+  }
+}
+
+TEST(GemmPlan, AutoResolvesToAvailableKernel) {
+  const GemmPlan plan = resolve_plan(GemmConfig{}, 100);
+  EXPECT_NE(plan.arch, KernelArch::kAuto);
+  EXPECT_TRUE(kernel_available(plan.arch));
+  EXPECT_GT(plan.kc_words, 0u);
+  EXPECT_EQ(plan.kc_words % plan.ku, 0u);
+  EXPECT_EQ(plan.mc % plan.mr, 0u);
+  EXPECT_EQ(plan.nc % plan.nr, 0u);
+}
+
+TEST(GemmPlan, RespectsExplicitParameters) {
+  GemmConfig cfg;
+  cfg.arch = KernelArch::kScalar;
+  cfg.kc_words = 100;
+  cfg.mc = 32;
+  cfg.nc = 64;
+  const GemmPlan plan = resolve_plan(cfg, 1000);
+  EXPECT_EQ(plan.kc_words, 100u);  // ku = 1 for scalar, no rounding needed
+  EXPECT_EQ(plan.mc, 32u);
+  EXPECT_EQ(plan.nc, 64u);
+}
+
+}  // namespace
+}  // namespace ldla

@@ -1,0 +1,113 @@
+#include "core/genotype_ld.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/wright_fisher.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+GenotypeMatrix test_genotypes(std::size_t snps, std::size_t haplotypes,
+                              std::uint64_t seed) {
+  WrightFisherParams p;
+  p.n_snps = snps;
+  p.n_samples = haplotypes;
+  p.seed = seed;
+  return GenotypeMatrix::from_haplotypes(simulate_genotypes(p));
+}
+
+TEST(GenotypeLd, MatchesPairwiseBaselineExactly) {
+  const GenotypeMatrix g = test_genotypes(35, 200, 1);
+  const LdMatrix gemm = genotype_ld_matrix(g);
+  for (std::size_t i = 0; i < g.snps(); ++i) {
+    for (std::size_t j = 0; j < g.snps(); ++j) {
+      const double want = plink_like_r2_pair(g, i, j);
+      const double got = gemm(i, j);
+      if (std::isnan(want)) {
+        EXPECT_TRUE(std::isnan(got)) << i << "," << j;
+      } else {
+        EXPECT_DOUBLE_EQ(got, want) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(GenotypeLd, ScanMatchesDense) {
+  const GenotypeMatrix g = test_genotypes(41, 150, 2);
+  const LdMatrix dense = genotype_ld_matrix(g);
+  std::size_t covered = 0;
+  genotype_ld_scan(
+      g,
+      [&](const LdTile& tile) {
+        for (std::size_t i = 0; i < tile.rows; ++i) {
+          for (std::size_t j = 0; j < tile.cols; ++j) {
+            const double want = dense(tile.row_begin + i, j);
+            const double got = tile.at(i, j);
+            if (std::isnan(want)) {
+              EXPECT_TRUE(std::isnan(got));
+            } else {
+              EXPECT_DOUBLE_EQ(got, want);
+            }
+            if (j <= tile.row_begin + i) ++covered;
+          }
+        }
+      },
+      {}, /*slab_rows=*/9);
+  EXPECT_EQ(covered, ld_pair_count(g.snps()));
+}
+
+TEST(GenotypeLd, DiagonalIsOneForVariableSnps) {
+  const GenotypeMatrix g = test_genotypes(20, 120, 3);
+  const LdMatrix m = genotype_ld_matrix(g);
+  for (std::size_t s = 0; s < g.snps(); ++s) {
+    if (!std::isnan(m(s, s))) {
+      EXPECT_DOUBLE_EQ(m(s, s), 1.0);
+    }
+  }
+}
+
+TEST(GenotypeLd, PlanesRoundTripDosages) {
+  const GenotypeMatrix g = test_genotypes(10, 60, 4);
+  const DosagePlanes planes = extract_dosage_planes(g);
+  for (std::size_t s = 0; s < g.snps(); ++s) {
+    for (std::size_t ind = 0; ind < g.individuals(); ++ind) {
+      const unsigned d = g.dosage(s, ind);
+      EXPECT_EQ(planes.lo.get(s, ind), d == 1);
+      EXPECT_EQ(planes.hi.get(s, ind), d == 2);
+    }
+  }
+}
+
+TEST(GenotypeLd, RejectsMissingData) {
+  GenotypeMatrix g(3, 10);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t i = 0; i < 10; ++i) g.set_dosage(s, i, (s + i) % 3);
+  }
+  g.set_missing(1, 4);
+  EXPECT_THROW((void)genotype_ld_matrix(g), ContractViolation);
+  EXPECT_THROW((void)extract_dosage_planes(g), ContractViolation);
+}
+
+TEST(GenotypeLd, MonomorphicGenotypeIsNaN) {
+  GenotypeMatrix g(2, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    g.set_dosage(0, i, 1);            // zero variance
+    g.set_dosage(1, i, i % 2 ? 2 : 0);
+  }
+  const LdMatrix m = genotype_ld_matrix(g);
+  EXPECT_TRUE(std::isnan(m(0, 1)));
+  EXPECT_TRUE(std::isnan(m(0, 0)));
+  EXPECT_DOUBLE_EQ(m(1, 1), 1.0);
+}
+
+TEST(GenotypeLd, EmptyMatrixIsSafe) {
+  GenotypeMatrix g;
+  const LdMatrix m = genotype_ld_matrix(g);
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace ldla

@@ -1,0 +1,122 @@
+#include "core/ld_blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "sim/wright_fisher.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+// Build a matrix with planted blocks: SNPs within a block are noisy copies
+// of a shared template; templates are independent across blocks.
+BitMatrix planted_blocks(const std::vector<std::size_t>& block_sizes,
+                         std::size_t samples, double noise,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::size_t total = 0;
+  for (const auto b : block_sizes) total += b;
+  BitMatrix g(total, samples);
+  std::size_t row = 0;
+  for (const auto b : block_sizes) {
+    std::vector<bool> tmpl(samples);
+    for (std::size_t i = 0; i < samples; ++i) tmpl[i] = rng.next_bool(0.5);
+    for (std::size_t s = 0; s < b; ++s, ++row) {
+      for (std::size_t i = 0; i < samples; ++i) {
+        const bool bit = rng.next_bool(noise) ? !tmpl[i] : tmpl[i];
+        if (bit) g.set(row, i, true);
+      }
+    }
+  }
+  return g;
+}
+
+void expect_partition(const std::vector<LdBlock>& blocks, std::size_t n) {
+  ASSERT_FALSE(blocks.empty());
+  EXPECT_EQ(blocks.front().begin, 0u);
+  EXPECT_EQ(blocks.back().end, n);
+  for (std::size_t b = 0; b + 1 < blocks.size(); ++b) {
+    EXPECT_EQ(blocks[b].end, blocks[b + 1].begin);
+    EXPECT_GT(blocks[b].size(), 0u);
+  }
+}
+
+TEST(LdBlocks, RecoversPlantedBlockBoundaries) {
+  const std::vector<std::size_t> sizes = {12, 8, 15, 5};
+  const BitMatrix g = planted_blocks(sizes, 400, 0.02, 1);
+  LdBlockParams params;
+  params.threshold = 0.5;
+  const auto blocks = find_ld_blocks(g, params);
+  expect_partition(blocks, g.snps());
+  ASSERT_EQ(blocks.size(), sizes.size());
+  std::size_t begin = 0;
+  for (std::size_t b = 0; b < sizes.size(); ++b) {
+    EXPECT_EQ(blocks[b].begin, begin);
+    EXPECT_EQ(blocks[b].size(), sizes[b]);
+    EXPECT_GT(blocks[b].mean_r2, 0.8);
+    begin += sizes[b];
+  }
+}
+
+TEST(LdBlocks, UnlinkedDataYieldsSingletons) {
+  WrightFisherParams p;
+  p.n_snps = 40;
+  p.n_samples = 500;
+  p.switch_rate = 1.0;  // independent SNPs
+  p.seed = 2;
+  const BitMatrix g = simulate_genotypes(p);
+  LdBlockParams params;
+  params.threshold = 0.6;
+  const auto blocks = find_ld_blocks(g, params);
+  expect_partition(blocks, g.snps());
+  // Nearly every SNP should stand alone.
+  std::size_t singletons = 0;
+  for (const auto& b : blocks) {
+    if (b.size() == 1) ++singletons;
+  }
+  EXPECT_GT(singletons, blocks.size() * 3 / 4);
+}
+
+TEST(LdBlocks, ThresholdOneMakesOnlyPerfectBlocks) {
+  // Identical SNPs form one block even at threshold 1.0.
+  std::vector<std::string> rows(6, "1100110010");
+  rows.emplace_back("0101010101");  // unrelated tail SNP
+  const BitMatrix g = BitMatrix::from_snp_strings(rows);
+  LdBlockParams params;
+  params.threshold = 1.0;
+  const auto blocks = find_ld_blocks(g, params);
+  expect_partition(blocks, g.snps());
+  ASSERT_GE(blocks.size(), 2u);
+  EXPECT_EQ(blocks.front().size(), 6u);
+  EXPECT_DOUBLE_EQ(blocks.front().mean_r2, 1.0);
+}
+
+TEST(LdBlocks, SpanLimitsPairEvaluation) {
+  const BitMatrix g = planted_blocks({30}, 200, 0.02, 3);
+  LdBlockParams params;
+  params.threshold = 0.5;
+  params.max_span = 4;  // links only reach 4 SNPs back
+  const auto blocks = find_ld_blocks(g, params);
+  expect_partition(blocks, g.snps());
+  // With a strong single block, the span limit must not split it.
+  EXPECT_EQ(blocks.size(), 1u);
+}
+
+TEST(LdBlocks, RejectsBadParameters) {
+  const BitMatrix g = planted_blocks({4}, 64, 0.1, 4);
+  LdBlockParams params;
+  params.threshold = 1.5;
+  EXPECT_THROW((void)find_ld_blocks(g, params), ContractViolation);
+  params.threshold = 0.5;
+  params.max_span = 0;
+  EXPECT_THROW((void)find_ld_blocks(g, params), ContractViolation);
+}
+
+TEST(LdBlocks, EmptyMatrixGivesNoBlocks) {
+  BitMatrix empty;
+  EXPECT_TRUE(find_ld_blocks(empty).empty());
+}
+
+}  // namespace
+}  // namespace ldla

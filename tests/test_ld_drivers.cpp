@@ -1,0 +1,256 @@
+#include "core/ld.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/naive.hpp"
+#include "sim/rng.hpp"
+#include "sim/wright_fisher.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+BitMatrix test_matrix(std::size_t snps, std::size_t samples,
+                      std::uint64_t seed) {
+  WrightFisherParams p;
+  p.n_snps = snps;
+  p.n_samples = samples;
+  p.seed = seed;
+  p.founders = 16;
+  return simulate_genotypes(p);
+}
+
+void expect_matrices_near(const LdMatrix& got, const LdMatrix& want,
+                          double tol = 1e-12) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t i = 0; i < got.rows(); ++i) {
+    for (std::size_t j = 0; j < got.cols(); ++j) {
+      if (std::isnan(want(i, j))) {
+        EXPECT_TRUE(std::isnan(got(i, j))) << "at (" << i << ", " << j << ")";
+      } else {
+        EXPECT_NEAR(got(i, j), want(i, j), tol)
+            << "at (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+class LdDriverStat : public ::testing::TestWithParam<LdStatistic> {};
+
+TEST_P(LdDriverStat, MatrixMatchesNaive) {
+  const BitMatrix g = test_matrix(31, 200, 1);
+  LdOptions opts;
+  opts.stat = GetParam();
+  expect_matrices_near(ld_matrix(g, opts), naive_ld_matrix(g, GetParam()));
+}
+
+TEST_P(LdDriverStat, MatrixMatchesFloatingPointOracle) {
+  const BitMatrix g = test_matrix(17, 150, 2);
+  LdOptions opts;
+  opts.stat = GetParam();
+  expect_matrices_near(ld_matrix(g, opts), dgemm_ld_matrix(g, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStatistics, LdDriverStat,
+                         ::testing::Values(LdStatistic::kD,
+                                           LdStatistic::kDPrime,
+                                           LdStatistic::kRSquared),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case LdStatistic::kD: return "D";
+                             case LdStatistic::kDPrime: return "DPrime";
+                             default: return "RSquared";
+                           }
+                         });
+
+TEST(LdMatrixDriver, DiagonalOfPolymorphicSnpsIsOne) {
+  const BitMatrix g = test_matrix(20, 100, 3);
+  const LdMatrix r2 = ld_matrix(g);
+  for (std::size_t i = 0; i < g.snps(); ++i) {
+    const std::uint64_t c = g.derived_count(i);
+    if (c > 0 && c < g.samples()) {
+      EXPECT_DOUBLE_EQ(r2(i, i), 1.0);
+    }
+  }
+}
+
+TEST(LdMatrixDriver, SymmetricResult) {
+  const BitMatrix g = test_matrix(25, 130, 4);
+  const LdMatrix r2 = ld_matrix(g);
+  for (std::size_t i = 0; i < 25; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (!std::isnan(r2(i, j))) {
+        EXPECT_DOUBLE_EQ(r2(i, j), r2(j, i));
+      }
+    }
+  }
+}
+
+TEST(LdCrossMatrix, MatchesNaivePairCounts) {
+  const BitMatrix a = test_matrix(12, 96, 5);
+  const BitMatrix b = test_matrix(9, 96, 6);
+  const LdMatrix got = ld_cross_matrix(a, b);
+  for (std::size_t i = 0; i < a.snps(); ++i) {
+    for (std::size_t j = 0; j < b.snps(); ++j) {
+      const double want =
+          ld_r_squared(a.derived_count(i), b.derived_count(j),
+                       naive_pair_count(a, i, b, j), a.samples());
+      if (std::isnan(want)) {
+        EXPECT_TRUE(std::isnan(got(i, j)));
+      } else {
+        EXPECT_NEAR(got(i, j), want, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(LdCrossMatrix, RejectsMismatchedSamples) {
+  const BitMatrix a = test_matrix(4, 64, 7);
+  const BitMatrix b = test_matrix(4, 128, 8);
+  EXPECT_THROW((void)ld_cross_matrix(a, b), ContractViolation);
+}
+
+TEST(LdScan, CoversEveryLowerPairExactlyOnce) {
+  const BitMatrix g = test_matrix(47, 80, 9);
+  LdOptions opts;
+  opts.slab_rows = 10;  // forces several slabs with ragged tail
+  std::map<std::pair<std::size_t, std::size_t>, int> seen;
+  ld_scan(g, [&](const LdTile& tile) {
+    for (std::size_t i = 0; i < tile.rows; ++i) {
+      for (std::size_t j = 0; j < tile.cols; ++j) {
+        seen[{tile.row_begin + i, tile.col_begin + j}] += 1;
+      }
+    }
+  }, opts);
+  for (std::size_t i = 0; i < g.snps(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const auto key = std::make_pair(i, j);
+      EXPECT_EQ(seen.count(key), 1u) << i << "," << j;
+      EXPECT_EQ(seen[key], 1) << i << "," << j;
+    }
+  }
+}
+
+TEST(LdScan, ValuesMatchDenseDriver) {
+  const BitMatrix g = test_matrix(33, 120, 10);
+  const LdMatrix dense = ld_matrix(g);
+  LdOptions opts;
+  opts.slab_rows = 7;
+  ld_scan(g, [&](const LdTile& tile) {
+    for (std::size_t i = 0; i < tile.rows; ++i) {
+      for (std::size_t j = 0; j < tile.cols; ++j) {
+        const double want = dense(tile.row_begin + i, tile.col_begin + j);
+        const double got = tile.at(i, j);
+        if (std::isnan(want)) {
+          EXPECT_TRUE(std::isnan(got));
+        } else {
+          EXPECT_NEAR(got, want, 1e-12);
+        }
+      }
+    }
+  }, opts);
+}
+
+TEST(LdCrossScan, ValuesMatchDenseDriver) {
+  const BitMatrix a = test_matrix(21, 70, 11);
+  const BitMatrix b = test_matrix(13, 70, 12);
+  const LdMatrix dense = ld_cross_matrix(a, b);
+  LdOptions opts;
+  opts.slab_rows = 4;
+  std::size_t rows_seen = 0;
+  ld_cross_scan(a, b, [&](const LdTile& tile) {
+    rows_seen += tile.rows;
+    EXPECT_EQ(tile.cols, b.snps());
+    for (std::size_t i = 0; i < tile.rows; ++i) {
+      for (std::size_t j = 0; j < tile.cols; ++j) {
+        const double want = dense(tile.row_begin + i, j);
+        if (std::isnan(want)) {
+          EXPECT_TRUE(std::isnan(tile.at(i, j)));
+        } else {
+          EXPECT_NEAR(tile.at(i, j), want, 1e-12);
+        }
+      }
+    }
+  }, opts);
+  EXPECT_EQ(rows_seen, a.snps());
+}
+
+TEST(LdInvariants, SamplePermutationDoesNotChangeLd) {
+  // LD is a per-pair statistic over unordered samples: any consistent
+  // permutation of the sample axis leaves every value untouched.
+  const BitMatrix g = test_matrix(20, 90, 20);
+  Rng rng(99);
+  std::vector<std::size_t> perm(g.samples());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  BitMatrix shuffled(g.snps(), g.samples());
+  for (std::size_t s = 0; s < g.snps(); ++s) {
+    for (std::size_t i = 0; i < g.samples(); ++i) {
+      if (g.get(s, i)) shuffled.set(s, perm[i], true);
+    }
+  }
+  const LdMatrix a = ld_matrix(g);
+  const LdMatrix b = ld_matrix(shuffled);
+  for (std::size_t i = 0; i < g.snps(); ++i) {
+    for (std::size_t j = 0; j < g.snps(); ++j) {
+      if (std::isnan(a(i, j))) {
+        EXPECT_TRUE(std::isnan(b(i, j)));
+      } else {
+        EXPECT_DOUBLE_EQ(a(i, j), b(i, j)) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(LdInvariants, DuplicatingTheCohortDoesNotChangeLd) {
+  // Every count and Nseq double, so all frequencies — and therefore D and
+  // r^2 — are unchanged.
+  const BitMatrix g = test_matrix(15, 70, 21);
+  BitMatrix doubled(g.snps(), 2 * g.samples());
+  for (std::size_t s = 0; s < g.snps(); ++s) {
+    for (std::size_t i = 0; i < g.samples(); ++i) {
+      if (g.get(s, i)) {
+        doubled.set(s, i, true);
+        doubled.set(s, g.samples() + i, true);
+      }
+    }
+  }
+  for (LdStatistic stat :
+       {LdStatistic::kD, LdStatistic::kRSquared, LdStatistic::kDPrime}) {
+    LdOptions opts;
+    opts.stat = stat;
+    const LdMatrix a = ld_matrix(g, opts);
+    const LdMatrix b = ld_matrix(doubled, opts);
+    for (std::size_t i = 0; i < g.snps(); ++i) {
+      for (std::size_t j = 0; j < g.snps(); ++j) {
+        if (std::isnan(a(i, j))) {
+          EXPECT_TRUE(std::isnan(b(i, j)));
+        } else {
+          EXPECT_NEAR(a(i, j), b(i, j), 1e-12) << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(LdScan, RejectsZeroSlab) {
+  const BitMatrix g = test_matrix(4, 64, 13);
+  LdOptions opts;
+  opts.slab_rows = 0;
+  EXPECT_THROW(ld_scan(g, [](const LdTile&) {}, opts), ContractViolation);
+}
+
+TEST(LdScan, EmptyMatrixEmitsNothing) {
+  BitMatrix empty;
+  ld_scan(empty, [](const LdTile&) { FAIL() << "no tiles expected"; });
+}
+
+}  // namespace
+}  // namespace ldla

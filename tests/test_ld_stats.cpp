@@ -1,0 +1,139 @@
+#include "core/ld.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+// Hand-computed example: 8 haplotypes.
+//   SNP i: 1 1 1 1 0 0 0 0   (ci = 4, Pi = 0.5)
+//   SNP j: 1 1 0 0 1 0 0 0   (cj = 3, Pj = 0.375)
+//   AB:    1 1 0 0 0 0 0 0   (cij = 2, Pij = 0.25)
+// D = 0.25 - 0.5*0.375 = 0.0625
+// r^2 = D^2 / (0.5*0.375*0.5*0.625) = 0.00390625 / 0.05859375 = 1/15
+// D > 0: Dmax = min(Pi(1-Pj), (1-Pi)Pj) = min(0.3125, 0.1875) = 0.1875
+// D' = 0.0625 / 0.1875 = 1/3
+TEST(LdFormulas, HandComputedExample) {
+  EXPECT_DOUBLE_EQ(ld_d(4, 3, 2, 8), 0.0625);
+  EXPECT_DOUBLE_EQ(ld_r_squared(4, 3, 2, 8), 1.0 / 15.0);
+  EXPECT_DOUBLE_EQ(ld_d_prime(4, 3, 2, 8), 1.0 / 3.0);
+}
+
+TEST(LdFormulas, PerfectPositiveLd) {
+  // Identical SNPs: D = p - p^2, r^2 = 1, D' = 1.
+  EXPECT_DOUBLE_EQ(ld_r_squared(4, 4, 4, 8), 1.0);
+  EXPECT_DOUBLE_EQ(ld_d_prime(4, 4, 4, 8), 1.0);
+  EXPECT_DOUBLE_EQ(ld_d(4, 4, 4, 8), 0.25);
+}
+
+TEST(LdFormulas, PerfectNegativeAssociation) {
+  // Complementary SNPs (never co-occur): cij = 0.
+  EXPECT_DOUBLE_EQ(ld_d(4, 4, 0, 8), -0.25);
+  EXPECT_DOUBLE_EQ(ld_r_squared(4, 4, 0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(ld_d_prime(4, 4, 0, 8), -1.0);
+}
+
+TEST(LdFormulas, IndependenceGivesZero) {
+  // Pi = Pj = 0.5, Pij = 0.25 exactly.
+  EXPECT_DOUBLE_EQ(ld_d(4, 4, 2, 8), 0.0);
+  EXPECT_DOUBLE_EQ(ld_r_squared(4, 4, 2, 8), 0.0);
+  EXPECT_DOUBLE_EQ(ld_d_prime(4, 4, 2, 8), 0.0);
+}
+
+TEST(LdFormulas, MonomorphicSnpIsNaN) {
+  EXPECT_TRUE(std::isnan(ld_r_squared(0, 4, 0, 8)));
+  EXPECT_TRUE(std::isnan(ld_r_squared(8, 4, 4, 8)));
+  EXPECT_TRUE(std::isnan(ld_d_prime(0, 4, 0, 8)));
+  // D itself is still defined (zero) for monomorphic SNPs.
+  EXPECT_DOUBLE_EQ(ld_d(0, 4, 0, 8), 0.0);
+}
+
+TEST(LdFormulas, RejectsZeroSampleSize) {
+  EXPECT_THROW(ld_d(0, 0, 0, 0), ContractViolation);
+  EXPECT_THROW(ld_r_squared(0, 0, 0, 0), ContractViolation);
+  EXPECT_THROW(ld_d_prime(0, 0, 0, 0), ContractViolation);
+}
+
+TEST(LdFormulas, DispatchMatchesDirectCalls) {
+  EXPECT_DOUBLE_EQ(ld_value(LdStatistic::kD, 4, 3, 2, 8), ld_d(4, 3, 2, 8));
+  EXPECT_DOUBLE_EQ(ld_value(LdStatistic::kRSquared, 4, 3, 2, 8),
+                   ld_r_squared(4, 3, 2, 8));
+  EXPECT_DOUBLE_EQ(ld_value(LdStatistic::kDPrime, 4, 3, 2, 8),
+                   ld_d_prime(4, 3, 2, 8));
+}
+
+TEST(LdFormulas, StatisticNames) {
+  EXPECT_EQ(ld_statistic_name(LdStatistic::kD), "D");
+  EXPECT_EQ(ld_statistic_name(LdStatistic::kDPrime), "D'");
+  EXPECT_EQ(ld_statistic_name(LdStatistic::kRSquared), "r^2");
+}
+
+// Property sweep over random count tables: range invariants.
+TEST(LdFormulasProperty, RangesHoldOnRandomCounts) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    const std::uint64_t n = 2 + rng.next_below(1000);
+    const std::uint64_t ci = rng.next_below(n + 1);
+    const std::uint64_t cj = rng.next_below(n + 1);
+    // cij is constrained: max(0, ci+cj-n) <= cij <= min(ci, cj).
+    const std::uint64_t lo = ci + cj > n ? ci + cj - n : 0;
+    const std::uint64_t hi = std::min(ci, cj);
+    const std::uint64_t cij = lo + rng.next_below(hi - lo + 1);
+
+    const double d = ld_d(ci, cj, cij, n);
+    EXPECT_GE(d, -0.25 - 1e-12);
+    EXPECT_LE(d, 0.25 + 1e-12);
+
+    const double r2 = ld_r_squared(ci, cj, cij, n);
+    if (!std::isnan(r2)) {
+      EXPECT_GE(r2, 0.0);
+      EXPECT_LE(r2, 1.0);
+    }
+
+    const double dp = ld_d_prime(ci, cj, cij, n);
+    if (!std::isnan(dp)) {
+      EXPECT_GE(dp, -1.0);
+      EXPECT_LE(dp, 1.0);
+      // D and D' share a sign.
+      if (d > 1e-15) {
+        EXPECT_GE(dp, 0.0);
+      }
+      if (d < -1e-15) {
+        EXPECT_LE(dp, 0.0);
+      }
+    }
+  }
+}
+
+TEST(LdFormulasProperty, SymmetryInArguments) {
+  Rng rng(456);
+  for (int trial = 0; trial < 5'000; ++trial) {
+    const std::uint64_t n = 2 + rng.next_below(500);
+    const std::uint64_t ci = rng.next_below(n + 1);
+    const std::uint64_t cj = rng.next_below(n + 1);
+    const std::uint64_t lo = ci + cj > n ? ci + cj - n : 0;
+    const std::uint64_t hi = std::min(ci, cj);
+    const std::uint64_t cij = lo + rng.next_below(hi - lo + 1);
+
+    EXPECT_DOUBLE_EQ(ld_d(ci, cj, cij, n), ld_d(cj, ci, cij, n));
+    const double a = ld_r_squared(ci, cj, cij, n);
+    const double b = ld_r_squared(cj, ci, cij, n);
+    if (!std::isnan(a)) {
+      EXPECT_DOUBLE_EQ(a, b);
+    }
+  }
+}
+
+TEST(LdPairCount, MatchesFormula) {
+  EXPECT_EQ(ld_pair_count(0), 0u);
+  EXPECT_EQ(ld_pair_count(1), 1u);
+  EXPECT_EQ(ld_pair_count(10'000), 50'005'000u);  // the paper's ~50M
+}
+
+}  // namespace
+}  // namespace ldla

@@ -1,0 +1,205 @@
+#include "core/missing.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+// Scalar oracle directly from the Section VII formulas, per sample.
+double oracle_pair(const MaskedBitMatrix& g, std::size_t i, std::size_t j,
+                   LdStatistic stat) {
+  std::uint64_t ci = 0, cj = 0, cij = 0, nv = 0;
+  for (std::size_t s = 0; s < g.samples(); ++s) {
+    const bool vi = g.valid().get(i, s);
+    const bool vj = g.valid().get(j, s);
+    if (!vi || !vj) continue;
+    ++nv;
+    const bool si = g.states().get(i, s);
+    const bool sj = g.states().get(j, s);
+    ci += si;
+    cj += sj;
+    cij += si && sj;
+  }
+  return ld_value_missing(stat, ci, cj, cij, nv);
+}
+
+MaskedBitMatrix random_masked(std::size_t snps, std::size_t samples,
+                              double missing_rate, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> rows(snps);
+  for (auto& row : rows) {
+    row.resize(samples);
+    for (auto& c : row) {
+      if (rng.next_bool(missing_rate)) {
+        c = '-';
+      } else {
+        c = rng.next_bool(0.4) ? '1' : '0';
+      }
+    }
+  }
+  return MaskedBitMatrix::from_snp_strings(rows);
+}
+
+TEST(MaskedBitMatrix, FromStringsParsesAllSymbols) {
+  const std::vector<std::string> rows = {"01-N", "1100"};
+  const MaskedBitMatrix m = MaskedBitMatrix::from_snp_strings(rows);
+  EXPECT_EQ(m.snps(), 2u);
+  EXPECT_EQ(m.samples(), 4u);
+  EXPECT_FALSE(m.states().get(0, 0));
+  EXPECT_TRUE(m.states().get(0, 1));
+  EXPECT_TRUE(m.valid().get(0, 0));
+  EXPECT_TRUE(m.valid().get(0, 1));
+  EXPECT_FALSE(m.valid().get(0, 2));  // '-'
+  EXPECT_FALSE(m.valid().get(0, 3));  // 'N'
+  EXPECT_EQ(m.valid_count(0), 2u);
+  EXPECT_EQ(m.valid_count(1), 4u);
+}
+
+TEST(MaskedBitMatrix, RejectsBadSymbols) {
+  const std::vector<std::string> rows = {"01?0"};
+  EXPECT_THROW(MaskedBitMatrix::from_snp_strings(rows), ParseError);
+}
+
+TEST(MaskedBitMatrix, ConstructorEnforcesStateMaskInvariant) {
+  BitMatrix states(1, 4);
+  BitMatrix valid(1, 4);
+  states.set(0, 0, true);  // state set but invalid
+  states.set(0, 1, true);
+  valid.set(0, 1, true);
+  const MaskedBitMatrix m(std::move(states), std::move(valid));
+  EXPECT_FALSE(m.states().get(0, 0)) << "invalid state bit must be cleared";
+  EXPECT_TRUE(m.states().get(0, 1));
+}
+
+TEST(MaskedBitMatrix, RejectsDimensionMismatch) {
+  EXPECT_THROW(MaskedBitMatrix(BitMatrix(2, 4), BitMatrix(2, 5)),
+               ContractViolation);
+  EXPECT_THROW(MaskedBitMatrix(BitMatrix(2, 4), BitMatrix(3, 4)),
+               ContractViolation);
+}
+
+class MissingStat : public ::testing::TestWithParam<LdStatistic> {};
+
+TEST_P(MissingStat, GemmFormulationMatchesPerSampleOracle) {
+  const MaskedBitMatrix g = random_masked(23, 150, 0.15, 42);
+  LdOptions opts;
+  opts.stat = GetParam();
+  const LdMatrix got = ld_matrix_missing(g, opts);
+  for (std::size_t i = 0; i < g.snps(); ++i) {
+    for (std::size_t j = 0; j < g.snps(); ++j) {
+      const double want = oracle_pair(g, i, j, GetParam());
+      if (std::isnan(want)) {
+        EXPECT_TRUE(std::isnan(got(i, j))) << i << "," << j;
+      } else {
+        EXPECT_NEAR(got(i, j), want, 1e-12) << i << "," << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStatistics, MissingStat,
+                         ::testing::Values(LdStatistic::kD,
+                                           LdStatistic::kDPrime,
+                                           LdStatistic::kRSquared),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case LdStatistic::kD: return "D";
+                             case LdStatistic::kDPrime: return "DPrime";
+                             default: return "RSquared";
+                           }
+                         });
+
+TEST(Missing, AllValidReducesToPlainLd) {
+  // With no gaps, the masked computation must equal the ISM path exactly.
+  const MaskedBitMatrix masked = random_masked(19, 120, 0.0, 7);
+  const LdMatrix got = ld_matrix_missing(masked);
+  const LdMatrix want = ld_matrix(masked.states().clone());
+  for (std::size_t i = 0; i < 19; ++i) {
+    for (std::size_t j = 0; j < 19; ++j) {
+      if (std::isnan(want(i, j))) {
+        EXPECT_TRUE(std::isnan(got(i, j)));
+      } else {
+        EXPECT_DOUBLE_EQ(got(i, j), want(i, j));
+      }
+    }
+  }
+}
+
+TEST(Missing, FullyMissingPairIsNaN) {
+  const std::vector<std::string> rows = {"--11", "11--"};
+  const MaskedBitMatrix g = MaskedBitMatrix::from_snp_strings(rows);
+  const LdMatrix r2 = ld_matrix_missing(g);
+  EXPECT_TRUE(std::isnan(r2(0, 1)));
+  EXPECT_TRUE(std::isnan(r2(1, 0)));
+}
+
+TEST(Missing, CrossMatrixMatchesOracle) {
+  const MaskedBitMatrix a = random_masked(11, 100, 0.2, 8);
+  const MaskedBitMatrix b = random_masked(7, 100, 0.1, 9);
+  const LdMatrix got = ld_cross_matrix_missing(a, b);
+  for (std::size_t i = 0; i < a.snps(); ++i) {
+    for (std::size_t j = 0; j < b.snps(); ++j) {
+      std::uint64_t ci = 0, cj = 0, cij = 0, nv = 0;
+      for (std::size_t s = 0; s < a.samples(); ++s) {
+        if (!a.valid().get(i, s) || !b.valid().get(j, s)) continue;
+        ++nv;
+        ci += a.states().get(i, s);
+        cj += b.states().get(j, s);
+        cij += a.states().get(i, s) && b.states().get(j, s);
+      }
+      const double want = ld_value_missing(LdStatistic::kRSquared, ci, cj,
+                                           cij, nv);
+      if (std::isnan(want)) {
+        EXPECT_TRUE(std::isnan(got(i, j)));
+      } else {
+        EXPECT_NEAR(got(i, j), want, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Missing, ScanMatchesDenseDriver) {
+  const MaskedBitMatrix g = random_masked(41, 90, 0.2, 10);
+  const LdMatrix dense = ld_matrix_missing(g);
+  LdOptions opts;
+  opts.slab_rows = 7;
+  std::size_t covered = 0;
+  ld_scan_missing(g, [&](const LdTile& tile) {
+    for (std::size_t i = 0; i < tile.rows; ++i) {
+      for (std::size_t j = 0; j < tile.cols; ++j) {
+        const double want = dense(tile.row_begin + i, tile.col_begin + j);
+        const double got = tile.at(i, j);
+        if (std::isnan(want)) {
+          EXPECT_TRUE(std::isnan(got));
+        } else {
+          EXPECT_NEAR(got, want, 1e-12);
+        }
+        if (tile.col_begin + j <= tile.row_begin + i) ++covered;
+      }
+    }
+  }, opts);
+  EXPECT_EQ(covered, ld_pair_count(g.snps()));
+}
+
+TEST(Missing, ScanRejectsZeroSlab) {
+  const MaskedBitMatrix g = random_masked(5, 32, 0.1, 11);
+  LdOptions opts;
+  opts.slab_rows = 0;
+  EXPECT_THROW(ld_scan_missing(g, [](const LdTile&) {}, opts),
+               ContractViolation);
+}
+
+TEST(Missing, ValueMissingWithZeroValidIsNaN) {
+  EXPECT_TRUE(
+      std::isnan(ld_value_missing(LdStatistic::kRSquared, 0, 0, 0, 0)));
+}
+
+}  // namespace
+}  // namespace ldla

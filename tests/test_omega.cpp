@@ -1,0 +1,237 @@
+#include "omega/omega_stat.hpp"
+#include "omega/sweep_scan.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/sweep_sim.hpp"
+#include "sim/wright_fisher.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+// Brute-force omega for one split, straight from the definition.
+double omega_reference(const LdMatrix& r2, std::size_t l) {
+  const std::size_t w = r2.rows();
+  auto val = [&](std::size_t i, std::size_t j) {
+    const double v = r2(i, j);
+    return std::isfinite(v) ? v : 0.0;
+  };
+  double sum_l = 0, sum_r = 0, cross = 0;
+  for (std::size_t i = 0; i < w; ++i) {
+    for (std::size_t j = i + 1; j < w; ++j) {
+      if (j < l) {
+        sum_l += val(i, j);
+      } else if (i >= l) {
+        sum_r += val(i, j);
+      } else {
+        cross += val(i, j);
+      }
+    }
+  }
+  const double ld = static_cast<double>(l);
+  const double rd = static_cast<double>(w - l);
+  const double n_within = ld * (ld - 1) / 2 + rd * (rd - 1) / 2;
+  const double n_cross = ld * rd;
+  if (n_within <= 0 || n_cross <= 0) return 0.0;
+  const double denom = cross / n_cross;
+  if (denom <= 0) {
+    return (sum_l + sum_r) > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return ((sum_l + sum_r) / n_within) / denom;
+}
+
+LdMatrix random_r2(std::size_t w, std::uint64_t seed) {
+  WrightFisherParams p;
+  p.n_snps = w;
+  p.n_samples = 100;
+  p.seed = seed;
+  const BitMatrix g = simulate_genotypes(p);
+  return window_r2(g, 0, w);
+}
+
+TEST(OmegaStat, SplitMatchesBruteForce) {
+  const LdMatrix r2 = random_r2(20, 1);
+  for (std::size_t l = 1; l < 20; ++l) {
+    EXPECT_NEAR(omega_at_split(r2, l), omega_reference(r2, l), 1e-9)
+        << "split " << l;
+  }
+}
+
+TEST(OmegaStat, MaxFindsBestSplit) {
+  const LdMatrix r2 = random_r2(25, 2);
+  const OmegaMax best = omega_max(r2);
+  double want = 0.0;
+  std::size_t want_split = 0;
+  for (std::size_t l = 1; l < 25; ++l) {
+    const double o = omega_reference(r2, l);
+    if (o > want) {
+      want = o;
+      want_split = l;
+    }
+  }
+  EXPECT_NEAR(best.omega, want, 1e-9);
+  EXPECT_EQ(best.split, want_split);
+}
+
+TEST(OmegaStat, RejectsDegenerateSplits) {
+  const LdMatrix r2 = random_r2(6, 3);
+  EXPECT_THROW((void)omega_at_split(r2, 0), ContractViolation);
+  EXPECT_THROW((void)omega_at_split(r2, 6), ContractViolation);
+}
+
+TEST(OmegaStat, TinyWindowsAreSafe) {
+  LdMatrix r2(1, 1);
+  EXPECT_EQ(omega_max(r2).omega, 0.0);
+  LdMatrix r2b(2, 2);
+  r2b(0, 1) = r2b(1, 0) = 0.5;
+  // One pair, no within-group pairs on either side: omega defined as 0.
+  EXPECT_EQ(omega_max(r2b).omega, 0.0);
+}
+
+TEST(OmegaStat, BlockStructureProducesHighOmega) {
+  // Two perfectly correlated blocks with no cross correlation.
+  const std::size_t w = 10;
+  LdMatrix r2(w, w);
+  for (std::size_t i = 0; i < w; ++i) {
+    for (std::size_t j = 0; j < w; ++j) {
+      const bool same_block = (i < 5) == (j < 5);
+      r2(i, j) = same_block ? 0.9 : 0.01;
+    }
+  }
+  const OmegaMax best = omega_max(r2);
+  EXPECT_EQ(best.split, 5u);
+  EXPECT_GT(best.omega, 10.0);
+}
+
+TEST(WindowR2, MatchesFullLdMatrix) {
+  WrightFisherParams p;
+  p.n_snps = 30;
+  p.n_samples = 80;
+  p.seed = 4;
+  const BitMatrix g = simulate_genotypes(p);
+  const LdMatrix full = ld_matrix(g);
+  const LdMatrix win = window_r2(g, 10, 22);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      const double want = full(10 + i, 10 + j);
+      if (std::isnan(want)) {
+        EXPECT_TRUE(std::isnan(win(i, j)));
+      } else {
+        EXPECT_DOUBLE_EQ(win(i, j), want);
+      }
+    }
+  }
+}
+
+TEST(SweepScan, FindsPlantedSweep) {
+  SweepParams sp;
+  sp.base.n_snps = 600;
+  sp.base.n_samples = 200;
+  sp.base.switch_rate = 0.05;
+  sp.base.founders = 32;
+  sp.base.seed = 99;
+  sp.sweep_center = 0.5;
+  sp.sweep_width = 0.12;
+  sp.sweep_intensity = 0.95;
+  const SimulatedDataset data = simulate_sweep(sp);
+
+  SweepScanParams scan_params;
+  scan_params.grid_points = 25;
+  scan_params.window_snps = 30;
+  const auto scan = omega_scan(data.genotypes, data.positions, scan_params);
+  ASSERT_FALSE(scan.empty());
+  const OmegaPoint peak = omega_scan_peak(scan);
+  EXPECT_NEAR(peak.position, sp.sweep_center, 0.15)
+      << "omega peak should localize the sweep";
+}
+
+TEST(SweepScan, NeutralDataHasLowerPeakThanSweptData) {
+  WrightFisherParams neutral;
+  neutral.n_snps = 600;
+  neutral.n_samples = 200;
+  neutral.switch_rate = 0.05;
+  neutral.founders = 32;
+  neutral.seed = 99;
+  const SimulatedDataset nd = simulate_wright_fisher(neutral);
+
+  SweepParams sp;
+  sp.base = neutral;
+  sp.sweep_center = 0.5;
+  sp.sweep_width = 0.12;
+  sp.sweep_intensity = 0.95;
+  const SimulatedDataset sd = simulate_sweep(sp);
+
+  SweepScanParams scan_params;
+  scan_params.grid_points = 25;
+  scan_params.window_snps = 30;
+  const auto neutral_scan = omega_scan(nd.genotypes, nd.positions, scan_params);
+  const auto sweep_scan_r = omega_scan(sd.genotypes, sd.positions, scan_params);
+  const double neutral_peak = omega_scan_peak(neutral_scan).omega;
+  const double sweep_peak = omega_scan_peak(sweep_scan_r).omega;
+  EXPECT_GT(sweep_peak, neutral_peak)
+      << "sweep signature must raise omega above the neutral background";
+}
+
+TEST(SweepScan, WindowSearchNeverLosesToFixedWindow) {
+  SweepParams sp;
+  sp.base.n_snps = 400;
+  sp.base.n_samples = 120;
+  sp.base.seed = 55;
+  const SimulatedDataset d = simulate_sweep(sp);
+
+  SweepScanParams fixed;
+  fixed.grid_points = 12;
+  fixed.window_snps = 20;
+  const auto base_scan = omega_scan(d.genotypes, d.positions, fixed);
+
+  SweepScanParams searched = fixed;
+  searched.window_candidates = {10, 30, 40};
+  const auto search_scan = omega_scan(d.genotypes, d.positions, searched);
+
+  ASSERT_EQ(search_scan.size(), base_scan.size());
+  for (std::size_t i = 0; i < base_scan.size(); ++i) {
+    EXPECT_GE(search_scan[i].omega, base_scan[i].omega)
+        << "window search must dominate the fixed window at point " << i;
+  }
+}
+
+TEST(SweepScan, ParallelMatchesSequential) {
+  SweepParams sp;
+  sp.base.n_snps = 400;
+  sp.base.n_samples = 150;
+  sp.base.seed = 77;
+  const SimulatedDataset d = simulate_sweep(sp);
+  SweepScanParams params;
+  params.grid_points = 16;
+  params.window_snps = 20;
+  const auto seq = omega_scan(d.genotypes, d.positions, params);
+  for (unsigned t : {1u, 2u, 4u}) {
+    const auto par = omega_scan_parallel(d.genotypes, d.positions, params, t);
+    ASSERT_EQ(par.size(), seq.size()) << t << " threads";
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_DOUBLE_EQ(par[i].omega, seq[i].omega);
+      EXPECT_DOUBLE_EQ(par[i].position, seq[i].position);
+      EXPECT_EQ(par[i].best_split, seq[i].best_split);
+    }
+  }
+}
+
+TEST(SweepScan, RejectsBadInputs) {
+  WrightFisherParams p;
+  p.n_snps = 20;
+  p.n_samples = 50;
+  const SimulatedDataset d = simulate_wright_fisher(p);
+  std::vector<double> wrong_positions(5, 0.5);
+  EXPECT_THROW((void)omega_scan(d.genotypes, wrong_positions, {}),
+               ContractViolation);
+  SweepScanParams bad;
+  bad.grid_points = 0;
+  EXPECT_THROW((void)omega_scan(d.genotypes, d.positions, bad),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ldla

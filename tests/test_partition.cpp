@@ -1,0 +1,139 @@
+#include "util/partition.hpp"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+void expect_contiguous_cover(const std::vector<Range>& ranges, std::size_t n) {
+  ASSERT_FALSE(ranges.empty());
+  EXPECT_EQ(ranges.front().begin, 0u);
+  EXPECT_EQ(ranges.back().end, n);
+  for (std::size_t i = 0; i + 1 < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].end, ranges[i + 1].begin);
+    EXPECT_FALSE(ranges[i].empty());
+  }
+  EXPECT_FALSE(ranges.back().empty());
+}
+
+TEST(SplitUniform, CoversRangeExactly) {
+  for (std::size_t n : {1u, 5u, 64u, 1000u, 1001u}) {
+    for (std::size_t p : {1u, 2u, 3u, 7u, 16u}) {
+      expect_contiguous_cover(split_uniform(n, p), n);
+    }
+  }
+}
+
+TEST(SplitUniform, SizesDifferByAtMostOne) {
+  const auto ranges = split_uniform(1000, 7);
+  std::size_t lo = 1000, hi = 0;
+  for (const auto& r : ranges) {
+    lo = std::min(lo, r.size());
+    hi = std::max(hi, r.size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(SplitUniform, MorePartsThanItemsShrinks) {
+  const auto ranges = split_uniform(3, 10);
+  EXPECT_EQ(ranges.size(), 3u);
+  expect_contiguous_cover(ranges, 3);
+}
+
+TEST(SplitUniform, EmptyRangeYieldsNothing) {
+  EXPECT_TRUE(split_uniform(0, 4).empty());
+}
+
+TEST(SplitUniform, RejectsZeroParts) {
+  EXPECT_THROW(split_uniform(10, 0), ContractViolation);
+}
+
+TEST(SplitTriangle, CoversRangeExactly) {
+  for (std::size_t n : {1u, 2u, 10u, 257u, 1000u}) {
+    for (std::size_t p : {1u, 2u, 4u, 12u}) {
+      expect_contiguous_cover(split_triangle(n, p), n);
+    }
+  }
+}
+
+TEST(SplitTriangle, BalancesColumnWork) {
+  const std::size_t n = 10'000;
+  const auto ranges = split_triangle(n, 8);
+  const std::size_t total = n * (n + 1) / 2;
+  const std::size_t ideal = total / ranges.size();
+  for (const auto& r : ranges) {
+    const std::size_t w = triangle_work(n, r);
+    EXPECT_GT(w, ideal / 2) << "range too light";
+    EXPECT_LT(w, ideal * 2) << "range too heavy";
+  }
+}
+
+TEST(SplitTriangle, EarlierRangesAreNarrower) {
+  // Early columns own more pairs, so balanced column ranges must widen.
+  const auto ranges = split_triangle(10'000, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_LT(ranges.front().size(), ranges.back().size());
+}
+
+TEST(SplitTriangleRows, CoversRangeExactly) {
+  for (std::size_t n : {1u, 2u, 10u, 999u}) {
+    for (std::size_t p : {1u, 3u, 8u}) {
+      expect_contiguous_cover(split_triangle_rows(n, p), n);
+    }
+  }
+}
+
+TEST(SplitTriangleRows, BalancesRowWork) {
+  const std::size_t n = 10'000;
+  const auto ranges = split_triangle_rows(n, 8);
+  const std::size_t total = n * (n + 1) / 2;
+  const std::size_t ideal = total / ranges.size();
+  for (const auto& r : ranges) {
+    const std::size_t w = triangle_row_work(r);
+    EXPECT_GT(w, ideal / 2);
+    EXPECT_LT(w, ideal * 2);
+  }
+}
+
+TEST(SplitTriangleRows, LaterRangesAreNarrower) {
+  // Later rows own more pairs, so balanced row ranges must narrow.
+  const auto ranges = split_triangle_rows(10'000, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_GT(ranges.front().size(), ranges.back().size());
+}
+
+TEST(TriangleWork, MatchesBruteForce) {
+  const std::size_t n = 57;
+  for (std::size_t b = 0; b < n; b += 7) {
+    for (std::size_t e = b; e <= n; e += 11) {
+      std::size_t expected = 0;
+      for (std::size_t j = b; j < e; ++j) expected += n - j;
+      EXPECT_EQ(triangle_work(n, {b, e}), expected);
+    }
+  }
+}
+
+TEST(TriangleRowWork, MatchesBruteForce) {
+  for (std::size_t b = 0; b < 40; b += 3) {
+    for (std::size_t e = b; e <= 40; e += 5) {
+      std::size_t expected = 0;
+      for (std::size_t i = b; i < e; ++i) expected += i + 1;
+      EXPECT_EQ(triangle_row_work({b, e}), expected);
+    }
+  }
+}
+
+TEST(TriangleWork, SumOverPartitionIsTotal) {
+  const std::size_t n = 1234;
+  const auto ranges = split_triangle(n, 5);
+  std::size_t sum = 0;
+  for (const auto& r : ranges) sum += triangle_work(n, r);
+  EXPECT_EQ(sum, n * (n + 1) / 2);
+}
+
+}  // namespace
+}  // namespace ldla

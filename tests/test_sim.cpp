@@ -1,0 +1,303 @@
+#include "sim/fingerprint_sim.hpp"
+#include "sim/rng.hpp"
+#include "sim/sweep_sim.hpp"
+#include "sim/wright_fisher.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/ld.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BoundedValuesInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyTracksProbability) {
+  Rng rng(5);
+  int hits = 0;
+  constexpr int kTrials = 100'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.next_bool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory) {
+  Rng rng(6);
+  const double p = 0.1;
+  double sum = 0;
+  constexpr int kTrials = 50'000;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += static_cast<double>(rng.next_geometric(p));
+  }
+  // Mean of failures before success = (1-p)/p = 9.
+  EXPECT_NEAR(sum / kTrials, 9.0, 0.3);
+  EXPECT_THROW(rng.next_geometric(0.0), ContractViolation);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(7);
+  double sum = 0;
+  constexpr int kTrials = 50'000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.next_exponential(2.0);
+  EXPECT_NEAR(sum / kTrials, 0.5, 0.02);
+}
+
+// --- Wright-Fisher simulator -------------------------------------------------
+
+TEST(WrightFisher, ProducesRequestedDimensions) {
+  WrightFisherParams p;
+  p.n_snps = 123;
+  p.n_samples = 77;
+  const SimulatedDataset d = simulate_wright_fisher(p);
+  EXPECT_EQ(d.genotypes.snps(), 123u);
+  EXPECT_EQ(d.genotypes.samples(), 77u);
+  EXPECT_EQ(d.positions.size(), 123u);
+  EXPECT_TRUE(std::is_sorted(d.positions.begin(), d.positions.end()));
+  EXPECT_TRUE(d.genotypes.padding_is_clean());
+}
+
+TEST(WrightFisher, DeterministicForSeed) {
+  WrightFisherParams p;
+  p.n_snps = 40;
+  p.n_samples = 50;
+  p.seed = 11;
+  const BitMatrix a = simulate_genotypes(p);
+  const BitMatrix b = simulate_genotypes(p);
+  for (std::size_t s = 0; s < 40; ++s) {
+    EXPECT_EQ(a.snp_string(s), b.snp_string(s));
+  }
+}
+
+TEST(WrightFisher, MostSnpsArePolymorphic) {
+  WrightFisherParams p;
+  p.n_snps = 300;
+  p.n_samples = 200;
+  p.seed = 12;
+  const BitMatrix g = simulate_genotypes(p);
+  std::size_t polymorphic = 0;
+  for (std::size_t s = 0; s < g.snps(); ++s) {
+    const auto c = g.derived_count(s);
+    if (c > 0 && c < g.samples()) ++polymorphic;
+  }
+  EXPECT_GT(polymorphic, 250u);
+}
+
+TEST(WrightFisher, LdDecaysWithSnpDistance) {
+  WrightFisherParams p;
+  p.n_snps = 400;
+  p.n_samples = 300;
+  p.switch_rate = 0.02;
+  p.seed = 13;
+  const BitMatrix g = simulate_genotypes(p);
+  const LdMatrix r2 = ld_matrix(g);
+
+  auto mean_r2_at_lag = [&](std::size_t lag) {
+    double sum = 0;
+    std::size_t count = 0;
+    for (std::size_t i = lag; i < g.snps(); ++i) {
+      const double v = r2(i, i - lag);
+      if (std::isfinite(v)) {
+        sum += v;
+        ++count;
+      }
+    }
+    return sum / static_cast<double>(count);
+  };
+  const double near = mean_r2_at_lag(1);
+  const double mid = mean_r2_at_lag(20);
+  const double far = mean_r2_at_lag(200);
+  EXPECT_GT(near, mid) << "LD must decay with distance";
+  EXPECT_GT(mid, far) << "LD must keep decaying";
+  EXPECT_GT(near, 0.25) << "adjacent SNPs should be strongly linked";
+  EXPECT_LT(far, 0.15) << "distant SNPs should be nearly unlinked";
+}
+
+TEST(WrightFisher, SwitchRateControlsLdStrength) {
+  auto mean_adjacent_r2 = [](double switch_rate) {
+    WrightFisherParams p;
+    p.n_snps = 200;
+    p.n_samples = 200;
+    p.switch_rate = switch_rate;
+    p.seed = 14;
+    const BitMatrix g = simulate_genotypes(p);
+    const LdMatrix r2 = ld_matrix(g);
+    double sum = 0;
+    std::size_t count = 0;
+    for (std::size_t i = 1; i < g.snps(); ++i) {
+      if (std::isfinite(r2(i, i - 1))) {
+        sum += r2(i, i - 1);
+        ++count;
+      }
+    }
+    return sum / static_cast<double>(count);
+  };
+  EXPECT_GT(mean_adjacent_r2(0.005), mean_adjacent_r2(0.3));
+}
+
+TEST(WrightFisher, RejectsInvalidParameters) {
+  WrightFisherParams p;
+  p.n_snps = 0;
+  EXPECT_THROW(simulate_wright_fisher(p), ContractViolation);
+  p.n_snps = 10;
+  p.founders = 1;
+  EXPECT_THROW(simulate_wright_fisher(p), ContractViolation);
+  p.founders = 65;
+  EXPECT_THROW(simulate_wright_fisher(p), ContractViolation);
+  p.founders = 16;
+  p.switch_rate = 1.5;
+  EXPECT_THROW(simulate_wright_fisher(p), ContractViolation);
+  p.switch_rate = 0.1;
+  p.min_freq = 0.0;
+  EXPECT_THROW(simulate_wright_fisher(p), ContractViolation);
+}
+
+TEST(WrightFisher, WordBoundarySampleCounts) {
+  for (std::size_t samples : {63u, 64u, 65u, 127u, 128u, 129u}) {
+    WrightFisherParams p;
+    p.n_snps = 10;
+    p.n_samples = samples;
+    p.seed = samples;
+    const BitMatrix g = simulate_genotypes(p);
+    EXPECT_EQ(g.samples(), samples);
+    EXPECT_TRUE(g.padding_is_clean()) << samples << " samples";
+  }
+}
+
+// --- sweep simulator ----------------------------------------------------------
+
+TEST(SweepSim, ProducesRequestedDimensions) {
+  SweepParams sp;
+  sp.base.n_snps = 100;
+  sp.base.n_samples = 60;
+  const SimulatedDataset d = simulate_sweep(sp);
+  EXPECT_EQ(d.genotypes.snps(), 100u);
+  EXPECT_EQ(d.genotypes.samples(), 60u);
+  EXPECT_TRUE(d.genotypes.padding_is_clean());
+}
+
+TEST(SweepSim, FlankLdExceedsNeutralBackground) {
+  SweepParams sp;
+  sp.base.n_snps = 500;
+  sp.base.n_samples = 200;
+  sp.base.switch_rate = 0.05;
+  sp.base.seed = 21;
+  sp.sweep_center = 0.5;
+  sp.sweep_width = 0.15;
+  sp.sweep_intensity = 0.95;
+  const SimulatedDataset d = simulate_sweep(sp);
+  const LdMatrix r2 = ld_matrix(d.genotypes);
+
+  // Mean adjacent r^2 inside the sweep flanks vs far outside.
+  double in_sum = 0, out_sum = 0;
+  std::size_t in_n = 0, out_n = 0;
+  for (std::size_t i = 1; i < d.genotypes.snps(); ++i) {
+    const double v = r2(i, i - 1);
+    if (!std::isfinite(v)) continue;
+    const double pos = d.positions[i];
+    const double dist = std::abs(pos - sp.sweep_center);
+    if (dist < sp.sweep_width * 0.9) {
+      in_sum += v;
+      ++in_n;
+    } else if (dist > sp.sweep_width * 1.5) {
+      out_sum += v;
+      ++out_n;
+    }
+  }
+  ASSERT_GT(in_n, 10u);
+  ASSERT_GT(out_n, 10u);
+  EXPECT_GT(in_sum / static_cast<double>(in_n),
+            out_sum / static_cast<double>(out_n));
+}
+
+TEST(SweepSim, RejectsInvalidParameters) {
+  SweepParams sp;
+  sp.sweep_center = 1.5;
+  EXPECT_THROW(simulate_sweep(sp), ContractViolation);
+  sp.sweep_center = 0.5;
+  sp.sweep_width = 0.0;
+  EXPECT_THROW(simulate_sweep(sp), ContractViolation);
+  sp.sweep_width = 0.1;
+  sp.sweep_intensity = 2.0;
+  EXPECT_THROW(simulate_sweep(sp), ContractViolation);
+}
+
+// --- fingerprint simulator -----------------------------------------------------
+
+TEST(FingerprintSim, ProducesRequestedDimensions) {
+  FingerprintParams p;
+  p.count = 50;
+  p.bits = 300;
+  const BitMatrix fps = simulate_fingerprints(p);
+  EXPECT_EQ(fps.snps(), 50u);
+  EXPECT_EQ(fps.samples(), 300u);
+  EXPECT_TRUE(fps.padding_is_clean());
+}
+
+TEST(FingerprintSim, DensityRoughlyMatchesParameter) {
+  FingerprintParams p;
+  p.count = 100;
+  p.bits = 2048;
+  p.bit_density = 0.08;
+  p.noise = 0.0;
+  const BitMatrix fps = simulate_fingerprints(p);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < fps.snps(); ++i) total += fps.derived_count(i);
+  const double density = static_cast<double>(total) /
+                         (static_cast<double>(p.count) *
+                          static_cast<double>(p.bits));
+  EXPECT_NEAR(density, 0.08, 0.02);
+}
+
+TEST(FingerprintSim, RejectsInvalidParameters) {
+  FingerprintParams p;
+  p.count = 0;
+  EXPECT_THROW(simulate_fingerprints(p), ContractViolation);
+  p.count = 10;
+  p.clusters = 0;
+  EXPECT_THROW(simulate_fingerprints(p), ContractViolation);
+  p.clusters = 2;
+  p.bit_density = 1.0;
+  EXPECT_THROW(simulate_fingerprints(p), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ldla

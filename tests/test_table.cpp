@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"Threads", "Time", "Speedup"});
+  t.add_row({"1", "14.18", "7.48"});
+  t.add_row({"12", "5.29", "8.43"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Threads"), std::string::npos);
+  EXPECT_NE(s.find("14.18"), std::string::npos);
+  EXPECT_NE(s.find("8.43"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"x", "yyyy"});
+  t.add_row({"longvalue", "1"});
+  const std::string s = t.str();
+  // Each line must be equally long (aligned columns, trailing newline).
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t nl = s.find('\n', start);
+    const std::size_t len = nl - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = nl + 1;
+  }
+}
+
+TEST(FmtHelpers, FixedAndSci) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-1.0, 1), "-1.0");
+  EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(FmtHelpers, Percent) {
+  EXPECT_EQ(fmt_percent(0.8432, 1), "84.3%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace ldla

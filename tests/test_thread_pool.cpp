@@ -1,0 +1,104 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run_tasks(hits.size(),
+                 [&](std::size_t t) { hits[t].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  ThreadPool pool(2);
+  pool.run_tasks(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, SingleThreadPoolStillRunsTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.run_tasks(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SizeReportsWorkerCount) {
+  // The caller participates, so a pool of N spawns N-1 workers.
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 3u);
+  ThreadPool solo(1);
+  EXPECT_EQ(solo.size(), 0u);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  pool.parallel_for(10, 250, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard lock(mu);
+    for (std::size_t i = lo; i < hi; ++i) {
+      EXPECT_TRUE(seen.insert(i).second) << "index " << i << " visited twice";
+    }
+  });
+  EXPECT_EQ(seen.size(), 240u);
+  EXPECT_EQ(*seen.begin(), 10u);
+  EXPECT_EQ(*seen.rbegin(), 249u);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  pool.parallel_for(5, 5, [](std::size_t, std::size_t) {
+    FAIL() << "must not be called";
+  });
+}
+
+TEST(ThreadPool, ParallelForRejectsInvertedRange) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10, 5, [](std::size_t, std::size_t) {}),
+               ContractViolation);
+}
+
+TEST(ThreadPool, ResultsAreDeterministicAcrossRuns) {
+  // Summing into per-task slots then reducing must not depend on timing.
+  ThreadPool pool(4);
+  for (int run = 0; run < 5; ++run) {
+    std::vector<long> partial(64, 0);
+    pool.run_tasks(partial.size(), [&](std::size_t t) {
+      partial[t] = static_cast<long>(t * t);
+    });
+    long total = std::accumulate(partial.begin(), partial.end(), 0L);
+    EXPECT_EQ(total, 85344L);  // sum of t^2 for t in [0, 64)
+  }
+}
+
+TEST(ThreadPool, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.run_tasks(8, [&](std::size_t) { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 160);
+}
+
+TEST(GlobalPool, IsUsableAndStable) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> count{0};
+  a.run_tasks(4, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+}  // namespace
+}  // namespace ldla
