@@ -59,9 +59,14 @@ int main(int argc, char** argv) try {
   const auto top = std::min<std::size_t>(
       sorted.size(), static_cast<std::size_t>(args.integer("top")));
   for (std::size_t i = 0; i < top; ++i) {
-    table.add_row({"[" + std::to_string(sorted[i].begin) + "," +
-                       std::to_string(sorted[i].end) + ")",
-                   std::to_string(sorted[i].size()),
+    // Built up with += rather than one operator+ chain: GCC 12's -Wrestrict
+    // fires a false positive on `literal + std::string&&` at -O2+ (PR105329).
+    std::string span = "[";
+    span += std::to_string(sorted[i].begin);
+    span += ',';
+    span += std::to_string(sorted[i].end);
+    span += ')';
+    table.add_row({span, std::to_string(sorted[i].size()),
                    ldla::fmt_fixed(sorted[i].mean_r2, 3)});
   }
   std::fputs(table.str().c_str(), stdout);

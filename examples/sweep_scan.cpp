@@ -66,9 +66,15 @@ int main(int argc, char** argv) try {
   for (const auto& p : scan) {
     const int bar_len = max_omega > 0
         ? static_cast<int>(40.0 * p.omega / max_omega) : 0;
+    // Built up with += rather than one operator+ chain: GCC 12's -Wrestrict
+    // fires a false positive on `literal + std::string&&` at -O2+ (PR105329).
+    std::string window = "[";
+    window += std::to_string(p.window_begin);
+    window += ',';
+    window += std::to_string(p.window_end);
+    window += ')';
     table.add_row({ldla::fmt_fixed(p.position, 3), ldla::fmt_fixed(p.omega, 2),
-                   "[" + std::to_string(p.window_begin) + "," +
-                       std::to_string(p.window_end) + ")",
+                   window,
                    std::string(static_cast<std::size_t>(bar_len), '#')});
   }
   std::fputs(table.str().c_str(), stdout);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "util/aligned_buffer.hpp"
+#include "util/contract.hpp"
 
 namespace ldla {
 
@@ -30,7 +31,9 @@ struct BitMatrixView {
   std::size_t stride_words = 0;  ///< allocated words per row (>= n_words)
   std::size_t n_samples = 0;     ///< logical bits per row
 
-  [[nodiscard]] const std::uint64_t* row(std::size_t snp) const noexcept {
+  /// Row pointer; bounds-checked in debug / checked builds.
+  [[nodiscard]] const std::uint64_t* row(std::size_t snp) const {
+    LDLA_BOUNDS_CHECK(snp < n_snps, "view row index out of range");
     return data + snp * stride_words;
   }
   [[nodiscard]] bool empty() const noexcept { return n_snps == 0; }
@@ -67,10 +70,13 @@ class BitMatrix {
   void set(std::size_t snp, std::size_t sample, bool derived);
   [[nodiscard]] bool get(std::size_t snp, std::size_t sample) const;
 
-  [[nodiscard]] std::uint64_t* row_data(std::size_t snp) noexcept {
+  /// Raw row pointers; bounds-checked in debug / checked builds.
+  [[nodiscard]] std::uint64_t* row_data(std::size_t snp) {
+    LDLA_BOUNDS_CHECK(snp < n_snps_, "SNP row index out of range");
     return words_.data() + snp * stride_;
   }
-  [[nodiscard]] const std::uint64_t* row_data(std::size_t snp) const noexcept {
+  [[nodiscard]] const std::uint64_t* row_data(std::size_t snp) const {
+    LDLA_BOUNDS_CHECK(snp < n_snps_, "SNP row index out of range");
     return words_.data() + snp * stride_;
   }
   [[nodiscard]] std::span<const std::uint64_t> row(std::size_t snp) const {

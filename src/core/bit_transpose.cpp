@@ -1,5 +1,7 @@
 #include "core/bit_transpose.hpp"
 
+#include "util/contract.hpp"
+
 namespace ldla {
 
 void transpose_64x64(std::array<std::uint64_t, 64>& block) {
@@ -18,6 +20,8 @@ void transpose_64x64(std::array<std::uint64_t, 64>& block) {
 }
 
 BitMatrix transpose_bits(const BitMatrix& m) {
+  LDLA_EXPECT(m.snps() < (std::uint64_t{1} << 32),
+              "transposing would exceed the 2^32 sample limit");
   BitMatrix out(m.samples(), m.snps());
   if (m.snps() == 0 || m.samples() == 0) return out;
 

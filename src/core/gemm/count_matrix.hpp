@@ -16,7 +16,9 @@ struct CountMatrixRef {
   std::size_t cols = 0;
   std::size_t ld = 0;  ///< elements between consecutive rows (>= cols)
 
+  /// Element reference; bounds-checked in debug / checked builds.
   [[nodiscard]] std::uint32_t& at(std::size_t i, std::size_t j) const {
+    LDLA_BOUNDS_CHECK(i < rows && j < cols, "count matrix index out of range");
     return data[i * ld + j];
   }
 };

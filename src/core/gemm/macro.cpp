@@ -91,21 +91,24 @@ void gemm_count(const BitMatrixView& a, const BitMatrixView& b,
     for (std::size_t pc = 0; pc < k; pc += kc) {
       const std::size_t kcb = std::min(kc, k - pc);
       const std::size_t kcb_padded = (kcb + ku - 1) / ku * ku;
-      pack_panel(b, jc, ncb, pc, kcb, nr, ku, b_pack.data());
+      const PackedPanelView b_panel =
+          pack_panel_view(b, jc, ncb, pc, kcb, nr, ku, b_pack.data());
 
       // Loop 3 (ic): A row blocks — the L2-resident packed operand.
       for (std::size_t ic = 0; ic < m; ic += mc) {
         const std::size_t mcb = std::min(mc, m - ic);
-        pack_panel(a, ic, mcb, pc, kcb, mr, ku, a_pack.data());
+        const PackedPanelView a_panel =
+            pack_panel_view(a, ic, mcb, pc, kcb, mr, ku, a_pack.data());
 
         // Macro-kernel: loops 2 and 1 over register tiles.
         for (std::size_t jr = 0; jr < ncb; jr += nr) {
-          const std::uint64_t* bp = b_pack.data() + (jr / nr) * nr * kcb_padded;
+          const std::uint64_t* bp = b_panel.sliver(jr / nr);
           const std::size_t nrb = std::min(nr, ncb - jr);
           for (std::size_t ir = 0; ir < mcb; ir += mr) {
-            const std::uint64_t* ap =
-                a_pack.data() + (ir / mr) * mr * kcb_padded;
+            const std::uint64_t* ap = a_panel.sliver(ir / mr);
             const std::size_t mrb = std::min(mr, mcb - ir);
+            LDLA_ASSERT_ALIGNED(ap, 8);
+            LDLA_ASSERT_ALIGNED(bp, 8);
             if (mrb == mr && nrb == nr) {
               kern.fn(kcb_padded, ap, bp, &c.at(ic + ir, jc + jr), c.ld);
             } else {

@@ -20,6 +20,7 @@ void pack_panel(const BitMatrixView& m, std::size_t row_begin,
   LDLA_EXPECT(r > 0 && ku > 0, "register blocking must be positive");
   LDLA_EXPECT(row_begin <= m.n_snps, "row range starts past the matrix");
   LDLA_EXPECT(k_begin <= m.n_words, "k range starts past the row payload");
+  LDLA_ASSERT_ALIGNED(out, 8);
 
   const std::size_t slivers = (rows + r - 1) / r;
   const std::size_t kc_padded = (kc + ku - 1) / ku * ku;
@@ -50,6 +51,16 @@ void pack_panel(const BitMatrixView& m, std::size_t row_begin,
       }
     }
   }
+}
+
+PackedPanelView pack_panel_view(const BitMatrixView& m, std::size_t row_begin,
+                                std::size_t rows, std::size_t k_begin,
+                                std::size_t kc, std::size_t r, std::size_t ku,
+                                std::uint64_t* out) {
+  LDLA_ASSERT_ALIGNED(out, 64);
+  pack_panel(m, row_begin, rows, k_begin, kc, r, ku, out);
+  const std::size_t kc_padded = (kc + ku - 1) / ku * ku;
+  return PackedPanelView{out, (rows + r - 1) / r, r, kc_padded};
 }
 
 }  // namespace ldla

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "core/bit_matrix.hpp"
+#include "util/contract.hpp"
 
 namespace ldla {
 
@@ -18,6 +19,26 @@ namespace ldla {
 /// `r` and k-unroll `ku` (rows rounds up to a multiple of r, kc to ku).
 std::size_t packed_panel_words(std::size_t rows, std::size_t kc, std::size_t r,
                                std::size_t ku);
+
+/// Non-owning view of a packed operand panel: `slivers` groups of `r` rows,
+/// each `kc_padded` words long in the interleaved layout the micro-kernels
+/// consume (see kernel.hpp). Sliver lookup is bounds-checked in debug /
+/// checked builds, so macro-kernel indexing bugs fault loudly instead of
+/// reading past the packing buffer.
+struct PackedPanelView {
+  const std::uint64_t* data = nullptr;
+  std::size_t slivers = 0;    ///< number of r-row groups
+  std::size_t r = 0;          ///< register blocking (rows per sliver)
+  std::size_t kc_padded = 0;  ///< words per row, padded to the k-unroll
+
+  [[nodiscard]] const std::uint64_t* sliver(std::size_t s) const {
+    LDLA_BOUNDS_CHECK(s < slivers, "packed panel sliver out of range");
+    return data + s * r * kc_padded;
+  }
+  [[nodiscard]] std::size_t words() const noexcept {
+    return slivers * r * kc_padded;
+  }
+};
 
 /// Pack rows [row_begin, row_begin+rows) and words [k_begin, k_begin+kc)
 /// of `m` into `out` using the layout documented in kernel.hpp:
@@ -31,5 +52,12 @@ std::size_t packed_panel_words(std::size_t rows, std::size_t kc, std::size_t r,
 void pack_panel(const BitMatrixView& m, std::size_t row_begin,
                 std::size_t rows, std::size_t k_begin, std::size_t kc,
                 std::size_t r, std::size_t ku, std::uint64_t* out);
+
+/// pack_panel + a bounds-checked view over the packed result. `out` must be
+/// 64-byte aligned (the packing buffers are AlignedBuffer-backed).
+PackedPanelView pack_panel_view(const BitMatrixView& m, std::size_t row_begin,
+                                std::size_t rows, std::size_t k_begin,
+                                std::size_t kc, std::size_t r, std::size_t ku,
+                                std::uint64_t* out);
 
 }  // namespace ldla

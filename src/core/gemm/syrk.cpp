@@ -51,26 +51,29 @@ void syrk_count(const BitMatrixView& a, CountMatrixRef c,
     for (std::size_t pc = 0; pc < k; pc += kc) {
       const std::size_t kcb = std::min(kc, k - pc);
       const std::size_t kcb_padded = (kcb + ku - 1) / ku * ku;
-      pack_panel(a, jc, ncb, pc, kcb, nr, ku, b_pack.data());
+      const PackedPanelView b_panel =
+          pack_panel_view(a, jc, ncb, pc, kcb, nr, ku, b_pack.data());
 
       // Only row blocks that intersect the lower triangle of this column
       // panel: rows >= jc (snapped down to an mc boundary).
       const std::size_t ic_start = (jc / mc) * mc;
       for (std::size_t ic = ic_start; ic < n; ic += mc) {
         const std::size_t mcb = std::min(mc, n - ic);
-        pack_panel(a, ic, mcb, pc, kcb, mr, ku, a_pack.data());
+        const PackedPanelView a_panel =
+            pack_panel_view(a, ic, mcb, pc, kcb, mr, ku, a_pack.data());
 
         for (std::size_t jr = 0; jr < ncb; jr += nr) {
-          const std::uint64_t* bp = b_pack.data() + (jr / nr) * nr * kcb_padded;
+          const std::uint64_t* bp = b_panel.sliver(jr / nr);
           const std::size_t nrb = std::min(nr, ncb - jr);
           const std::size_t j_global = jc + jr;
           for (std::size_t ir = 0; ir < mcb; ir += mr) {
             const std::size_t i_global = ic + ir;
             // Skip tiles strictly above the diagonal band.
             if (i_global + mr <= j_global) continue;
-            const std::uint64_t* ap =
-                a_pack.data() + (ir / mr) * mr * kcb_padded;
+            const std::uint64_t* ap = a_panel.sliver(ir / mr);
             const std::size_t mrb = std::min(mr, mcb - ir);
+            LDLA_ASSERT_ALIGNED(ap, 8);
+            LDLA_ASSERT_ALIGNED(bp, 8);
             if (mrb == mr && nrb == nr && i_global >= j_global + nr - 1) {
               // Tile entirely on/below the diagonal: write straight to C.
               kern.fn(kcb_padded, ap, bp, &c.at(i_global, j_global), c.ld);

@@ -1,5 +1,6 @@
 #include "io/ldm_binary.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
@@ -47,6 +48,31 @@ BitMatrix read_ldm(std::istream& in) {
   if (!in || magic != kMagic) throw ParseError("ldm: bad magic");
   const std::uint64_t snps = read_u64(in);
   const std::uint64_t samples = read_u64(in);
+  if (samples >= (std::uint64_t{1} << 32)) {
+    throw ParseError("ldm: sample count exceeds the 2^32 format limit");
+  }
+  // Zero-sample rows carry no payload bytes, so the stream-size guard below
+  // cannot bound `snps` — a forged header could make us spin over billions
+  // of phantom rows. Reject the degenerate shape outright.
+  if (samples == 0 && snps != 0) {
+    throw ParseError("ldm: SNP rows with zero samples");
+  }
+  // A forged header must not drive a huge allocation: when the stream is
+  // seekable (files, string streams), require the advertised payload to fit
+  // in the bytes that actually remain.
+  const std::istream::pos_type here = in.tellg();
+  if (here != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::istream::pos_type end = in.tellg();
+    in.clear();
+    in.seekg(here);
+    const auto remaining =
+        static_cast<std::uint64_t>(std::max<std::streamoff>(0, end - here));
+    const std::uint64_t words = words_for_bits(samples);
+    if (words != 0 && snps > remaining / sizeof(std::uint64_t) / words) {
+      throw ParseError("ldm: header advertises more payload than the stream");
+    }
+  }
 
   BitMatrix m(snps, samples);
   for (std::size_t s = 0; s < m.snps(); ++s) {

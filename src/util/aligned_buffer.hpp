@@ -9,6 +9,8 @@
 #include <span>
 #include <type_traits>
 
+#include "util/contract.hpp"
+
 namespace ldla {
 
 /// Default alignment: one cache line, which also satisfies AVX-512 loads.
@@ -68,8 +70,15 @@ class AlignedBuffer {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
-  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+  // Bounds-checked in debug / checked builds; the functions stay noexcept,
+  // so a violation terminates rather than unwinding (exercised by the
+  // contract death tests).
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    LDLA_BOUNDS_CHECK(i < size_, "buffer index out of range");
+    return data_[i];
+  }
   [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    LDLA_BOUNDS_CHECK(i < size_, "buffer index out of range");
     return data_[i];
   }
 

@@ -1,13 +1,30 @@
 // Lightweight contract checking used across ldla.
 //
-// LDLA_EXPECT   — precondition on public API boundaries; always checked,
-//                 throws ldla::ContractViolation so callers can test misuse.
-// LDLA_ASSERT   — internal invariant; checked in debug builds only.
+// LDLA_EXPECT         — precondition on public API boundaries; always checked,
+//                       throws ldla::ContractViolation so callers can test
+//                       misuse.
+// LDLA_ASSERT         — internal invariant; checked in debug / checked builds.
+// LDLA_ASSERT_MSG     — LDLA_ASSERT with a custom diagnostic.
+// LDLA_ASSERT_ALIGNED — debug-checked pointer alignment at kernel boundaries.
+// LDLA_BOUNDS_CHECK   — debug bounds guard for hot accessors; compiles to
+//                       nothing in plain release builds.
+//
+// Checked builds: the debug-only macros are active when NDEBUG is not
+// defined, or when LDLA_BOUNDS_CHECKS is defined (the sanitizer presets set
+// it so ASan/UBSan/TSan runs also exercise the logical contracts at full
+// optimization).
 #pragma once
 
+#include <cstdint>
 #include <source_location>
 #include <stdexcept>
 #include <string>
+
+#if !defined(NDEBUG) || defined(LDLA_BOUNDS_CHECKS)
+#define LDLA_CHECKED_BUILD 1
+#else
+#define LDLA_CHECKED_BUILD 0
+#endif
 
 namespace ldla {
 
@@ -37,6 +54,11 @@ namespace detail {
                           std::to_string(loc.line()) + ": requirement (" +
                           expr + ") failed: " + msg);
 }
+
+[[nodiscard]] inline bool is_aligned(const void* p,
+                                     std::size_t alignment) noexcept {
+  return (reinterpret_cast<std::uintptr_t>(p) % alignment) == 0;
+}
 }  // namespace detail
 
 }  // namespace ldla
@@ -47,8 +69,16 @@ namespace detail {
       ::ldla::detail::contract_fail(#cond, (msg)); \
   } while (0)
 
-#ifdef NDEBUG
-#define LDLA_ASSERT(cond) ((void)0)
-#else
+#if LDLA_CHECKED_BUILD
 #define LDLA_ASSERT(cond) LDLA_EXPECT(cond, "internal invariant")
+#define LDLA_ASSERT_MSG(cond, msg) LDLA_EXPECT(cond, msg)
+#define LDLA_BOUNDS_CHECK(cond, msg) LDLA_EXPECT(cond, msg)
+#define LDLA_ASSERT_ALIGNED(ptr, alignment)                      \
+  LDLA_EXPECT(::ldla::detail::is_aligned((ptr), (alignment)),    \
+              "pointer is not aligned to " #alignment " bytes")
+#else
+#define LDLA_ASSERT(cond) ((void)0)
+#define LDLA_ASSERT_MSG(cond, msg) ((void)0)
+#define LDLA_BOUNDS_CHECK(cond, msg) ((void)0)
+#define LDLA_ASSERT_ALIGNED(ptr, alignment) ((void)0)
 #endif

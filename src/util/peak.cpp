@@ -116,7 +116,8 @@ measure_vector_triples() {
   const double sec = t.seconds();
   const __m512i sum =
       _mm512_add_epi64(_mm512_add_epi64(acc0, acc1), _mm512_add_epi64(acc2, acc3));
-  const std::uint64_t total = _mm512_reduce_add_epi64(sum);
+  const auto total =
+      static_cast<std::uint64_t>(_mm512_reduce_add_epi64(sum));
   do_not_optimize(total);
   return static_cast<double>(kWords) * kRepeats / sec;
 #else

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "util/contract.hpp"
 
@@ -9,7 +10,7 @@ namespace ldla {
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   // The caller participates in run_tasks, so spawn one fewer worker.
-  const unsigned spawned = threads > 0 ? threads - 1 : 0;
+  const unsigned spawned = threads - 1;
   workers_.reserve(spawned);
   for (unsigned i = 0; i < spawned; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -25,6 +26,14 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::finish_one(TaskGroup& group,
+                            std::exception_ptr error) noexcept {
+  std::lock_guard lock(mutex_);
+  if (error && !group.first_error) group.first_error = std::move(error);
+  LDLA_ASSERT(group.remaining > 0);
+  if (--group.remaining == 0) cv_done_.notify_all();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
@@ -35,12 +44,9 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop();
     }
+    // Jobs are wrappers built in run_tasks that catch every exception and
+    // record it in their group, so nothing can escape and terminate here.
     job();
-    {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) cv_done_.notify_all();
-    }
   }
 }
 
@@ -48,23 +54,60 @@ void ThreadPool::run_tasks(std::size_t tasks,
                            const std::function<void(std::size_t)>& fn) {
   if (tasks == 0) return;
   if (tasks == 1 || workers_.empty()) {
-    for (std::size_t t = 0; t < tasks; ++t) fn(t);
+    // Inline execution, with the same drain-then-rethrow semantics as the
+    // pooled path: every task runs even if an earlier one throws, and the
+    // first exception is rethrown afterwards.
+    std::exception_ptr first_error;
+    for (std::size_t t = 0; t < tasks; ++t) {
+      try {
+        fn(t);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
-  // Enqueue all but the last task; the caller runs the last one, then helps
-  // drain by waiting on the completion condition.
+  // Every call gets a private group, so concurrent run_tasks calls on the
+  // same pool interleave safely: workers only touch the group their job
+  // belongs to. `group` and `fn` outlive the jobs because this function
+  // does not return before `remaining` hits zero.
+  TaskGroup group;
+  group.remaining = tasks;
   {
     std::lock_guard lock(mutex_);
-    LDLA_ASSERT(in_flight_ == 0);
-    in_flight_ = tasks - 1;
     for (std::size_t t = 0; t + 1 < tasks; ++t) {
-      queue_.emplace([&fn, t] { fn(t); });
+      queue_.emplace([this, &group, &fn, t] {
+        std::exception_ptr error;
+        try {
+          fn(t);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        finish_one(group, std::move(error));
+      });
     }
   }
   cv_work_.notify_all();
-  fn(tasks - 1);
+  // The caller runs the last slice, then helps drain by waiting on the
+  // group's completion. A throw from the caller's own slice must not leave
+  // queued jobs referencing a dead group, so it is captured the same way.
+  {
+    std::exception_ptr error;
+    try {
+      fn(tasks - 1);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    finish_one(group, std::move(error));
+  }
   std::unique_lock lock(mutex_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  cv_done_.wait(lock, [&group] { return group.remaining == 0; });
+  if (group.first_error) {
+    std::exception_ptr error = std::move(group.first_error);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::parallel_for(

@@ -3,6 +3,14 @@
 // The LD drivers parallelize by handing each worker an independent column
 // slab (no shared mutable state), so the pool only needs fork-join task
 // groups — no work stealing.
+//
+// Concurrency contract:
+//  - run_tasks / parallel_for are safe to call from multiple threads
+//    concurrently on the same pool (including global_pool()): every call
+//    owns a private task group, so completion tracking never crosses calls.
+//  - Exceptions thrown by tasks do not escape worker threads. The first
+//    exception (by completion order) is captured, the group is drained to
+//    completion, and the exception is rethrown on the calling thread.
 #pragma once
 
 #include <condition_variable>
@@ -31,6 +39,8 @@ class ThreadPool {
   /// Run fn(t) for t in [0, tasks) across the pool and wait for completion.
   /// The calling thread participates, so a pool of size 1 still provides
   /// two-way overlap-free execution with zero queueing overhead.
+  /// If any task throws, the first captured exception is rethrown here after
+  /// every task of this call has finished.
   void run_tasks(std::size_t tasks, const std::function<void(std::size_t)>& fn);
 
   /// Split [begin, end) into contiguous chunks, one per worker (including
@@ -39,14 +49,22 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
+  // One fork-join batch. Guarded by the pool mutex; `remaining` counts tasks
+  // not yet finished (including the caller's slice), `first_error` holds the
+  // earliest-completing failure.
+  struct TaskGroup {
+    std::size_t remaining = 0;
+    std::exception_ptr first_error;
+  };
+
   void worker_loop();
+  void finish_one(TaskGroup& group, std::exception_ptr error) noexcept;
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   std::queue<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;
   bool stop_ = false;
 };
 

@@ -1,0 +1,29 @@
+// Fuzz harness for the .ldm binary snapshot reader, with a write/reread
+// round-trip oracle on accepted inputs.
+#include <sstream>
+#include <string>
+
+#include "core/bit_matrix.hpp"
+#include "fuzz_target.hpp"
+#include "io/ldm_binary.hpp"
+#include "util/contract.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string bytes(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(bytes, std::ios::binary);
+  try {
+    const ldla::BitMatrix m = ldla::read_ldm(in);
+    ldla::fuzz::require(m.padding_is_clean(),
+                        "ldm: accepted matrix has dirty padding");
+    std::ostringstream out(std::ios::binary);
+    ldla::write_ldm(out, m);
+    std::istringstream back(out.str(), std::ios::binary);
+    const ldla::BitMatrix again = ldla::read_ldm(back);
+    ldla::fuzz::require(again.snps() == m.snps(), "ldm: round-trip SNP count");
+    ldla::fuzz::require(again.samples() == m.samples(),
+                        "ldm: round-trip sample count");
+  } catch (const ldla::Error&) {
+  }
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "fuzz_target.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ldla::fuzz {
+
+void invariant_failure(const char* what) {
+  std::fprintf(stderr, "fuzz invariant violated: %s\n", what);
+  std::abort();
+}
+
+}  // namespace ldla::fuzz

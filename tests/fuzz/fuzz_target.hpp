@@ -1,0 +1,31 @@
+// Shared entry point for the ldla fuzz harnesses.
+//
+// Each harness defines LLVMFuzzerTestOneInput over one parser. With clang,
+// build with -DLDLA_LIBFUZZER=ON to link libFuzzer and fuzz for real; with
+// any toolchain, the default build links driver_main.cpp, which replays the
+// checked-in seed corpus plus deterministic mutations of it (a regression
+// and smoke harness that needs no special compiler support).
+//
+// Harness contract: for arbitrary input bytes the parser either succeeds —
+// in which case the parsed object must satisfy its structural invariants —
+// or throws ldla::Error. Any other exception, trap, or sanitizer report is
+// a finding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace ldla::fuzz {
+
+/// Abort loudly when a parsed object violates an invariant; used instead of
+/// assert so the check survives NDEBUG builds.
+[[noreturn]] void invariant_failure(const char* what);
+
+inline void require(bool ok, const char* what) {
+  if (!ok) invariant_failure(what);
+}
+
+}  // namespace ldla::fuzz

@@ -1,0 +1,28 @@
+// Fuzz harness for the VCF-lite parser.
+#include <sstream>
+#include <string>
+
+#include "fuzz_target.hpp"
+#include "io/vcf_lite.hpp"
+#include "util/contract.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  // The first byte steers skip_invalid so both modes stay covered.
+  const bool skip_invalid = !text.empty() && (text[0] & 1) != 0;
+  std::istringstream in(text);
+  try {
+    const ldla::VcfData d = ldla::parse_vcf(in, skip_invalid);
+    ldla::fuzz::require(d.genotypes.padding_is_clean(),
+                        "vcf: accepted matrix has dirty padding");
+    ldla::fuzz::require(d.positions.size() == d.genotypes.snps(),
+                        "vcf: positions out of sync with SNP count");
+    ldla::fuzz::require(d.ids.size() == d.genotypes.snps(),
+                        "vcf: ids out of sync with SNP count");
+  } catch (const ldla::Error&) {
+    // Rejection with the library's error type is the expected outcome for
+    // malformed input; anything else escapes and counts as a crash.
+  }
+  return 0;
+}

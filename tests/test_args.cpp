@@ -75,7 +75,7 @@ TEST(ArgParser, RejectsNonNumericInteger) {
   ArgParser p = make_parser();
   const char* argv[] = {"prog", "--snps", "12abc"};
   ASSERT_TRUE(p.parse(3, argv));
-  EXPECT_THROW(p.integer("snps"), Error);
+  EXPECT_THROW((void)p.integer("snps"), Error);
 }
 
 TEST(ArgParser, HelpShortCircuits) {
@@ -103,8 +103,8 @@ TEST(ArgParser, LookupOfUnregisteredNameThrows) {
   ArgParser p = make_parser();
   const char* argv[] = {"prog"};
   ASSERT_TRUE(p.parse(1, argv));
-  EXPECT_THROW(p.flag("nope"), ContractViolation);
-  EXPECT_THROW(p.str("nope"), ContractViolation);
+  EXPECT_THROW((void)p.flag("nope"), ContractViolation);
+  EXPECT_THROW((void)p.str("nope"), ContractViolation);
 }
 
 }  // namespace

@@ -1,19 +1,13 @@
-// Randomized differential and robustness ("fuzz") suites.
+// Randomized GEMM differential fuzz: random shapes, densities, kernels and
+// blocking parameters must always match the per-bit oracle.
 //
-// 1. GEMM differential fuzz: random shapes, densities, kernels and blocking
-//    parameters must always match the per-bit oracle.
-// 2. Parser robustness: randomly mutated inputs either parse or throw
-//    ParseError/Error — never crash, never return corrupt matrices.
-#include <sstream>
-#include <string>
-
+// Parser robustness fuzzing lives in tests/fuzz/ (libFuzzer harnesses with
+// a corpus-replay driver), registered with ctest as fuzz_*_replay.
 #include <gtest/gtest.h>
 
 #include "baselines/naive.hpp"
 #include "core/gemm/macro.hpp"
 #include "core/gemm/syrk.hpp"
-#include "io/ms_format.hpp"
-#include "io/vcf_lite.hpp"
 #include "sim/rng.hpp"
 #include "util/contract.hpp"
 
@@ -90,124 +84,6 @@ TEST(GemmFuzz, RandomSymmetricShapesMatchOracle) {
       }
     }
   }
-}
-
-// --- parser robustness -------------------------------------------------------
-
-std::string valid_ms_text(Rng& rng) {
-  const std::size_t segsites = 1 + rng.next_below(20);
-  const std::size_t samples = 1 + rng.next_below(10);
-  std::ostringstream out;
-  out << "ms " << samples << " 1\n1 2 3\n\n//\nsegsites: " << segsites
-      << "\npositions:";
-  for (std::size_t s = 0; s < segsites; ++s) {
-    out << " " << static_cast<double>(s) / static_cast<double>(segsites);
-  }
-  out << "\n";
-  for (std::size_t h = 0; h < samples; ++h) {
-    for (std::size_t s = 0; s < segsites; ++s) {
-      out << (rng.next_bool(0.5) ? '1' : '0');
-    }
-    out << "\n";
-  }
-  out << "\n";
-  return out.str();
-}
-
-TEST(ParserFuzz, MutatedMsNeverCrashes) {
-  Rng rng(0xABCD);
-  int parsed = 0, rejected = 0;
-  for (int trial = 0; trial < 400; ++trial) {
-    std::string text = valid_ms_text(rng);
-    // Apply a handful of random byte mutations.
-    const std::size_t mutations = 1 + rng.next_below(4);
-    for (std::size_t m = 0; m < mutations; ++m) {
-      const std::size_t pos = rng.next_below(text.size());
-      const char c = static_cast<char>(32 + rng.next_below(95));
-      text[pos] = c;
-    }
-    std::istringstream in(text);
-    try {
-      const auto reps = parse_ms(in);
-      for (const auto& rep : reps) {
-        // Any accepted matrix must satisfy the packing invariant.
-        EXPECT_TRUE(rep.genotypes.padding_is_clean());
-        EXPECT_EQ(rep.positions.size(), rep.genotypes.snps());
-      }
-      ++parsed;
-    } catch (const Error&) {
-      ++rejected;
-    }
-  }
-  // Sanity: mutations must actually trigger both outcomes.
-  EXPECT_GT(parsed, 0);
-  EXPECT_GT(rejected, 0);
-}
-
-std::string valid_vcf_text(Rng& rng) {
-  const std::size_t snps = 1 + rng.next_below(10);
-  const std::size_t inds = 1 + rng.next_below(6);
-  std::ostringstream out;
-  out << "##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\t"
-         "INFO\tFORMAT";
-  for (std::size_t i = 0; i < inds; ++i) out << "\tS" << i;
-  out << "\n";
-  for (std::size_t s = 0; s < snps; ++s) {
-    out << "1\t" << (100 + s * 10) << "\trs" << s << "\tA\tG\t.\tPASS\t.\tGT";
-    for (std::size_t i = 0; i < inds; ++i) {
-      out << '\t' << (rng.next_bool(0.5) ? '1' : '0') << '|'
-          << (rng.next_bool(0.5) ? '1' : '0');
-    }
-    out << "\n";
-  }
-  return out.str();
-}
-
-TEST(ParserFuzz, MutatedVcfNeverCrashes) {
-  Rng rng(0x1234);
-  int parsed = 0, rejected = 0;
-  for (int trial = 0; trial < 400; ++trial) {
-    std::string text = valid_vcf_text(rng);
-    const std::size_t mutations = 1 + rng.next_below(4);
-    for (std::size_t m = 0; m < mutations; ++m) {
-      text[rng.next_below(text.size())] =
-          static_cast<char>(32 + rng.next_below(95));
-    }
-    std::istringstream in(text);
-    try {
-      const VcfData d = parse_vcf(in, /*skip_invalid=*/rng.next_bool(0.5));
-      EXPECT_TRUE(d.genotypes.padding_is_clean());
-      EXPECT_EQ(d.positions.size(), d.genotypes.snps());
-      ++parsed;
-    } catch (const Error&) {
-      ++rejected;
-    }
-  }
-  EXPECT_GT(parsed, 0);
-  EXPECT_GT(rejected, 0);
-}
-
-TEST(ParserFuzz, RandomGarbageIsRejectedOrEmpty) {
-  Rng rng(0x9999);
-  for (int trial = 0; trial < 200; ++trial) {
-    std::string text(rng.next_below(300), ' ');
-    for (auto& c : text) c = static_cast<char>(rng.next_below(256));
-    {
-      std::istringstream in(text);
-      try {
-        (void)parse_ms(in);
-      } catch (const Error&) {
-      }
-    }
-    {
-      std::istringstream in(text);
-      try {
-        (void)parse_vcf(in, true);
-      } catch (const Error&) {
-      }
-    }
-  }
-  SUCCEED();
 }
 
 }  // namespace

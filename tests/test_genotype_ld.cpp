@@ -84,7 +84,9 @@ TEST(GenotypeLd, PlanesRoundTripDosages) {
 TEST(GenotypeLd, RejectsMissingData) {
   GenotypeMatrix g(3, 10);
   for (std::size_t s = 0; s < 3; ++s) {
-    for (std::size_t i = 0; i < 10; ++i) g.set_dosage(s, i, (s + i) % 3);
+    for (std::size_t i = 0; i < 10; ++i) {
+      g.set_dosage(s, i, static_cast<unsigned>((s + i) % 3));
+    }
   }
   g.set_missing(1, 4);
   EXPECT_THROW((void)genotype_ld_matrix(g), ContractViolation);

@@ -60,8 +60,8 @@ INSTANTIATE_TEST_SUITE_P(AllStatistics, LdDriverStat,
                          ::testing::Values(LdStatistic::kD,
                                            LdStatistic::kDPrime,
                                            LdStatistic::kRSquared),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case LdStatistic::kD: return "D";
                              case LdStatistic::kDPrime: return "DPrime";
                              default: return "RSquared";

@@ -119,8 +119,8 @@ TEST_P(PopcountBackend, AllZerosAndAllOnes) {
 INSTANTIATE_TEST_SUITE_P(
     AllAvailable, PopcountBackend,
     ::testing::ValuesIn(available_popcount_methods()),
-    [](const ::testing::TestParamInfo<PopcountMethod>& info) {
-      std::string name = popcount_method_name(info.param);
+    [](const ::testing::TestParamInfo<PopcountMethod>& param_info) {
+      std::string name = popcount_method_name(param_info.param);
       for (auto& c : name) {
         if (c == '-') c = '_';
       }

@@ -46,8 +46,8 @@ TEST_P(SyrkKernel, MatchesNaiveOnRaggedShapes) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllKernels, SyrkKernel, ::testing::ValuesIn(available_kernels()),
-    [](const ::testing::TestParamInfo<KernelArch>& info) {
-      std::string name = kernel_arch_name(info.param);
+    [](const ::testing::TestParamInfo<KernelArch>& param_info) {
+      std::string name = kernel_arch_name(param_info.param);
       for (auto& c : name) {
         if (c == '-') c = '_';
       }

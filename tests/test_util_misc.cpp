@@ -75,10 +75,15 @@ TEST(Peak, CalibrationIsPlausibleAndCached) {
   const PeakEstimate& p = peak_estimate();
   EXPECT_GT(p.core_hz, 1e8);
   EXPECT_LT(p.core_hz, 2e10);
-  EXPECT_GT(p.scalar_triples_per_sec, 1e8);
+  EXPECT_GT(p.scalar_triples_per_sec, 0.0);
   // The measured attainable rate should be near the frequency-derived
   // peak (1 triple/cycle): allow a wide band for virtualized hosts.
+  // Sanitizer instrumentation slows the measured loop by an unbounded
+  // factor, so the magnitude bounds only hold in uninstrumented builds.
+#if !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+  EXPECT_GT(p.scalar_triples_per_sec, 1e8);
   EXPECT_GT(p.scalar_triples_per_sec, 0.3 * p.core_hz);
+#endif
   EXPECT_LT(p.scalar_triples_per_sec, 3.0 * p.core_hz);
   const PeakEstimate& again = peak_estimate();
   EXPECT_EQ(&p, &again);

@@ -1,0 +1,287 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint for ldla.
+
+Three rules that clang-tidy cannot express, enforced as a CI/ctest gate:
+
+  1. intrinsics-confinement — x86 SIMD intrinsics may appear only in the
+     runtime-dispatched ISA translation units (kernels_{avx2,avx512,swar}.cpp,
+     popcount_{sse,avx2,avx512}.cpp) plus the annotated peak-calibration
+     allowlist. Everything else must stay portable so the CPUID dispatch
+     remains the single point of ISA selection.
+
+  2. no-naked-allocation — `new`, `delete`, `malloc`, `free`,
+     `aligned_alloc`, `posix_memalign` are banned in src/ outside
+     util/aligned_buffer.*: every heap block flows through the RAII aligned
+     buffer so alignment and ownership are uniform (and ASan sees one choke
+     point).
+
+  3. public-api-guards — every public API entry point in the manifest below
+     must validate its inputs: LDLA_EXPECT for in-memory APIs, ParseError
+     for stream parsers. The manifest doubles as a freshness check — a
+     renamed or deleted entry fails the lint until the manifest is updated.
+
+Usage:  python3 tools/lint_ldla.py [--root REPO_ROOT]
+Exit status 0 = clean, 1 = findings, 2 = usage/config error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# --- rule 1: intrinsics confinement -----------------------------------------
+
+INTRINSIC_RE = re.compile(
+    r"(_mm\d*_\w+|__m(?:128|256|512)\w*|#\s*include\s*<\w*intrin\.h>)"
+)
+
+INTRINSIC_ALLOWED = {
+    "src/core/gemm/kernels_avx2.cpp",
+    "src/core/gemm/kernels_avx512.cpp",
+    "src/core/gemm/kernels_swar.cpp",
+    "src/core/popcount_sse.cpp",
+    "src/core/popcount_avx2.cpp",
+    "src/core/popcount_avx512.cpp",
+    # Peak calibration measures the machine's raw popcount throughput with
+    # its own unrolled intrinsic loop (DESIGN.md §5); it is ifdef-guarded
+    # and never dispatched, so it is exempt from the kernel-TU rule.
+    "src/util/peak.cpp",
+    # Timer uses <x86intrin.h> for __rdtscp (serialized TSC reads) — a
+    # timing primitive, not SIMD; nothing here depends on ISA dispatch.
+    "src/util/timer.cpp",
+}
+
+# --- rule 2: allocation choke point ------------------------------------------
+
+ALLOC_RE = re.compile(
+    r"(\bnew\b|\bdelete\b|\bmalloc\s*\(|\bfree\s*\(|\baligned_alloc\s*\(|"
+    r"\bposix_memalign\s*\(|\bcalloc\s*\(|\brealloc\s*\()"
+)
+
+# `Foo(const Foo&) = delete;` / `= default;` are declarations, not heap
+# traffic — blank them before the allocation scan.
+DELETED_MEMBER_RE = re.compile(r"=\s*(?:delete|default)\b")
+
+ALLOC_ALLOWED = {
+    "src/util/aligned_buffer.hpp",
+    "src/util/aligned_buffer.cpp",
+}
+
+# --- rule 3: public API guard manifest ---------------------------------------
+
+# file -> list of (function_name, guard_kind); guard_kind is "expect" for
+# LDLA_EXPECT-guarded APIs or "parse" for stream parsers that validate by
+# throwing ParseError.
+PUBLIC_API = {
+    "src/core/bit_matrix.cpp": [
+        ("BitMatrix::set", "expect"),
+        ("BitMatrix::get", "expect"),
+        ("BitMatrix::derived_count", "expect"),
+        ("BitMatrix::gather_rows", "expect"),
+    ],
+    "src/core/bit_transpose.cpp": [("transpose_bits", "expect")],
+    "src/core/gemm/macro.cpp": [
+        ("gemm_count", "expect"),
+        ("gemm_count_parallel", "expect"),
+    ],
+    "src/core/gemm/syrk.cpp": [("syrk_count", "expect")],
+    "src/core/gemm/packing.cpp": [("pack_panel", "expect")],
+    "src/core/ld.cpp": [
+        ("ld_scan", "expect"),
+        ("ld_cross_scan", "expect"),
+    ],
+    "src/core/parallel.cpp": [
+        ("ld_scan_parallel", "expect"),
+        ("ld_cross_scan_parallel", "expect"),
+    ],
+    "src/core/band.cpp": [("ld_band_scan", "expect")],
+    "src/core/ld_blocks.cpp": [("find_ld_blocks", "expect")],
+    "src/core/missing.cpp": [("ld_scan_missing", "expect")],
+    "src/core/tanimoto.cpp": [("tanimoto_top_k", "expect")],
+    "src/core/genotype_ld.cpp": [("extract_dosage_planes", "expect")],
+    "src/core/higher_order.cpp": [("third_order_d", "expect")],
+    "src/omega/omega_stat.cpp": [
+        ("omega_at_split", "expect"),
+        ("window_r2", "expect"),
+    ],
+    "src/omega/sweep_scan.cpp": [("omega_scan", "expect")],
+    "src/util/partition.cpp": [
+        ("split_uniform", "expect"),
+        ("split_triangle_rows", "expect"),
+    ],
+    "src/util/thread_pool.cpp": [("ThreadPool::parallel_for", "expect")],
+    "src/io/ms_format.cpp": [("parse_ms", "parse")],
+    "src/io/vcf_lite.cpp": [("parse_vcf", "parse")],
+    "src/io/ldm_binary.cpp": [("read_ldm", "parse")],
+}
+
+GUARD_TOKENS = {
+    "expect": ("LDLA_EXPECT",),
+    "parse": ("ParseError", "LDLA_EXPECT"),
+}
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def function_body(code: str, name: str) -> str | None:
+    """Extract the brace-balanced body of the first definition of `name`.
+
+    Matches `name(` where the line is a definition (ends with `{` before the
+    next `;`). Good enough for this codebase's clang-format style.
+    """
+    simple = name.split("::")[-1]
+    pattern = re.compile(
+        r"(?:^|[\s\*&])" + re.escape(name) + r"\s*\(" if "::" in name
+        else r"(?:^|[\s\*&])" + re.escape(simple) + r"\s*\("
+    )
+    for m in pattern.finditer(code):
+        # Find the opening brace of the definition, bailing if a ';' comes
+        # first (declaration, not definition).
+        depth = 0
+        i = m.end() - 1
+        while i < len(code):
+            c = code[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            elif c == ";" and depth == 0:
+                break
+            elif c == "{" and depth == 0:
+                # Collect the brace-balanced body.
+                j, braces = i, 0
+                while j < len(code):
+                    if code[j] == "{":
+                        braces += 1
+                    elif code[j] == "}":
+                        braces -= 1
+                        if braces == 0:
+                            return code[i : j + 1]
+                    j += 1
+                return code[i:]
+            i += 1
+    return None
+
+
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+
+def guarded_via_helper(code: str, body: str, tokens: tuple[str, ...]) -> bool:
+    """Entry points may delegate validation to a file-local helper (e.g.
+    `validate(g, positions, params)`); accept one level of indirection."""
+    for callee in {m.group(1) for m in CALL_RE.finditer(body)}:
+        helper = function_body(code, callee)
+        if helper is not None and any(t in helper for t in tokens):
+            return True
+    return False
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of this script)")
+    args = ap.parse_args()
+
+    root = (pathlib.Path(args.root).resolve() if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_ldla: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings: list[str] = []
+
+    sources = sorted(
+        p for p in src.rglob("*") if p.suffix in {".cpp", ".hpp", ".h"}
+    )
+    for path in sources:
+        rel = path.relative_to(root).as_posix()
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+
+        if rel not in INTRINSIC_ALLOWED:
+            for lineno, line in enumerate(code.splitlines(), 1):
+                m = INTRINSIC_RE.search(line)
+                if m:
+                    findings.append(
+                        f"{rel}:{lineno}: [intrinsics-confinement] "
+                        f"'{m.group(0)}' outside the ISA kernel TUs"
+                    )
+
+        if rel not in ALLOC_ALLOWED:
+            for lineno, line in enumerate(code.splitlines(), 1):
+                m = ALLOC_RE.search(DELETED_MEMBER_RE.sub("", line))
+                if m:
+                    findings.append(
+                        f"{rel}:{lineno}: [no-naked-allocation] "
+                        f"'{m.group(0).strip()}' outside util/aligned_buffer"
+                    )
+
+    for rel, entries in sorted(PUBLIC_API.items()):
+        path = root / rel
+        if not path.is_file():
+            findings.append(
+                f"{rel}: [public-api-guards] manifest file missing "
+                "(update PUBLIC_API in tools/lint_ldla.py)"
+            )
+            continue
+        code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+        for name, kind in entries:
+            body = function_body(code, name)
+            if body is None:
+                findings.append(
+                    f"{rel}: [public-api-guards] entry point '{name}' not "
+                    "found (update PUBLIC_API in tools/lint_ldla.py)"
+                )
+                continue
+            tokens = GUARD_TOKENS[kind]
+            if not any(t in body for t in tokens) and not guarded_via_helper(
+                code, body, tokens
+            ):
+                findings.append(
+                    f"{rel}: [public-api-guards] '{name}' has no "
+                    f"{' / '.join(tokens)} guard (directly or via a "
+                    "same-file helper)"
+                )
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_ldla: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint_ldla: clean ({len(sources)} files, "
+          f"{sum(len(v) for v in PUBLIC_API.values())} guarded entry points)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
