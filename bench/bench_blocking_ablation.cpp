@@ -7,14 +7,20 @@ using namespace ldla::bench;
 
 namespace {
 
+struct AblationPoint {
+  double rate = 0.0;     ///< word-triples per second (best rep)
+  double seconds = 0.0;  ///< wall seconds of the best rep
+};
+
 // Best of three runs: the shared vCPU shows multi-percent run-to-run noise
 // and the best repetition is the least contaminated estimate.
-double run(const BitMatrix& g, const GemmConfig& cfg) {
-  double best = 0.0;
-  for (int rep = 0; rep < 3; ++rep) {
+AblationPoint run(const BitMatrix& g, const GemmConfig& cfg) {
+  AblationPoint best;
+  const int reps = smoke_mode() ? 1 : 3;
+  for (int rep = 0; rep < reps; ++rep) {
     const CountScanResult r = time_symmetric_counts(g, cfg);
-    best = std::max(best,
-                    static_cast<double>(r.word_triples) / r.seconds);
+    const double rate = static_cast<double>(r.word_triples) / r.seconds;
+    if (rate > best.rate) best = AblationPoint{rate, r.seconds};
   }
   return best;
 }
@@ -26,47 +32,61 @@ int main() {
                "Sec. III: the layered GotoBLAS structure is what buys the "
                "84-90% of peak");
 
-  const std::size_t n = full_mode() ? 8192 : 2048;
-  const std::size_t k = full_mode() ? 65536 : 16384;
+  const std::size_t n = full_mode() ? 8192 : smoke_mode() ? 512 : 2048;
+  const std::size_t k = full_mode() ? 65536 : smoke_mode() ? 1024 : 16384;
   const BitMatrix g = random_bits(n, k, 77);
   std::printf("problem: %zu SNPs x %zu samples (%zu words/SNP)\n\n", n, k,
               g.words_per_snp());
 
+  BenchJson json("blocking_ablation");
   GemmConfig base;
   base.arch = KernelArch::kScalar;
-  const double full_rate = run(g, base);
+  const AblationPoint full = run(g, base);
+  json.add("full", kernel_arch_name(base.arch), n, k, full.seconds,
+           full.rate);
 
   Table table({"configuration", "Gtriples/s", "vs full GotoBLAS"});
   table.add_row({"full (pack + block, auto kc/mc/nc)",
-                 fmt_fixed(full_rate / 1e9, 2), "1.00x"});
+                 fmt_fixed(full.rate / 1e9, 2), "1.00x"});
 
   {
     GemmConfig cfg = base;
     cfg.packing = false;
-    const double r = run(g, cfg);
-    table.add_row({"no packing (strided operands)", fmt_fixed(r / 1e9, 2),
-                   fmt_fixed(r / full_rate, 2) + "x"});
+    const AblationPoint r = run(g, cfg);
+    json.add("no-packing", kernel_arch_name(cfg.arch), n, k, r.seconds,
+             r.rate);
+    table.add_row({"no packing (strided operands)", fmt_fixed(r.rate / 1e9, 2),
+                   fmt_fixed(r.rate / full.rate, 2) + "x"});
   }
   {
     GemmConfig cfg = base;
     cfg.blocking = false;
-    const double r = run(g, cfg);
+    const AblationPoint r = run(g, cfg);
+    json.add("no-blocking", kernel_arch_name(cfg.arch), n, k, r.seconds,
+             r.rate);
     table.add_row({"no cache blocking (one giant pass)",
-                   fmt_fixed(r / 1e9, 2), fmt_fixed(r / full_rate, 2) + "x"});
+                   fmt_fixed(r.rate / 1e9, 2),
+                   fmt_fixed(r.rate / full.rate, 2) + "x"});
   }
   for (const std::size_t kc : {16u, 64u, 256u, 1024u}) {
     GemmConfig cfg = base;
     cfg.kc_words = kc;
-    const double r = run(g, cfg);
+    const AblationPoint r = run(g, cfg);
+    json.add("kc=" + std::to_string(kc), kernel_arch_name(cfg.arch), n, k,
+             r.seconds, r.rate);
     table.add_row({"kc = " + std::to_string(kc) + " words",
-                   fmt_fixed(r / 1e9, 2), fmt_fixed(r / full_rate, 2) + "x"});
+                   fmt_fixed(r.rate / 1e9, 2),
+                   fmt_fixed(r.rate / full.rate, 2) + "x"});
   }
   for (const std::size_t mc : {16u, 64u, 256u}) {
     GemmConfig cfg = base;
     cfg.mc = mc;
-    const double r = run(g, cfg);
+    const AblationPoint r = run(g, cfg);
+    json.add("mc=" + std::to_string(mc), kernel_arch_name(cfg.arch), n, k,
+             r.seconds, r.rate);
     table.add_row({"mc = " + std::to_string(mc) + " rows",
-                   fmt_fixed(r / 1e9, 2), fmt_fixed(r / full_rate, 2) + "x"});
+                   fmt_fixed(r.rate / 1e9, 2),
+                   fmt_fixed(r.rate / full.rate, 2) + "x"});
   }
   // Register-tile geometry (AVX-512 only): 4x4 vs 2x8.
   if (kernel_available(KernelArch::kAvx512)) {
@@ -74,10 +94,12 @@ int main() {
          {KernelArch::kAvx512, KernelArch::kAvx512Wide}) {
       GemmConfig cfg;
       cfg.arch = arch;
-      const double r = run(g, cfg);
+      const AblationPoint r = run(g, cfg);
+      json.add("tile-geometry", kernel_arch_name(arch), n, k, r.seconds,
+               r.rate);
       table.add_row({"tile: " + kernel_arch_name(arch),
-                     fmt_fixed(r / 1e9, 2),
-                     fmt_fixed(r / full_rate, 2) + "x"});
+                     fmt_fixed(r.rate / 1e9, 2),
+                     fmt_fixed(r.rate / full.rate, 2) + "x"});
     }
   }
   std::fputs(table.str().c_str(), stdout);

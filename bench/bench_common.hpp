@@ -6,11 +6,14 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "ldla.hpp"
 #include "sim/rng.hpp"
@@ -25,6 +28,106 @@ inline bool full_mode() {
   const char* env = std::getenv("LDLA_FULL");
   return env != nullptr && env[0] == '1';
 }
+
+/// CI smoke mode (LDLA_SMOKE=1): one rep at sharply reduced sizes, just
+/// enough to prove the bench binaries and the JSON emitter still work.
+inline bool smoke_mode() {
+  const char* env = std::getenv("LDLA_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Machine-readable bench results: collects rows and writes
+/// `BENCH_<name>.json` (a JSON array of row objects) on flush/destruction,
+/// into $LDLA_BENCH_JSON_DIR (default: current directory). Every row
+/// carries the bench name, workload label, kernel, problem shape, wall
+/// seconds, LDs (or word-triples) per second, and — where a calibrated
+/// peak applies — the fraction of peak; scripts/run_all.sh collects the
+/// files so the perf trajectory is trackable across commits.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() { flush(); }
+
+  /// pct_peak < 0 (the default) means "no calibrated peak for this row"
+  /// and is emitted as null.
+  void add(const std::string& workload, const std::string& kernel,
+           std::size_t snps, std::size_t samples, double seconds,
+           double lds_per_sec, double pct_peak = -1.0) {
+    rows_.push_back(
+        Row{workload, kernel, snps, samples, seconds, lds_per_sec, pct_peak});
+  }
+
+  void flush() {
+    if (flushed_ || rows_.empty()) return;
+    flushed_ = true;
+    const char* dir = std::getenv("LDLA_BENCH_JSON_DIR");
+    const std::string path =
+        std::string(dir != nullptr ? dir : ".") + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "  {\"bench\": \"%s\", \"workload\": \"%s\", "
+                   "\"kernel\": \"%s\", \"snps\": %zu, \"samples\": %zu, ",
+                   escape(name_).c_str(), escape(r.workload).c_str(),
+                   escape(r.kernel).c_str(), r.snps, r.samples);
+      number(f, "seconds", r.seconds);
+      std::fputs(", ", f);
+      number(f, "lds_per_sec", r.lds_per_sec);
+      std::fputs(", ", f);
+      number(f, "pct_peak", r.pct_peak < 0.0 ? nan_value() : r.pct_peak);
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  struct Row {
+    std::string workload;
+    std::string kernel;
+    std::size_t snps = 0;
+    std::size_t samples = 0;
+    double seconds = 0.0;
+    double lds_per_sec = 0.0;
+    double pct_peak = -1.0;
+  };
+
+  static double nan_value() {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
+  // JSON has no NaN/inf literals: emit null for non-finite values.
+  static void number(std::FILE* f, const char* key, double v) {
+    if (std::isfinite(v)) {
+      std::fprintf(f, "\"%s\": %.9g", key, v);
+    } else {
+      std::fprintf(f, "\"%s\": null", key);
+    }
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Row> rows_;
+  bool flushed_ = false;
+};
 
 inline void print_header(const char* title, const char* paper_ref) {
   std::printf("==============================================================\n");

@@ -22,13 +22,19 @@ int main() {
               peak.core_hz / 1e9, peak.scalar_triples_per_sec / 1e9,
               peak.vector_triples_per_sec / 1e9);
 
-  const std::vector<std::size_t> snp_counts =
+  std::vector<std::size_t> snp_counts =
       full_mode() ? std::vector<std::size_t>{4096, 8192, 16384}
                   : std::vector<std::size_t>{1024, 2048};
-  const std::vector<std::size_t> sample_counts =
+  std::vector<std::size_t> sample_counts =
       full_mode()
           ? std::vector<std::size_t>{512, 1024, 2048, 4096, 8192, 16384}
           : std::vector<std::size_t>{512, 1024, 2048, 4096};
+  if (smoke_mode()) {
+    snp_counts = {256};
+    sample_counts = {512};
+  }
+
+  BenchJson json("fig3_same_matrix");
 
   const bool have_avx512 = kernel_available(KernelArch::kAvx512);
   std::vector<std::string> header = {"SNPs (m=n)", "samples (k)",
@@ -53,6 +59,9 @@ int main() {
           std::to_string(n), std::to_string(k),
           fmt_fixed(scalar_rate / 1e9, 2),
           fmt_percent(scalar_rate / peak.scalar_triples_per_sec, 1)};
+      json.add("symmetric-counts", kernel_arch_name(KernelArch::kScalar), n,
+               k, scalar.seconds, scalar_rate,
+               scalar_rate / peak.scalar_triples_per_sec);
 
       if (have_avx512) {
         GemmConfig vec_cfg;
@@ -62,6 +71,9 @@ int main() {
             static_cast<double>(vec.word_triples) / vec.seconds;
         row.push_back(fmt_fixed(vec_rate / 1e9, 2));
         row.push_back(fmt_percent(vec_rate / peak.vector_triples_per_sec, 1));
+        json.add("symmetric-counts", kernel_arch_name(KernelArch::kAvx512), n,
+                 k, vec.seconds, vec_rate,
+                 vec_rate / peak.vector_triples_per_sec);
         if (vec.checksum != scalar.checksum) {
           std::printf("CHECKSUM MISMATCH at n=%zu k=%zu\n", n, k);
           return 1;

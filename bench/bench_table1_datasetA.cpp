@@ -10,5 +10,5 @@ int main() {
   return ldla::bench::run_dataset_table(
       "Table I — Dataset A (10,000 SNPs x 2,504 samples)",
       "Table I: GEMM 7.4-8.9x vs PLINK 1.9, 3.7-6.7x vs OmegaPlus",
-      10'000, 2'504, /*quick_samples=*/2'504, paper);
+      10'000, 2'504, /*quick_samples=*/2'504, paper, "table1_datasetA");
 }

@@ -8,5 +8,5 @@ int main() {
   return ldla::bench::run_dataset_table(
       "Table II — Dataset B (10,000 SNPs x 10,000 samples)",
       "Table II: GEMM 8.3-12.5x vs PLINK 1.9, 3.7-4.5x vs OmegaPlus",
-      10'000, 10'000, /*quick_samples=*/10'000, paper);
+      10'000, 10'000, /*quick_samples=*/10'000, paper, "table2_datasetB");
 }

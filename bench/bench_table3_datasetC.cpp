@@ -10,5 +10,5 @@ int main() {
   return ldla::bench::run_dataset_table(
       "Table III — Dataset C (10,000 SNPs x 100,000 samples)",
       "Table III: GEMM 10.3-17.1x vs PLINK 1.9, 4.0-4.7x vs OmegaPlus",
-      10'000, 100'000, /*quick_samples=*/50'000, paper);
+      10'000, 100'000, /*quick_samples=*/50'000, paper, "table3_datasetC");
 }

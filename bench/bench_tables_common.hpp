@@ -22,14 +22,22 @@ struct PaperSpeedups {
 inline int run_dataset_table(const char* title, const char* paper_ref,
                              std::size_t paper_snps, std::size_t paper_samples,
                              std::size_t quick_samples,
-                             const PaperSpeedups& paper) {
+                             const PaperSpeedups& paper,
+                             const char* json_name) {
   print_header(title, paper_ref);
 
-  const std::size_t snps = full_mode() ? paper_snps : 2000;
-  const std::size_t samples = full_mode() ? paper_samples : quick_samples;
+  const std::size_t snps = full_mode() ? paper_snps
+                         : smoke_mode() ? 300
+                                        : 2000;
+  const std::size_t samples =
+      smoke_mode() ? std::min<std::size_t>(quick_samples, 256) :
+      full_mode() ? paper_samples : quick_samples;
   const std::vector<unsigned> threads =
-      full_mode() ? std::vector<unsigned>{1, 2, 4, 8, 12}
-                  : std::vector<unsigned>{1, 2, 4};
+      full_mode()   ? std::vector<unsigned>{1, 2, 4, 8, 12}
+      : smoke_mode() ? std::vector<unsigned>{1}
+                     : std::vector<unsigned>{1, 2, 4};
+
+  BenchJson json(json_name);
 
   std::printf("dataset: %zu SNPs x %zu haplotypes (paper: %zu x %zu)\n",
               snps, samples, paper_snps, paper_samples);
@@ -88,6 +96,13 @@ inline int run_dataset_table(const char* title, const char* paper_ref,
     }
 
     const double p = static_cast<double>(pairs);
+    json.add("plink-like t=" + std::to_string(t), "plink-like", snps, samples,
+             plink_s, p / plink_s);
+    json.add("omegaplus-like t=" + std::to_string(t), "omegaplus-like", snps,
+             samples, omega_s, p / omega_s);
+    json.add("gemm-ld-scan t=" + std::to_string(t),
+             kernel_arch_name(KernelArch::kScalar), snps, samples,
+             gemm.seconds, p / gemm.seconds);
     std::vector<std::string> row = {
         std::to_string(t),
         fmt_fixed(plink_s, 2),

@@ -11,6 +11,12 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
+# Machine-readable results: each bench writes BENCH_<name>.json here.
+json_dir="bench_json"
+rm -rf "$json_dir"
+mkdir -p "$json_dir"
+export LDLA_BENCH_JSON_DIR="$json_dir"
+
 {
   for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
@@ -22,3 +28,4 @@ ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
 echo
 echo "done: test_output.txt and bench_output.txt written."
+echo "machine-readable rows: $(ls "$json_dir"/BENCH_*.json 2>/dev/null | wc -l) file(s) in $json_dir/"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/detail/ld_stats_row.hpp"
 #include "core/gemm/count_matrix.hpp"
@@ -24,6 +25,12 @@ void ld_band_scan(const BitMatrix& g, std::size_t bandwidth,
   // A slab of rows [r0, r1) needs columns [max(0, r0 - W), r1).
   const std::size_t max_cols = std::min(n, max_rows + bandwidth);
 
+  // Pack once for the whole band: consecutive slabs read overlapping
+  // column stripes, which the fresh path re-packed on every slab.
+  std::optional<PackedBitMatrix> own;
+  const PackedBitMatrix* packed =
+      resolve_packed(g.view(), opts.gemm, opts.packed, PackSides::kBoth, own);
+
   CountMatrix counts(max_rows, max_cols);
   AlignedBuffer<double> values(max_rows * max_cols);
 
@@ -38,8 +45,13 @@ void ld_band_scan(const BitMatrix& g, std::size_t bandwidth,
     for (std::size_t i = 0; i < rows; ++i) {
       std::fill_n(&cref.at(i, 0), cols, 0u);
     }
-    gemm_count(g.view(r0, r0 + rows), g.view(col_begin, col_end), cref,
-               opts.gemm);
+    if (packed != nullptr) {
+      gemm_count_packed(*packed, r0, r0 + rows, *packed, col_begin, col_end,
+                        cref);
+    } else {
+      gemm_count(g.view(r0, r0 + rows), g.view(col_begin, col_end), cref,
+                 opts.gemm);
+    }
 
     for (std::size_t i = 0; i < rows; ++i) {
       // Row r0+i pairs with global columns [col_begin, col_end); compute

@@ -20,6 +20,11 @@ struct BandOptions {
   LdStatistic stat = LdStatistic::kRSquared;
   GemmConfig gemm;
   std::size_t slab_rows = 256;
+  /// Optional persistent packed operand for `g` (see LdOptions::packed).
+  /// The banded scan re-reads overlapping column stripes — each SNP is
+  /// packed ~(slab + 2·bandwidth)/slab times by the fresh path — so a
+  /// shared pack pays off even within a single call.
+  const PackedBitMatrix* packed = nullptr;
 };
 
 /// Streaming banded scan: emits tiles covering every pair (i, j) with

@@ -38,6 +38,13 @@ struct GemmConfig {
   /// micro-tile layout and/or cache blocking to quantify their value.
   bool packing = true;
   bool blocking = true;
+
+  /// When packing is on, drivers pre-pack whole operands once into a
+  /// PackedBitMatrix and run the packed macro-kernel over persistent
+  /// slivers. Off = the original fresh-pack path (per-block packing
+  /// buffers inside the 5-loop nest), kept as the bench_pack_reuse
+  /// ablation control.
+  bool pack_once = true;
 };
 
 /// Fully-resolved blocking plan for a concrete problem.

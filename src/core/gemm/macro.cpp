@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <optional>
 #include <thread>
 
 #include "core/gemm/kernel.hpp"
@@ -10,6 +11,7 @@
 #include "core/popcount.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/contract.hpp"
+#include "util/partition.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -46,6 +48,13 @@ void gemm_count_unpacked(const BitMatrixView& a, const BitMatrixView& b,
   }
 }
 
+// Do the two views alias the same packed rows? (One PackedBitMatrix can
+// then serve both operand sides.)
+bool same_operand(const BitMatrixView& a, const BitMatrixView& b) {
+  return a.data == b.data && a.n_snps == b.n_snps &&
+         a.stride_words == b.stride_words;
+}
+
 }  // namespace
 
 GemmPlan gemm_plan_for(const BitMatrixView& a, const GemmConfig& cfg) {
@@ -64,6 +73,15 @@ void gemm_count(const BitMatrixView& a, const BitMatrixView& b,
   const GemmPlan plan = resolve_plan(cfg, a.n_words);
   if (!plan.packing) {
     gemm_count_unpacked(a, b, c, plan);
+    return;
+  }
+  if (cfg.pack_once) {
+    const bool same = same_operand(a, b);
+    const PackedBitMatrix pa(a, plan,
+                             same ? PackSides::kBoth : PackSides::kA);
+    std::optional<PackedBitMatrix> pb;
+    if (!same) pb.emplace(b, plan, PackSides::kB);
+    gemm_count_packed(pa, 0, a.n_snps, same ? pa : *pb, 0, b.n_snps, c);
     return;
   }
 
@@ -132,10 +150,96 @@ void gemm_count(const BitMatrixView& a, const BitMatrixView& b,
 }
 
 
+void gemm_count_packed(const PackedBitMatrix& a, std::size_t a_begin,
+                       std::size_t a_end, const PackedBitMatrix& b,
+                       std::size_t b_begin, std::size_t b_end,
+                       CountMatrixRef c) {
+  LDLA_EXPECT(a_begin <= a_end && a_end <= a.snps(),
+              "A row range out of range");
+  LDLA_EXPECT(b_begin <= b_end && b_end <= b.snps(),
+              "B row range out of range");
+  const std::size_t m = a_end - a_begin;
+  const std::size_t n = b_end - b_begin;
+  if (m == 0 || n == 0) return;
+  LDLA_EXPECT(a.has_a_side(), "A operand was packed without an A side");
+  LDLA_EXPECT(b.has_b_side(), "B operand was packed without a B side");
+  const GemmPlan& plan = a.plan();
+  const GemmPlan& bplan = b.plan();
+  LDLA_EXPECT(plan.arch == bplan.arch && plan.mr == bplan.mr &&
+                  plan.nr == bplan.nr && plan.ku == bplan.ku &&
+                  a.kc_words() == b.kc_words() &&
+                  a.words_per_snp() == b.words_per_snp(),
+              "packed operands were built for incompatible plans");
+  LDLA_EXPECT(c.rows >= m && c.cols >= n, "output matrix is too small");
+  LDLA_EXPECT(c.ld >= c.cols, "output leading dimension too small");
+
+  const KernelInfo& kern = kernel_info(plan.arch);
+  const std::size_t mr = plan.mr;
+  const std::size_t nr = plan.nr;
+  // resolve_plan rounds mc/nc to register-tile multiples, so cache-block
+  // boundaries stay sliver-aligned when walked from a sliver-aligned start.
+  const std::size_t mc = plan.mc;
+  const std::size_t nc = plan.nc;
+
+  // Snap the range starts down to sliver boundaries: the leading partial
+  // tiles are handled exactly like trailing edge tiles (compute the whole
+  // sliver, copy out only the in-range rows/columns).
+  const std::size_t ic0 = a_begin / mr * mr;
+  const std::size_t jc0 = b_begin / nr * nr;
+  const std::size_t a_pad_end = (a_end + mr - 1) / mr * mr;
+  const std::size_t b_pad_end = (b_end + nr - 1) / nr * nr;
+
+  for (std::size_t jc = jc0; jc < b_end; jc += nc) {
+    const std::size_t jc_end = std::min(jc + nc, b_pad_end);
+    for (std::size_t p = 0; p < a.panels(); ++p) {
+      const std::size_t kcp = a.panel_kc_padded(p);
+      const PackedPanelView b_panel =
+          b.b_panel(p, jc / nr, (jc_end - jc) / nr);
+      for (std::size_t ic = ic0; ic < a_end; ic += mc) {
+        const std::size_t ic_end = std::min(ic + mc, a_pad_end);
+        const PackedPanelView a_panel =
+            a.a_panel(p, ic / mr, (ic_end - ic) / mr);
+
+        for (std::size_t jr = jc; jr < jc_end; jr += nr) {
+          const std::uint64_t* bp = b_panel.sliver((jr - jc) / nr);
+          const std::size_t j_lo = std::max(jr, b_begin);
+          const std::size_t j_hi = std::min(jr + nr, b_end);
+          for (std::size_t ir = ic; ir < ic_end; ir += mr) {
+            const std::uint64_t* ap = a_panel.sliver((ir - ic) / mr);
+            const std::size_t i_lo = std::max(ir, a_begin);
+            const std::size_t i_hi = std::min(ir + mr, a_end);
+            LDLA_ASSERT_ALIGNED(ap, 8);
+            LDLA_ASSERT_ALIGNED(bp, 8);
+            if (i_lo == ir && i_hi == ir + mr && j_lo == jr &&
+                j_hi == jr + nr) {
+              kern.fn(kcp, ap, bp, &c.at(ir - a_begin, jr - b_begin), c.ld);
+            } else {
+              // Range-boundary tile: compute whole sliver pair into a
+              // temporary, copy out only the intersection with the range.
+              std::uint32_t tile[16 * 16];
+              LDLA_ASSERT(mr * nr <= 256);
+              std::memset(tile, 0, mr * nr * sizeof(std::uint32_t));
+              kern.fn(kcp, ap, bp, tile, nr);
+              for (std::size_t i = i_lo; i < i_hi; ++i) {
+                for (std::size_t j = j_lo; j < j_hi; ++j) {
+                  c.at(i - a_begin, j - b_begin) +=
+                      tile[(i - ir) * nr + (j - jr)];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 void gemm_count_parallel(const BitMatrixView& a, const BitMatrixView& b,
                          CountMatrixRef c, const GemmConfig& cfg,
                          unsigned threads) {
   if (a.empty() || b.empty()) return;
+  LDLA_EXPECT(a.n_words == b.n_words,
+              "operands disagree on words per SNP (different sample sets?)");
   LDLA_EXPECT(c.rows >= a.n_snps && c.cols >= b.n_snps,
               "output matrix is too small");
   if (threads == 0) {
@@ -146,14 +250,32 @@ void gemm_count_parallel(const BitMatrixView& a, const BitMatrixView& b,
     return;
   }
 
-  ThreadPool pool(threads);
-  pool.parallel_for(0, a.n_snps, [&](std::size_t lo, std::size_t hi) {
-    BitMatrixView slice = a;
-    slice.data = a.data + lo * a.stride_words;
-    slice.n_snps = hi - lo;
-    CountMatrixRef out{c.data + lo * c.ld, hi - lo, c.cols, c.ld};
-    gemm_count(slice, b, out, cfg);
-  });
+  const std::vector<Range> ranges = split_uniform(a.n_snps, threads);
+  const GemmPlan plan = resolve_plan(cfg, a.n_words);
+  if (plan.packing && cfg.pack_once) {
+    // Pack once, share the immutable slivers across every worker — this
+    // removes the historical per-thread duplicate B pack.
+    const bool same = same_operand(a, b);
+    const PackedBitMatrix pa(a, plan,
+                             same ? PackSides::kBoth : PackSides::kA);
+    std::optional<PackedBitMatrix> pb_store;
+    if (!same) pb_store.emplace(b, plan, PackSides::kB);
+    const PackedBitMatrix& pb = same ? pa : *pb_store;
+    global_pool().run_tasks(ranges.size(), [&](std::size_t t) {
+      const Range r = ranges[t];
+      CountMatrixRef out{c.data + r.begin * c.ld, r.size(), c.cols, c.ld};
+      gemm_count_packed(pa, r.begin, r.end, pb, 0, b.n_snps, out);
+    });
+  } else {
+    global_pool().run_tasks(ranges.size(), [&](std::size_t t) {
+      const Range r = ranges[t];
+      BitMatrixView slice = a;
+      slice.data = a.data + r.begin * a.stride_words;
+      slice.n_snps = r.size();
+      CountMatrixRef out{c.data + r.begin * c.ld, r.size(), c.cols, c.ld};
+      gemm_count(slice, b, out, cfg);
+    });
+  }
 }
 
 GemmConfig tune_gemm_config(const BitMatrixView& sample,

@@ -11,22 +11,42 @@
 #include "core/bit_matrix.hpp"
 #include "core/gemm/config.hpp"
 #include "core/gemm/count_matrix.hpp"
+#include "core/gemm/packed_bit_matrix.hpp"
 
 namespace ldla {
 
 /// Full rectangular count GEMM. C must be at least a.n_snps x b.n_snps.
 /// Both operands must have the same word count (same sample universe).
+/// With cfg.pack_once (the default) the operands are packed whole and the
+/// persistent-sliver macro-kernel runs; pack_once = false is the original
+/// per-block fresh-pack path (the bench_pack_reuse ablation control).
 void gemm_count(const BitMatrixView& a, const BitMatrixView& b,
                 CountMatrixRef c, const GemmConfig& cfg = {});
+
+/// Count GEMM over pre-packed operands: rows [a_begin, a_end) of `a`
+/// against rows [b_begin, b_end) of `b`, accumulating into C at local
+/// indices (i - a_begin, j - b_begin). Callers zero C for assignment
+/// semantics. The ranges may start/end anywhere — sliver-boundary
+/// crossings are handled like edge tiles — so windowed drivers (banded
+/// scans, ω windows) slice one persistent packed copy instead of
+/// re-packing per slab. `a` needs an A side, `b` a B side, and both must
+/// be packed for compatible plans (same kernel, register tile, kc, ku).
+void gemm_count_packed(const PackedBitMatrix& a, std::size_t a_begin,
+                       std::size_t a_end, const PackedBitMatrix& b,
+                       std::size_t b_begin, std::size_t b_end,
+                       CountMatrixRef c);
 
 /// Statistics of the most recent plan resolution (for bench reporting).
 GemmPlan gemm_plan_for(const BitMatrixView& a, const GemmConfig& cfg = {});
 
-/// Threaded variant of gemm_count: the m dimension is split into row
-/// blocks, each worker running the sequential driver on its slice with its
-/// own packing buffers (BLIS-style ic-loop parallelism; C row slices are
-/// disjoint so no synchronization is needed). threads = 0 means hardware
-/// concurrency. Results identical to gemm_count.
+/// Threaded variant of gemm_count: the m dimension is split into `threads`
+/// row blocks executed on the process-wide global_pool() (execution
+/// parallelism is additionally capped by that pool's size). With
+/// cfg.pack_once the operands are packed exactly once and every worker
+/// reads the shared immutable slivers; the fresh-pack ablation gives each
+/// worker private packing buffers (the historical per-thread duplicate
+/// B-pack). threads = 0 means hardware concurrency. Results identical to
+/// gemm_count.
 void gemm_count_parallel(const BitMatrixView& a, const BitMatrixView& b,
                          CountMatrixRef c, const GemmConfig& cfg = {},
                          unsigned threads = 0);

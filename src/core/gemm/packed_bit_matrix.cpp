@@ -1,0 +1,113 @@
+#include "core/gemm/packed_bit_matrix.hpp"
+
+#include "util/contract.hpp"
+
+namespace ldla {
+
+PackedBitMatrix::PackedBitMatrix(const BitMatrixView& m, const GemmPlan& plan,
+                                 PackSides sides)
+    : plan_(plan),
+      n_snps_(m.n_snps),
+      n_words_(m.n_words),
+      n_samples_(m.n_samples) {
+  LDLA_EXPECT(plan.packing,
+              "PackedBitMatrix requires a plan with packing enabled (the "
+              "unpacked ablation has no packed representation)");
+  LDLA_EXPECT(plan.mr != 0 && plan.nr != 0 && plan.ku != 0 &&
+                  plan.kc_words != 0,
+              "PackedBitMatrix requires a fully resolved plan");
+  if (m.n_snps == 0 || m.n_words == 0) {
+    return;
+  }
+  const std::size_t k_padded =
+      (n_words_ + plan.ku - 1) / plan.ku * plan.ku;
+  kc_ = plan.kc_words < k_padded ? plan.kc_words : k_padded;
+  panels_ = (n_words_ + kc_ - 1) / kc_;
+
+  const bool want_a = sides != PackSides::kB;
+  const bool want_b = sides != PackSides::kA;
+  if (want_a) {
+    pack_side(m, a_, plan.mr);
+  }
+  if (want_b) {
+    if (want_a && plan.nr == plan.mr) {
+      b_shares_a_ = true;  // one copy serves both operand sides
+    } else {
+      pack_side(m, b_, plan.nr);
+    }
+  }
+}
+
+PackedBitMatrix PackedBitMatrix::pack(const BitMatrixView& m,
+                                      const GemmConfig& cfg, PackSides sides) {
+  return PackedBitMatrix(m, resolve_plan(cfg, m.n_words), sides);
+}
+
+void PackedBitMatrix::pack_side(const BitMatrixView& m, Side& side,
+                                std::size_t r) {
+  side.r = r;
+  side.slivers = (n_snps_ + r - 1) / r;
+  side.panel_offset.resize(panels_ + 1);
+  std::size_t words = 0;
+  for (std::size_t p = 0; p < panels_; ++p) {
+    side.panel_offset[p] = words;
+    words += side.slivers * r * panel_kc_padded(p);
+  }
+  side.panel_offset[panels_] = words;
+  side.data = AlignedBuffer<std::uint64_t>(words);
+  for (std::size_t p = 0; p < panels_; ++p) {
+    pack_panel(m, 0, n_snps_, panel_k_begin(p), panel_kc(p), r, plan_.ku,
+               side.data.data() + side.panel_offset[p]);
+  }
+}
+
+PackedPanelView PackedBitMatrix::side_panel(const Side& side, std::size_t p,
+                                            std::size_t sliver_begin,
+                                            std::size_t slivers) const {
+  LDLA_BOUNDS_CHECK(p < panels_, "k panel index out of range");
+  LDLA_BOUNDS_CHECK(sliver_begin <= side.slivers &&
+                        slivers <= side.slivers - sliver_begin,
+                    "packed sliver range out of range");
+  const std::size_t kcp = panel_kc_padded(p);
+  return PackedPanelView{
+      side.data.data() + side.panel_offset[p] + sliver_begin * side.r * kcp,
+      slivers, side.r, kcp};
+}
+
+PackedPanelView PackedBitMatrix::a_panel(std::size_t p,
+                                         std::size_t sliver_begin,
+                                         std::size_t slivers) const {
+  LDLA_EXPECT(has_a_side(), "PackedBitMatrix was packed without an A side");
+  return side_panel(a_, p, sliver_begin, slivers);
+}
+
+PackedPanelView PackedBitMatrix::b_panel(std::size_t p,
+                                         std::size_t sliver_begin,
+                                         std::size_t slivers) const {
+  LDLA_EXPECT(has_b_side(), "PackedBitMatrix was packed without a B side");
+  return side_panel(b_shares_a_ ? a_ : b_, p, sliver_begin, slivers);
+}
+
+void expect_packed_matches(const PackedBitMatrix& p, const BitMatrixView& m) {
+  LDLA_EXPECT(p.snps() == m.n_snps && p.words_per_snp() == m.n_words &&
+                  p.samples() == m.n_samples,
+              "packed operand shape does not match the bit matrix");
+}
+
+const PackedBitMatrix* resolve_packed(const BitMatrixView& m,
+                                      const GemmConfig& cfg,
+                                      const PackedBitMatrix* supplied,
+                                      PackSides sides,
+                                      std::optional<PackedBitMatrix>& own) {
+  if (supplied != nullptr) {
+    expect_packed_matches(*supplied, m);
+    return supplied;
+  }
+  if (!cfg.pack_once || m.n_snps == 0 || m.n_words == 0) return nullptr;
+  const GemmPlan plan = resolve_plan(cfg, m.n_words);
+  if (!plan.packing) return nullptr;
+  own.emplace(m, plan, sides);
+  return &*own;
+}
+
+}  // namespace ldla

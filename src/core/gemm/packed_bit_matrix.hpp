@@ -1,0 +1,141 @@
+// Persistent packed operand: the whole SNP matrix pre-packed once into the
+// micro-panel layout the kernels consume, keyed to a GemmPlan.
+//
+// The GotoBLAS drivers amortize packing inside ONE call: gemm_count re-packs
+// every A row block per (jc, pc) panel, syrk_count packs the same rows twice
+// (once per operand side), the banded/decay drivers re-pack overlapping
+// column stripes on every slab, and the parallel driver duplicates the B
+// panel per worker. For the paper's rank-k genomic shapes and for windowed
+// workloads (decay profiles, omega scans, haplotype blocks) those packs
+// repeat over the *same matrix*, so PackedBitMatrix moves them out of the
+// call: pack once per dataset, then every driver reads immutable slivers.
+//
+// Layout: the k dimension is split into the plan's kc-word panels. Within a
+// panel every sliver (group of r rows, r = mr for the A side, nr for the B
+// side) is stored contiguously in exactly the pack_panel layout, so a
+// PackedPanelView over any contiguous sliver range aliases the persistent
+// buffer with zero copying. When mr == nr one copy serves both operand
+// sides. Memory cost: ceil(n_snps/r)*r * ceil(k/ku)*ku words per side
+// (~ the bit matrix itself per side).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/bit_matrix.hpp"
+#include "core/gemm/config.hpp"
+#include "core/gemm/packing.hpp"
+#include "util/aligned_buffer.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+
+/// Which operand sides to materialize. Same-matrix drivers need both (and
+/// share storage when mr == nr); cross-matrix drivers pack A-only / B-only.
+enum class PackSides { kBoth, kA, kB };
+
+class PackedBitMatrix {
+ public:
+  PackedBitMatrix() = default;
+
+  /// Pack all rows of `m` for `plan`. The plan must have packing enabled
+  /// (the unpacked ablation has no packed representation by definition).
+  PackedBitMatrix(const BitMatrixView& m, const GemmPlan& plan,
+                  PackSides sides = PackSides::kBoth);
+
+  /// Resolve `cfg` against the machine and pack (convenience).
+  static PackedBitMatrix pack(const BitMatrixView& m,
+                              const GemmConfig& cfg = {},
+                              PackSides sides = PackSides::kBoth);
+
+  PackedBitMatrix(PackedBitMatrix&&) noexcept = default;
+  PackedBitMatrix& operator=(PackedBitMatrix&&) noexcept = default;
+  PackedBitMatrix(const PackedBitMatrix&) = delete;
+  PackedBitMatrix& operator=(const PackedBitMatrix&) = delete;
+
+  [[nodiscard]] bool empty() const noexcept { return n_snps_ == 0; }
+  [[nodiscard]] std::size_t snps() const noexcept { return n_snps_; }
+  [[nodiscard]] std::size_t words_per_snp() const noexcept { return n_words_; }
+  [[nodiscard]] std::size_t samples() const noexcept { return n_samples_; }
+  [[nodiscard]] const GemmPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] bool has_a_side() const noexcept { return a_.r != 0; }
+  [[nodiscard]] bool has_b_side() const noexcept {
+    return b_shares_a_ || b_.r != 0;
+  }
+
+  /// Effective kc in words (the plan's kc clamped to the padded k extent);
+  /// panel p covers source words [p*kc, min((p+1)*kc, k)).
+  [[nodiscard]] std::size_t kc_words() const noexcept { return kc_; }
+  [[nodiscard]] std::size_t panels() const noexcept { return panels_; }
+  [[nodiscard]] std::size_t panel_k_begin(std::size_t p) const {
+    LDLA_BOUNDS_CHECK(p < panels_, "k panel index out of range");
+    return p * kc_;
+  }
+  [[nodiscard]] std::size_t panel_kc(std::size_t p) const {
+    LDLA_BOUNDS_CHECK(p < panels_, "k panel index out of range");
+    const std::size_t begin = p * kc_;
+    return n_words_ - begin < kc_ ? n_words_ - begin : kc_;
+  }
+  [[nodiscard]] std::size_t panel_kc_padded(std::size_t p) const {
+    const std::size_t ku = plan_.ku;
+    return (panel_kc(p) + ku - 1) / ku * ku;
+  }
+
+  /// Total words held across both sides (memory footprint).
+  [[nodiscard]] std::size_t packed_words() const noexcept {
+    return a_.data.size() + b_.data.size();
+  }
+
+  /// View of `slivers` consecutive A-side (r = mr) groups of k-panel `p`,
+  /// starting at group `sliver_begin` (rows [sliver_begin*mr, ...)).
+  [[nodiscard]] PackedPanelView a_panel(std::size_t p, std::size_t sliver_begin,
+                                        std::size_t slivers) const;
+
+  /// Same for the B side (r = nr). Shares A-side storage when mr == nr.
+  [[nodiscard]] PackedPanelView b_panel(std::size_t p, std::size_t sliver_begin,
+                                        std::size_t slivers) const;
+
+ private:
+  struct Side {
+    std::size_t r = 0;        ///< register blocking (0 = side not packed)
+    std::size_t slivers = 0;  ///< ceil(n_snps / r)
+    std::vector<std::size_t> panel_offset;  ///< word offset of each k panel
+    AlignedBuffer<std::uint64_t> data;
+  };
+
+  void pack_side(const BitMatrixView& m, Side& side, std::size_t r);
+  [[nodiscard]] PackedPanelView side_panel(const Side& side, std::size_t p,
+                                           std::size_t sliver_begin,
+                                           std::size_t slivers) const;
+
+  GemmPlan plan_;
+  std::size_t n_snps_ = 0;
+  std::size_t n_words_ = 0;
+  std::size_t n_samples_ = 0;
+  std::size_t kc_ = 0;
+  std::size_t panels_ = 0;
+  bool b_shares_a_ = false;
+  Side a_;
+  Side b_;
+};
+
+/// Guard helper for drivers accepting a caller-supplied packed operand:
+/// the packed copy must describe a matrix of the same shape as `m` (the
+/// caller is responsible for it actually being packed from the same data).
+void expect_packed_matches(const PackedBitMatrix& p, const BitMatrixView& m);
+
+/// Driver helper: pick the packed operand for a call site. A caller-
+/// supplied pack wins (shape-checked against `m`; the caller must have
+/// built it from the same data with the same GemmConfig). Otherwise, when
+/// `cfg` resolves to a packing plan and cfg.pack_once is on, `m` is packed
+/// into `own` and that pack is returned. Returns nullptr when the call
+/// should take the fresh-pack (or unpacked-ablation) path instead.
+const PackedBitMatrix* resolve_packed(const BitMatrixView& m,
+                                      const GemmConfig& cfg,
+                                      const PackedBitMatrix* supplied,
+                                      PackSides sides,
+                                      std::optional<PackedBitMatrix>& own);
+
+}  // namespace ldla

@@ -6,13 +6,33 @@
 #include "core/bit_matrix.hpp"
 #include "core/gemm/config.hpp"
 #include "core/gemm/count_matrix.hpp"
+#include "core/gemm/packed_bit_matrix.hpp"
 
 namespace ldla {
 
-/// Fill the full symmetric count matrix (both triangles and the diagonal;
-/// C[i][i] is the derived-allele count of SNP i). C must be n x n where
-/// n = a.n_snps, and is overwritten (not accumulated).
+/// Fill the symmetric count matrix (C[i][i] is the derived-allele count of
+/// SNP i). C must be n x n where n = a.n_snps, and is overwritten (not
+/// accumulated). With triangular_only only the lower triangle and diagonal
+/// are guaranteed valid (the upper triangle is unspecified) — consumers
+/// that read C(i, j) with i >= j only skip the mirror pass entirely.
+/// cfg.pack_once (default) packs the operand whole — once for both sides
+/// when mr == nr — and runs the packed driver; pack_once = false is the
+/// original per-block fresh-pack path.
 void syrk_count(const BitMatrixView& a, CountMatrixRef c,
-                const GemmConfig& cfg = {});
+                const GemmConfig& cfg = {}, bool triangular_only = false);
+
+/// Symmetric count over rows [row_begin, row_end) of a pre-packed operand
+/// (needs both A and B sides). C is local: entry (i - row_begin,
+/// j - row_begin), overwritten. The range may start anywhere; windowed
+/// consumers (ω windows, haplotype blocks) slice one persistent packed
+/// copy instead of gathering and re-packing each window.
+void syrk_count_packed(const PackedBitMatrix& a, std::size_t row_begin,
+                       std::size_t row_end, CountMatrixRef c,
+                       bool triangular_only = false);
+
+/// Mirror the lower triangle of the leading n x n block of `c` into the
+/// upper triangle, cache-blocked so the column-strided writes of the naive
+/// row-major transpose loop stay resident.
+void mirror_lower_to_upper(CountMatrixRef c, std::size_t n);
 
 }  // namespace ldla

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "core/detail/ld_stats_row.hpp"
 #include "core/gemm/count_matrix.hpp"
@@ -91,7 +92,12 @@ LdMatrix ld_matrix(const BitMatrix& g, const LdOptions& opts) {
   LDLA_EXPECT(g.samples() > 0, "matrix has no samples");
 
   CountMatrix counts(n, n);
-  syrk_count(g.view(), counts.ref(), opts.gemm);
+  if (opts.packed != nullptr) {
+    expect_packed_matches(*opts.packed, g.view());
+    syrk_count_packed(*opts.packed, 0, n, counts.ref());
+  } else {
+    syrk_count(g.view(), counts.ref(), opts.gemm);
+  }
 
   const detail::StatTables tables = detail::make_stat_tables(g);
   for (std::size_t i = 0; i < n; ++i) {
@@ -110,7 +116,18 @@ LdMatrix ld_cross_matrix(const BitMatrix& a, const BitMatrix& b,
   if (m == 0 || n == 0) return out;
 
   CountMatrix counts(m, n);
-  gemm_count(a.view(), b.view(), counts.ref(), opts.gemm);
+  std::optional<PackedBitMatrix> own_a;
+  std::optional<PackedBitMatrix> own_b;
+  const PackedBitMatrix* pa = resolve_packed(a.view(), opts.gemm, opts.packed,
+                                             PackSides::kA, own_a);
+  const PackedBitMatrix* pb = resolve_packed(b.view(), opts.gemm,
+                                             opts.packed_b, PackSides::kB,
+                                             own_b);
+  if (pa != nullptr && pb != nullptr) {
+    gemm_count_packed(*pa, 0, m, *pb, 0, n, counts.ref());
+  } else {
+    gemm_count(a.view(), b.view(), counts.ref(), opts.gemm);
+  }
 
   const detail::StatTables ta = detail::make_stat_tables(a);
   const detail::StatTables tb = detail::make_stat_tables(b);
@@ -131,6 +148,12 @@ void ld_scan(const BitMatrix& g, const LdTileVisitor& visit,
   const detail::StatTables tables = detail::make_stat_tables(g);
   const std::size_t slab = opts.slab_rows;
 
+  // Pack once for the whole trapezoid: every slab re-reads the same
+  // column stripe [0, r1), which the fresh path re-packed per slab.
+  std::optional<PackedBitMatrix> own;
+  const PackedBitMatrix* packed =
+      resolve_packed(g.view(), opts.gemm, opts.packed, PackSides::kBoth, own);
+
   CountMatrix counts(std::min(slab, n), n);
   AlignedBuffer<double> values(std::min(slab, n) * n);
 
@@ -141,7 +164,11 @@ void ld_scan(const BitMatrix& g, const LdTileVisitor& visit,
     for (std::size_t i = 0; i < rows; ++i) {
       std::fill_n(&cref.at(i, 0), cols, 0u);
     }
-    gemm_count(g.view(r0, r0 + rows), g.view(0, cols), cref, opts.gemm);
+    if (packed != nullptr) {
+      gemm_count_packed(*packed, r0, r0 + rows, *packed, 0, cols, cref);
+    } else {
+      gemm_count(g.view(r0, r0 + rows), g.view(0, cols), cref, opts.gemm);
+    }
 
     for (std::size_t i = 0; i < rows; ++i) {
       detail::stat_row(opts.stat, tables, r0 + i, &cref.at(i, 0), cols,
@@ -164,6 +191,16 @@ void ld_cross_scan(const BitMatrix& a, const BitMatrix& b,
   const detail::StatTables tb = detail::make_stat_tables(b);
   const std::size_t slab = opts.slab_rows;
 
+  // Pack once across slabs — the fresh path re-packed all of B per slab.
+  std::optional<PackedBitMatrix> own_a;
+  std::optional<PackedBitMatrix> own_b;
+  const PackedBitMatrix* pa = resolve_packed(a.view(), opts.gemm, opts.packed,
+                                             PackSides::kA, own_a);
+  const PackedBitMatrix* pb = resolve_packed(b.view(), opts.gemm,
+                                             opts.packed_b, PackSides::kB,
+                                             own_b);
+  const bool use_packed = pa != nullptr && pb != nullptr;
+
   CountMatrix counts(std::min(slab, m), n);
   AlignedBuffer<double> values(std::min(slab, m) * n);
 
@@ -171,7 +208,11 @@ void ld_cross_scan(const BitMatrix& a, const BitMatrix& b,
     const std::size_t rows = std::min(slab, m - r0);
     counts.zero();
     CountMatrixRef cref{counts.ref().data, rows, n, n};
-    gemm_count(a.view(r0, r0 + rows), b.view(), cref, opts.gemm);
+    if (use_packed) {
+      gemm_count_packed(*pa, r0, r0 + rows, *pb, 0, n, cref);
+    } else {
+      gemm_count(a.view(r0, r0 + rows), b.view(), cref, opts.gemm);
+    }
 
     for (std::size_t i = 0; i < rows; ++i) {
       detail::stat_row_cross(opts.stat, ta, r0 + i, tb, &cref.at(i, 0), n,

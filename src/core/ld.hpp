@@ -18,6 +18,7 @@
 
 #include "core/bit_matrix.hpp"
 #include "core/gemm/config.hpp"
+#include "core/gemm/packed_bit_matrix.hpp"
 #include "util/aligned_buffer.hpp"
 
 namespace ldla {
@@ -46,6 +47,15 @@ struct LdOptions {
   GemmConfig gemm;
   /// Row-slab height of the streaming drivers (memory/latency trade-off).
   std::size_t slab_rows = 256;
+  /// Optional persistent packed operand for the primary matrix (`g`, or
+  /// `a` in the cross drivers). Must be packed from the same matrix with
+  /// the same GemmConfig (shape is checked, content is the caller's
+  /// responsibility). Repeated-call workloads pack once per dataset and
+  /// pass it here; when null, drivers pack internally per call while
+  /// gemm.pack_once is on.
+  const PackedBitMatrix* packed = nullptr;
+  /// Same for the second matrix of the cross drivers (needs a B side).
+  const PackedBitMatrix* packed_b = nullptr;
 };
 
 /// Dense row-major matrix of doubles (LD values).

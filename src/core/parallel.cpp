@@ -1,6 +1,7 @@
 #include "core/parallel.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -24,9 +25,12 @@ unsigned resolve_threads(unsigned threads) {
 
 // Sequential trapezoid scan over rows [range.begin, range.end): each slab of
 // rows [r0, r1) pairs with columns [0, r1). Used as the per-worker body.
+// When `packed` is non-null all workers read the one shared immutable pack;
+// otherwise each call re-packs privately (the fresh-pack ablation).
 void scan_row_range(const BitMatrix& g, const Range& range,
                     const detail::StatTables& tables,
-                    const LdTileVisitor& visit, const LdOptions& opts) {
+                    const LdTileVisitor& visit, const LdOptions& opts,
+                    const PackedBitMatrix* packed) {
   const std::size_t slab = opts.slab_rows;
   const std::size_t max_rows = std::min(slab, range.size());
   const std::size_t max_cols = range.end;
@@ -41,13 +45,40 @@ void scan_row_range(const BitMatrix& g, const Range& range,
     for (std::size_t i = 0; i < rows; ++i) {
       std::fill_n(&cref.at(i, 0), cols, 0u);
     }
-    gemm_count(g.view(r0, r0 + rows), g.view(0, cols), cref, opts.gemm);
+    if (packed != nullptr) {
+      gemm_count_packed(*packed, r0, r0 + rows, *packed, 0, cols, cref);
+    } else {
+      gemm_count(g.view(r0, r0 + rows), g.view(0, cols), cref, opts.gemm);
+    }
 
     for (std::size_t i = 0; i < rows; ++i) {
       detail::stat_row(opts.stat, tables, r0 + i, &cref.at(i, 0), cols,
                        &values[i * cols]);
     }
     visit(LdTile{r0, 0, rows, cols, values.data(), cols});
+  }
+}
+
+// Cache-blocked lower→upper mirror for the double-valued LD matrix (same
+// blocking rationale as mirror_lower_to_upper in syrk.cpp).
+void mirror_ld_matrix(LdMatrix& out) {
+  const std::size_t n = out.rows();
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t jb = 0; jb < n; jb += kBlock) {
+    const std::size_t j_end = std::min(jb + kBlock, n);
+    for (std::size_t i = jb; i < j_end; ++i) {
+      for (std::size_t j = i + 1; j < j_end; ++j) {
+        out(i, j) = out(j, i);
+      }
+    }
+    for (std::size_t ib = j_end; ib < n; ib += kBlock) {
+      const std::size_t i_end = std::min(ib + kBlock, n);
+      for (std::size_t i = ib; i < i_end; ++i) {
+        for (std::size_t j = jb; j < j_end; ++j) {
+          out(j, i) = out(i, j);
+        }
+      }
+    }
   }
 }
 
@@ -61,10 +92,16 @@ void ld_scan_parallel(const BitMatrix& g, const LdTileVisitor& visit,
   threads = resolve_threads(threads);
 
   const detail::StatTables tables = detail::make_stat_tables(g);
+
+  // One pack shared (read-only) by every worker; the fresh-pack path had
+  // each worker re-pack the full column range privately.
+  std::optional<PackedBitMatrix> own;
+  const PackedBitMatrix* packed =
+      resolve_packed(g.view(), opts.gemm, opts.packed, PackSides::kBoth, own);
+
   const std::vector<Range> ranges = split_triangle_rows(n, threads);
-  ThreadPool pool(threads);
-  pool.run_tasks(ranges.size(), [&](std::size_t t) {
-    scan_row_range(g, ranges[t], tables, visit, opts);
+  global_pool().run_tasks(ranges.size(), [&](std::size_t t) {
+    scan_row_range(g, ranges[t], tables, visit, opts, packed);
   });
 }
 
@@ -81,9 +118,17 @@ void ld_cross_scan_parallel(const BitMatrix& a, const BitMatrix& b,
   const detail::StatTables ta = detail::make_stat_tables(a);
   const detail::StatTables tb = detail::make_stat_tables(b);
 
+  std::optional<PackedBitMatrix> own_a;
+  std::optional<PackedBitMatrix> own_b;
+  const PackedBitMatrix* pa = resolve_packed(a.view(), opts.gemm, opts.packed,
+                                             PackSides::kA, own_a);
+  const PackedBitMatrix* pb = resolve_packed(b.view(), opts.gemm,
+                                             opts.packed_b, PackSides::kB,
+                                             own_b);
+  const bool use_packed = pa != nullptr && pb != nullptr;
+
   const std::vector<Range> ranges = split_uniform(m, threads);
-  ThreadPool pool(threads);
-  pool.run_tasks(ranges.size(), [&](std::size_t t) {
+  global_pool().run_tasks(ranges.size(), [&](std::size_t t) {
     const Range range = ranges[t];
     const std::size_t slab = opts.slab_rows;
     const std::size_t max_rows = std::min(slab, range.size());
@@ -93,7 +138,11 @@ void ld_cross_scan_parallel(const BitMatrix& a, const BitMatrix& b,
       const std::size_t rows = std::min(slab, range.end - r0);
       counts.zero();
       CountMatrixRef cref{counts.ref().data, rows, n, n};
-      gemm_count(a.view(r0, r0 + rows), b.view(), cref, opts.gemm);
+      if (use_packed) {
+        gemm_count_packed(*pa, r0, r0 + rows, *pb, 0, n, cref);
+      } else {
+        gemm_count(a.view(r0, r0 + rows), b.view(), cref, opts.gemm);
+      }
       for (std::size_t i = 0; i < rows; ++i) {
         detail::stat_row_cross(opts.stat, ta, r0 + i, tb, &cref.at(i, 0), n,
                                &values[i * n]);
@@ -122,11 +171,7 @@ LdMatrix ld_matrix_parallel(const BitMatrix& g, const LdOptions& opts,
       opts, threads);
 
   // Mirror the computed lower trapezoids into the upper triangle.
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      out(i, j) = out(j, i);
-    }
-  }
+  mirror_ld_matrix(out);
   return out;
 }
 

@@ -1,10 +1,17 @@
 // Multi-threaded LD drivers.
 //
 // Parallelization strategy (DESIGN.md §4.4): each worker runs the complete
-// sequential slabbed scan over a disjoint row range with its own packing
-// buffers — zero shared mutable state, so scaling is limited only by memory
-// bandwidth. Symmetric scans balance the triangle workload with
-// split_triangle_rows (later rows own more pairs).
+// sequential slabbed scan over a disjoint row range — zero shared mutable
+// state, so scaling is limited only by memory bandwidth. With pack-once
+// (the default) the operands are packed exactly once and every worker reads
+// the shared immutable PackedBitMatrix; the fresh-pack ablation reverts to
+// private per-worker packing buffers. Symmetric scans balance the triangle
+// workload with split_triangle_rows (later rows own more pairs).
+//
+// `threads` controls the work partition (0 = hardware concurrency); tasks
+// execute on the process-wide global_pool(), so execution parallelism is
+// additionally capped by that pool's size and repeated calls pay no thread
+// spawn/join cost.
 #pragma once
 
 #include "core/ld.hpp"

@@ -18,6 +18,7 @@
 #include "core/gemm/config.hpp"     // blocking / kernel configuration
 #include "core/gemm/count_matrix.hpp"
 #include "core/gemm/macro.hpp"      // rectangular popcount-GEMM
+#include "core/gemm/packed_bit_matrix.hpp"  // persistent packed operand
 #include "core/gemm/syrk.hpp"       // symmetric count driver
 #include "core/ld.hpp"              // D / D' / r^2 statistics and drivers
 #include "core/band.hpp"            // banded scans and LD-decay profiles

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <optional>
 #include <thread>
+#include <vector>
 
+#include "core/gemm/count_matrix.hpp"
+#include "core/gemm/syrk.hpp"
 #include "omega/omega_stat.hpp"
 #include "util/contract.hpp"
+#include "util/partition.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ldla {
@@ -20,6 +24,15 @@ void validate(const BitMatrix& g, const std::vector<double>& positions,
   LDLA_EXPECT(params.grid_points > 0, "need at least one grid point");
   LDLA_EXPECT(params.window_snps >= 2, "window needs at least 2 SNPs a side");
 }
+
+// Shared per-scan state: the packed operand (null = fresh-pack path) and
+// the per-SNP derived-allele counts (only filled for the packed path,
+// where they replace both the polymorphism filter and the r^2 ci inputs).
+struct ScanContext {
+  const PackedBitMatrix* packed = nullptr;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t samples = 0;
+};
 
 std::optional<OmegaPoint> scan_window(const BitMatrix& g, double x,
                                       std::size_t center, std::size_t half,
@@ -45,26 +58,90 @@ std::optional<OmegaPoint> scan_window(const BitMatrix& g, double x,
   return OmegaPoint{x, m.omega, begin, end, m.split};
 }
 
+// Packed-operand window: counts for the whole contiguous window come from
+// slicing the persistent pack (no gather, no re-pack); the polymorphic
+// subset is then compacted at the r^2 stage. ld_r_squared sees the exact
+// same (ci, cj, cij, n) inputs as the fresh path, so results are
+// bit-identical.
+std::optional<OmegaPoint> scan_window_packed(const ScanContext& ctx, double x,
+                                             std::size_t center,
+                                             std::size_t half) {
+  const PackedBitMatrix& packed = *ctx.packed;
+  const std::size_t n = packed.snps();
+  const std::size_t begin = center > half ? center - half : 0;
+  const std::size_t end = std::min(n, center + half);
+  if (end - begin < 4) return std::nullopt;
+
+  std::vector<std::size_t> keep;
+  keep.reserve(end - begin);
+  for (std::size_t s = begin; s < end; ++s) {
+    if (ctx.counts[s] > 0 && ctx.counts[s] < ctx.samples) keep.push_back(s);
+  }
+  if (keep.size() < 4) return std::nullopt;
+
+  const std::size_t w = end - begin;
+  CountMatrix cmat(w, w);
+  syrk_count_packed(packed, begin, end, cmat.ref(), /*triangular_only=*/true);
+
+  const std::size_t wk = keep.size();
+  LdMatrix r2(wk, wk);
+  for (std::size_t i = 0; i < wk; ++i) {
+    const std::size_t gi = keep[i];
+    for (std::size_t j = 0; j <= i; ++j) {
+      const std::size_t gj = keep[j];
+      // gi >= gj, so (gi, gj) indexes the valid lower triangle. r^2 is
+      // exactly symmetric in (ci, cj), so one evaluation fills both.
+      const double v = ld_r_squared(ctx.counts[gi], ctx.counts[gj],
+                                    cmat(gi - begin, gj - begin), ctx.samples);
+      r2(i, j) = v;
+      r2(j, i) = v;
+    }
+  }
+  const OmegaMax m = omega_max(r2);
+  return OmegaPoint{x, m.omega, begin, end, m.split};
+}
+
 std::optional<OmegaPoint> scan_grid_point(
     const BitMatrix& g, const std::vector<double>& positions,
-    const SweepScanParams& params, std::size_t gp) {
+    const SweepScanParams& params, const ScanContext& ctx, std::size_t gp) {
   const double x = (static_cast<double>(gp) + 0.5) /
                    static_cast<double>(params.grid_points);
   const std::size_t center = static_cast<std::size_t>(
       std::lower_bound(positions.begin(), positions.end(), x) -
       positions.begin());
 
-  std::optional<OmegaPoint> best =
-      scan_window(g, x, center, params.window_snps, params.gemm);
+  const auto eval = [&](std::size_t half) {
+    return ctx.packed != nullptr
+               ? scan_window_packed(ctx, x, center, half)
+               : scan_window(g, x, center, half, params.gemm);
+  };
+
+  std::optional<OmegaPoint> best = eval(params.window_snps);
   // OmegaPlus-style search over window extents: report the maximizing one.
   for (const std::size_t half : params.window_candidates) {
     if (half == params.window_snps || half < 2) continue;
-    const auto candidate = scan_window(g, x, center, half, params.gemm);
+    const auto candidate = eval(half);
     if (candidate && (!best || candidate->omega > best->omega)) {
       best = candidate;
     }
   }
   return best;
+}
+
+ScanContext make_scan_context(const BitMatrix& g,
+                              const SweepScanParams& params,
+                              std::optional<PackedBitMatrix>& own) {
+  ScanContext ctx;
+  ctx.packed = resolve_packed(g.view(), params.gemm, params.packed,
+                              PackSides::kBoth, own);
+  if (ctx.packed != nullptr) {
+    ctx.samples = g.samples();
+    ctx.counts.resize(g.snps());
+    for (std::size_t s = 0; s < g.snps(); ++s) {
+      ctx.counts[s] = g.derived_count(s);
+    }
+  }
+  return ctx;
 }
 
 }  // namespace
@@ -76,8 +153,11 @@ std::vector<OmegaPoint> omega_scan(const BitMatrix& g,
   std::vector<OmegaPoint> out;
   out.reserve(params.grid_points);
   if (g.snps() < 4) return out;
+
+  std::optional<PackedBitMatrix> own;
+  const ScanContext ctx = make_scan_context(g, params, own);
   for (std::size_t gp = 0; gp < params.grid_points; ++gp) {
-    if (const auto point = scan_grid_point(g, positions, params, gp)) {
+    if (const auto point = scan_grid_point(g, positions, params, ctx, gp)) {
       out.push_back(*point);
     }
   }
@@ -93,11 +173,16 @@ std::vector<OmegaPoint> omega_scan_parallel(
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
 
+  // Pack once, share read-only across workers; grid points are distributed
+  // in `threads` contiguous chunks on the process-wide pool.
+  std::optional<PackedBitMatrix> own;
+  const ScanContext ctx = make_scan_context(g, params, own);
+
   std::vector<std::optional<OmegaPoint>> slots(params.grid_points);
-  ThreadPool pool(threads);
-  pool.parallel_for(0, params.grid_points, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t gp = lo; gp < hi; ++gp) {
-      slots[gp] = scan_grid_point(g, positions, params, gp);
+  const std::vector<Range> ranges = split_uniform(params.grid_points, threads);
+  global_pool().run_tasks(ranges.size(), [&](std::size_t t) {
+    for (std::size_t gp = ranges[t].begin; gp < ranges[t].end; ++gp) {
+      slots[gp] = scan_grid_point(g, positions, params, ctx, gp);
     }
   });
 

@@ -8,6 +8,7 @@
 
 #include "core/bit_matrix.hpp"
 #include "core/gemm/config.hpp"
+#include "core/gemm/packed_bit_matrix.hpp"
 
 namespace ldla {
 
@@ -19,6 +20,12 @@ struct SweepScanParams {
   /// (window_snps is always included).
   std::vector<std::size_t> window_candidates;
   GemmConfig gemm;
+  /// Optional persistent packed operand for `g` (see LdOptions::packed).
+  /// Windows are tiny relative to the region and neighbouring grid points
+  /// overlap heavily, so the scan slices one pack instead of gathering and
+  /// re-packing every window; when null, omega_scan packs once per call
+  /// while gemm.pack_once is on.
+  const PackedBitMatrix* packed = nullptr;
 };
 
 struct OmegaPoint {

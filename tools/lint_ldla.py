@@ -84,10 +84,18 @@ PUBLIC_API = {
     "src/core/bit_transpose.cpp": [("transpose_bits", "expect")],
     "src/core/gemm/macro.cpp": [
         ("gemm_count", "expect"),
+        ("gemm_count_packed", "expect"),
         ("gemm_count_parallel", "expect"),
     ],
-    "src/core/gemm/syrk.cpp": [("syrk_count", "expect")],
+    "src/core/gemm/syrk.cpp": [
+        ("syrk_count", "expect"),
+        ("syrk_count_packed", "expect"),
+    ],
     "src/core/gemm/packing.cpp": [("pack_panel", "expect")],
+    "src/core/gemm/packed_bit_matrix.cpp": [
+        ("PackedBitMatrix::PackedBitMatrix", "expect"),
+        ("expect_packed_matches", "expect"),
+    ],
     "src/core/ld.cpp": [
         ("ld_scan", "expect"),
         ("ld_cross_scan", "expect"),
