@@ -29,6 +29,7 @@ int main() {
   Table table({"SNPs", "samples", "dgemm s", "popcnt-scalar s",
                "popcnt-best s", "speedup (scalar)", "speedup (best)",
                "memory ratio"});
+  BenchJson json("dgemm_comparison");
 
   for (const auto& [n, k] : problems) {
     const BitMatrix g = random_bits(n, k, 4242 + n);
@@ -52,6 +53,15 @@ int main() {
 
     GemmConfig best_cfg;  // kAuto: widest kernel
     const CountScanResult best = time_symmetric_counts(g, best_cfg);
+
+    // Rate basis: the n x n output entries each arm is asked for (the
+    // popcount arms' trapezoid is normalized to the same pair count).
+    const double outputs = static_cast<double>(n) * static_cast<double>(n);
+    json.add("dgemm-full", "dgemm", n, k, dgemm_s, outputs / dgemm_s);
+    json.add("popcnt-counts", kernel_arch_name(KernelArch::kScalar), n, k,
+             scalar.seconds, outputs / scalar.seconds);
+    json.add("popcnt-counts", "auto-best", n, k, best.seconds,
+             outputs / best.seconds);
 
     // The packed matrix stores 1 bit/allele; the expansion stores 64.
     table.add_row({std::to_string(n), std::to_string(k),

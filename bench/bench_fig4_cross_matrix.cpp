@@ -34,6 +34,7 @@ int main() {
     header.push_back("% vector peak");
   }
   Table table(header);
+  BenchJson json("fig4_cross_matrix");
 
   for (const std::size_t n : snp_counts) {
     for (const std::size_t k : sample_counts) {
@@ -46,6 +47,10 @@ int main() {
       const double scalar_rate =
           static_cast<double>(scalar.word_triples) / scalar.seconds;
 
+      json.add("cross-counts", kernel_arch_name(KernelArch::kScalar), n, k,
+               scalar.seconds, scalar_rate,
+               scalar_rate / peak.scalar_triples_per_sec);
+
       std::vector<std::string> row = {
           std::to_string(n), std::to_string(k),
           fmt_fixed(scalar_rate / 1e9, 2),
@@ -57,6 +62,9 @@ int main() {
         const CountScanResult vec = time_cross_counts(a, b, vec_cfg);
         const double vec_rate =
             static_cast<double>(vec.word_triples) / vec.seconds;
+        json.add("cross-counts", kernel_arch_name(KernelArch::kAvx512), n, k,
+                 vec.seconds, vec_rate,
+                 vec_rate / peak.vector_triples_per_sec);
         row.push_back(fmt_fixed(vec_rate / 1e9, 2));
         row.push_back(fmt_percent(vec_rate / peak.vector_triples_per_sec, 1));
       }

@@ -46,6 +46,7 @@ int main() {
 
   Table table({"Threads", "PLINK-like LD/s", "OmegaPlus-like LD/s",
                "GEMM LD/s"});
+  BenchJson json("fig5_thread_scaling");
   for (const unsigned t : threads) {
     Timer plink_timer;
     (void)plink_like_scan(genos, t);
@@ -56,6 +57,16 @@ int main() {
     const double omega_s = omega_timer.seconds();
 
     const LdScanTiming gemm = time_gemm_ld_scan(haps, t, gemm_scalar);
+
+    // Thread count rides in the workload label; shape columns keep the
+    // dataset dimensions.
+    const std::string suffix = "-t" + std::to_string(t);
+    json.add("plink-like" + suffix, "baseline", snps, samples, plink_s,
+             pairs / plink_s);
+    json.add("omegaplus-like" + suffix, "baseline", snps, samples, omega_s,
+             pairs / omega_s);
+    json.add("gemm" + suffix, kernel_arch_name(KernelArch::kScalar), snps,
+             samples, gemm.seconds, pairs / gemm.seconds);
 
     table.add_row({std::to_string(t) + (t > cores ? " (oversub)" : ""),
                    human_rate(pairs / plink_s), human_rate(pairs / omega_s),

@@ -3,6 +3,10 @@
 // reduction the LD inner loop performs. google-benchmark micro-timing.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "core/popcount.hpp"
 #include "sim/rng.hpp"
 #include "util/aligned_buffer.hpp"
@@ -63,4 +67,42 @@ LDLA_POPCOUNT_BENCH(avx2_harley_seal, PopcountMethod::kHarleySealAvx2);
 LDLA_POPCOUNT_BENCH(simd_extract_strawman, PopcountMethod::kSimdExtract);
 LDLA_POPCOUNT_BENCH(avx512_vpopcntdq, PopcountMethod::kAvx512Vpopcnt);
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console output as usual, with every finished run mirrored into the
+// machine-readable BENCH_*.json stream the table/figure benches emit
+// (workload = method, samples = word count, rate = words/s counter).
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      // Name shape: "bench_popcount_and/<method>/<words>".
+      const std::string name = run.benchmark_name();
+      const std::size_t first = name.find('/');
+      const std::size_t last = name.rfind('/');
+      if (first == std::string::npos || last == first) continue;
+      const std::string method = name.substr(first + 1, last - first - 1);
+      const std::size_t words = std::stoul(name.substr(last + 1));
+      const auto it = run.counters.find("words/s");
+      const double rate = it != run.counters.end() ? it->second.value : 0.0;
+      json_.add(method, "popcount-and", 0, words, run.real_accumulated_time,
+                rate);
+    }
+  }
+
+ private:
+  ldla::bench::BenchJson json_{"popcount_methods"};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonMirrorReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

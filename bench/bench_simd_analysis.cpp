@@ -28,6 +28,7 @@ int main() {
       full_mode() ? std::vector<std::size_t>{2048, 8192, 32768}
                   : std::vector<std::size_t>{2048, 8192};
 
+  BenchJson json("simd_analysis");
   for (const std::size_t k : sample_counts) {
     const BitMatrix g = random_bits(n, k, 1000 + k);
     std::printf("problem: %zu SNPs x %zu samples (%zu words/SNP)\n", n, k,
@@ -69,6 +70,8 @@ int main() {
           break;
         default: break;
       }
+      json.add("symmetric-counts", kernel_arch_name(arch), n, k, r.seconds,
+               rate);
       table.add_row({kernel_arch_name(arch), fmt_fixed(rate / 1e9, 2),
                      fmt_fixed(rate / scalar_rate, 2) + "x", prediction});
     }

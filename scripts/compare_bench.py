@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json results and flag regressions.
+
+Usage:
+    scripts/compare_bench.py BASELINE_DIR CANDIDATE_DIR [--threshold 0.10]
+
+Each directory holds the BENCH_<name>.json files a bench run emits (see
+BenchJson in bench/bench_common.hpp; scripts/run_all.sh collects them).
+Rows are keyed by (bench, workload, kernel, snps, samples) and matched
+across the two runs; a row regresses when its lds_per_sec rate drops by
+more than the threshold (default 10%). Exit status: 0 = no regressions,
+1 = at least one regression, 2 = usage/input error.
+
+Rows present on only one side are reported informationally (benches gain
+and lose arms as the suite grows) and do not affect the exit status.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_rows(directory):
+    """Map (bench, workload, kernel, snps, samples) -> row dict."""
+    files = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    if not files:
+        sys.exit(f"error: no BENCH_*.json files in {directory}")
+    rows = {}
+    for path in files:
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            sys.exit(f"error: cannot read {path}: {e}")
+        for row in data:
+            key = (row["bench"], row["workload"], row["kernel"],
+                   row["snps"], row["samples"])
+            if key in rows:
+                print(f"warning: duplicate row {key} in {path}",
+                      file=sys.stderr)
+            rows[key] = row
+    return rows
+
+
+def fmt_key(key):
+    bench, workload, kernel, snps, samples = key
+    return f"{bench}/{workload}[{kernel}] {snps}x{samples}"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two bench_json directories; flag rate regressions.")
+    parser.add_argument("baseline", help="directory of baseline BENCH_*.json")
+    parser.add_argument("candidate", help="directory of candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fractional rate drop that counts as a "
+                             "regression (default 0.10 = 10%%)")
+    args = parser.parse_args()
+    if not 0.0 < args.threshold < 1.0:
+        parser.error("--threshold must be in (0, 1)")
+
+    base = load_rows(args.baseline)
+    cand = load_rows(args.candidate)
+
+    common = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    regressions = []
+    improvements = 0
+    for key in common:
+        b = base[key].get("lds_per_sec")
+        c = cand[key].get("lds_per_sec")
+        if not b or not c or b <= 0:
+            continue  # null/zero rates carry no signal
+        ratio = c / b
+        if ratio < 1.0 - args.threshold:
+            regressions.append((key, b, c, ratio))
+        elif ratio > 1.0 + args.threshold:
+            improvements += 1
+
+    print(f"compared {len(common)} rows "
+          f"({len(only_base)} baseline-only, {len(only_cand)} candidate-only, "
+          f"threshold {args.threshold:.0%})")
+    for key in only_base:
+        print(f"  baseline-only: {fmt_key(key)}")
+    for key in only_cand:
+        print(f"  candidate-only: {fmt_key(key)}")
+    if improvements:
+        print(f"{improvements} row(s) improved by more than the threshold")
+
+    if not regressions:
+        print("no regressions")
+        return 0
+    print(f"\n{len(regressions)} REGRESSION(S):")
+    for key, b, c, ratio in sorted(regressions, key=lambda r: r[3]):
+        print(f"  {fmt_key(key)}: {b:.3g} -> {c:.3g} rate "
+              f"({(1.0 - ratio):.1%} slower)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,3 +29,4 @@ export LDLA_BENCH_JSON_DIR="$json_dir"
 echo
 echo "done: test_output.txt and bench_output.txt written."
 echo "machine-readable rows: $(ls "$json_dir"/BENCH_*.json 2>/dev/null | wc -l) file(s) in $json_dir/"
+echo "diff against a saved run: scripts/compare_bench.py <baseline_dir> $json_dir"

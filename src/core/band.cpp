@@ -31,8 +31,34 @@ void ld_band_scan(const BitMatrix& g, std::size_t bandwidth,
   const PackedBitMatrix* packed =
       resolve_packed(g.view(), opts.gemm, opts.packed, PackSides::kBoth, own);
 
-  CountMatrix counts(max_rows, max_cols);
   AlignedBuffer<double> values(max_rows * max_cols);
+
+  if (opts.fused && packed != nullptr) {
+    // Fused epilogue: the stripe's count tiles never touch memory — stats
+    // land in the values slab straight from tile scratch. Geometry and
+    // values are bit-identical to the two-pass path.
+    for (std::size_t r0 = 0; r0 < n; r0 += slab) {
+      const std::size_t rows = std::min(slab, n - r0);
+      const std::size_t col_begin = r0 > bandwidth ? r0 - bandwidth : 0;
+      const std::size_t col_end = r0 + rows;
+      const std::size_t cols = col_end - col_begin;
+      gemm_count_fused(*packed, r0, r0 + rows, *packed, col_begin, col_end,
+                       [&](const CountTile& t) {
+                         for (std::size_t i = 0; i < t.rows; ++i) {
+                           const std::size_t gi = t.row_begin + i;
+                           detail::stat_row_shifted(
+                               opts.stat, tables, gi, t.col_begin, t.row(i),
+                               t.cols,
+                               &values[(gi - r0) * cols +
+                                       (t.col_begin - col_begin)]);
+                         }
+                       });
+      visit(LdTile{r0, col_begin, rows, cols, values.data(), cols});
+    }
+    return;
+  }
+
+  CountMatrix counts(max_rows, max_cols);
 
   for (std::size_t r0 = 0; r0 < n; r0 += slab) {
     const std::size_t rows = std::min(slab, n - r0);

@@ -25,6 +25,10 @@ struct BandOptions {
   /// packed ~(slab + 2·bandwidth)/slab times by the fresh path — so a
   /// shared pack pays off even within a single call.
   const PackedBitMatrix* packed = nullptr;
+  /// Fused statistics epilogue (see LdOptions::fused): stripe counts are
+  /// converted to statistics tile-by-tile while hot, so the slab
+  /// CountMatrix disappears. Bit-identical to the two-pass path.
+  bool fused = true;
 };
 
 /// Streaming banded scan: emits tiles covering every pair (i, j) with

@@ -89,18 +89,20 @@ inline void stat_row(LdStatistic stat, const StatTables& t, std::size_t i,
   stat_row_shifted(stat, t, i, 0, counts, cols, out);
 }
 
-/// Cross-matrix variant: row SNP i of table `ta`, columns from table `tb`.
-inline void stat_row_cross(LdStatistic stat, const StatTables& ta,
-                           std::size_t i, const StatTables& tb,
-                           const std::uint32_t* counts, std::size_t cols,
-                           double* out) {
+/// Cross-matrix variant with a column offset into `tb` (tile epilogues):
+/// counts[j] pairs row SNP i of `ta` with SNP col_begin + j of `tb`.
+inline void stat_row_cross_shifted(LdStatistic stat, const StatTables& ta,
+                                   std::size_t i, const StatTables& tb,
+                                   std::size_t col_begin,
+                                   const std::uint32_t* counts,
+                                   std::size_t cols, double* out) {
   const double pi = ta.p[i];
   const double inv_i = ta.inv[i];
   const double n = ta.n;
   switch (stat) {
     case LdStatistic::kRSquared: {
-      const double* p = tb.p.data();
-      const double* inv = tb.inv.data();
+      const double* p = tb.p.data() + col_begin;
+      const double* inv = tb.inv.data() + col_begin;
       for (std::size_t j = 0; j < cols; ++j) {
         const double pij = static_cast<double>(counts[j]) / n;
         const double d = pij - pi * p[j];
@@ -110,7 +112,7 @@ inline void stat_row_cross(LdStatistic stat, const StatTables& ta,
       break;
     }
     case LdStatistic::kD: {
-      const double* p = tb.p.data();
+      const double* p = tb.p.data() + col_begin;
       for (std::size_t j = 0; j < cols; ++j) {
         const double pij = static_cast<double>(counts[j]) / n;
         out[j] = pij - pi * p[j];
@@ -119,11 +121,20 @@ inline void stat_row_cross(LdStatistic stat, const StatTables& ta,
     }
     case LdStatistic::kDPrime: {
       for (std::size_t j = 0; j < cols; ++j) {
-        out[j] = ld_d_prime(ta.c[i], tb.c[j], counts[j], ta.nseq);
+        out[j] = ld_d_prime(ta.c[i], tb.c[col_begin + j], counts[j],
+                            ta.nseq);
       }
       break;
     }
   }
+}
+
+/// Cross-matrix variant: row SNP i of table `ta`, columns from table `tb`.
+inline void stat_row_cross(LdStatistic stat, const StatTables& ta,
+                           std::size_t i, const StatTables& tb,
+                           const std::uint32_t* counts, std::size_t cols,
+                           double* out) {
+  stat_row_cross_shifted(stat, ta, i, tb, 0, counts, cols, out);
 }
 
 }  // namespace ldla::detail

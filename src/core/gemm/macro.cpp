@@ -234,6 +234,79 @@ void gemm_count_packed(const PackedBitMatrix& a, std::size_t a_begin,
   }
 }
 
+void gemm_count_fused(const PackedBitMatrix& a, std::size_t a_begin,
+                      std::size_t a_end, const PackedBitMatrix& b,
+                      std::size_t b_begin, std::size_t b_end,
+                      const CountTileSink& sink) {
+  LDLA_EXPECT(a_begin <= a_end && a_end <= a.snps(),
+              "A row range out of range");
+  LDLA_EXPECT(b_begin <= b_end && b_end <= b.snps(),
+              "B row range out of range");
+  LDLA_EXPECT(sink != nullptr, "fused driver needs a tile sink");
+  if (a_begin == a_end || b_begin == b_end) return;
+  LDLA_EXPECT(a.has_a_side(), "A operand was packed without an A side");
+  LDLA_EXPECT(b.has_b_side(), "B operand was packed without a B side");
+  const GemmPlan& plan = a.plan();
+  const GemmPlan& bplan = b.plan();
+  LDLA_EXPECT(plan.arch == bplan.arch && plan.mr == bplan.mr &&
+                  plan.nr == bplan.nr && plan.ku == bplan.ku &&
+                  a.kc_words() == b.kc_words() &&
+                  a.words_per_snp() == b.words_per_snp(),
+              "packed operands were built for incompatible plans");
+
+  const KernelInfo& kern = kernel_info(plan.arch);
+  const std::size_t mr = plan.mr;
+  const std::size_t nr = plan.nr;
+  const std::size_t mc = plan.mc;
+  const std::size_t nc = plan.nc;
+
+  const std::size_t ic0 = a_begin / mr * mr;
+  const std::size_t jc0 = b_begin / nr * nr;
+  const std::size_t a_pad_end = (a_end + mr - 1) / mr * mr;
+  const std::size_t b_pad_end = (b_end + nr - 1) / nr * nr;
+
+  // Tile-local count scratch: the whole (sliver-rounded) cache tile lives
+  // here, so every micro-kernel writes full slivers and no edge temporary
+  // is needed; the in-range window is sliced out for the sink.
+  AlignedBuffer<std::uint32_t> scratch(mc * nc);
+
+  for (std::size_t jc = jc0; jc < b_end; jc += nc) {
+    const std::size_t jc_end = std::min(jc + nc, b_pad_end);
+    const std::size_t tile_cols = jc_end - jc;
+    for (std::size_t ic = ic0; ic < a_end; ic += mc) {
+      const std::size_t ic_end = std::min(ic + mc, a_pad_end);
+      const std::size_t tile_rows = ic_end - ic;
+      for (std::size_t i = 0; i < tile_rows; ++i) {
+        std::memset(&scratch[i * nc], 0, tile_cols * sizeof(std::uint32_t));
+      }
+
+      // All rank-kc updates for this tile before moving on: the tile is
+      // final when the panel loop ends.
+      for (std::size_t p = 0; p < a.panels(); ++p) {
+        const std::size_t kcp = a.panel_kc_padded(p);
+        const PackedPanelView b_panel = b.b_panel(p, jc / nr, tile_cols / nr);
+        const PackedPanelView a_panel = a.a_panel(p, ic / mr, tile_rows / mr);
+        for (std::size_t jr = 0; jr < tile_cols; jr += nr) {
+          const std::uint64_t* bp = b_panel.sliver(jr / nr);
+          for (std::size_t ir = 0; ir < tile_rows; ir += mr) {
+            const std::uint64_t* ap = a_panel.sliver(ir / mr);
+            LDLA_ASSERT_ALIGNED(ap, 8);
+            LDLA_ASSERT_ALIGNED(bp, 8);
+            kern.fn(kcp, ap, bp, &scratch[ir * nc + jr], nc);
+          }
+        }
+      }
+
+      const std::size_t i_lo = std::max(ic, a_begin);
+      const std::size_t i_hi = std::min(ic_end, a_end);
+      const std::size_t j_lo = std::max(jc, b_begin);
+      const std::size_t j_hi = std::min(jc_end, b_end);
+      sink(CountTile{i_lo, j_lo, i_hi - i_lo, j_hi - j_lo,
+                     &scratch[(i_lo - ic) * nc + (j_lo - jc)], nc});
+    }
+  }
+}
+
 void gemm_count_parallel(const BitMatrixView& a, const BitMatrixView& b,
                          CountMatrixRef c, const GemmConfig& cfg,
                          unsigned threads) {

@@ -8,12 +8,34 @@
 // Callers zero C first for assignment semantics; the driver accumulates.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+
 #include "core/bit_matrix.hpp"
 #include "core/gemm/config.hpp"
 #include "core/gemm/count_matrix.hpp"
 #include "core/gemm/packed_bit_matrix.hpp"
 
 namespace ldla {
+
+/// One finalized cache tile of haplotype counts, delivered by the fused
+/// drivers while it is still hot. Indices are global operand row numbers
+/// (row_begin in A space, col_begin in B space); `counts` points at the
+/// in-range corner of a tile-local scratch buffer with leading dimension
+/// `ld`, valid only for the duration of the sink call.
+struct CountTile {
+  std::size_t row_begin = 0;
+  std::size_t col_begin = 0;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  const std::uint32_t* counts = nullptr;
+  std::size_t ld = 0;
+
+  const std::uint32_t* row(std::size_t i) const { return counts + i * ld; }
+};
+
+/// Consumer of finalized count tiles (the fused statistics epilogue).
+using CountTileSink = std::function<void(const CountTile&)>;
 
 /// Full rectangular count GEMM. C must be at least a.n_snps x b.n_snps.
 /// Both operands must have the same word count (same sample universe).
@@ -35,6 +57,18 @@ void gemm_count_packed(const PackedBitMatrix& a, std::size_t a_begin,
                        std::size_t a_end, const PackedBitMatrix& b,
                        std::size_t b_begin, std::size_t b_end,
                        CountMatrixRef c);
+
+/// Fused variant of gemm_count_packed: the k (panel) loop runs innermost
+/// per (ic, jc) cache tile — legal and cheap over persistently packed
+/// slivers — so every mc x nc tile of C is final exactly once, accumulated
+/// in a tile-local scratch buffer and handed to `sink` while still hot.
+/// No count matrix is ever materialized: peak intermediate storage is
+/// O(mc·nc). Tiles partition [a_begin, a_end) x [b_begin, b_end) on the
+/// cache-tile grid; each in-range element appears in exactly one tile.
+void gemm_count_fused(const PackedBitMatrix& a, std::size_t a_begin,
+                      std::size_t a_end, const PackedBitMatrix& b,
+                      std::size_t b_begin, std::size_t b_end,
+                      const CountTileSink& sink);
 
 /// Statistics of the most recent plan resolution (for bench reporting).
 GemmPlan gemm_plan_for(const BitMatrixView& a, const GemmConfig& cfg = {});

@@ -125,6 +125,75 @@ void syrk_count_packed(const PackedBitMatrix& a, std::size_t row_begin,
   if (!triangular_only) mirror_lower_to_upper(c, n);
 }
 
+void syrk_count_fused(const PackedBitMatrix& a, std::size_t row_begin,
+                      std::size_t row_end, const CountTileSink& sink) {
+  LDLA_EXPECT(row_begin <= row_end && row_end <= a.snps(),
+              "row range out of range");
+  LDLA_EXPECT(sink != nullptr, "fused driver needs a tile sink");
+  if (row_begin == row_end) return;
+  LDLA_EXPECT(a.has_a_side() && a.has_b_side(),
+              "symmetric driver needs both operand sides packed");
+
+  const GemmPlan& plan = a.plan();
+  const KernelInfo& kern = kernel_info(plan.arch);
+  const std::size_t mr = plan.mr;
+  const std::size_t nr = plan.nr;
+  const std::size_t mc = plan.mc;
+  const std::size_t nc = plan.nc;
+
+  const std::size_t ic0 = row_begin / mr * mr;
+  const std::size_t jc0 = row_begin / nr * nr;
+  const std::size_t i_pad_end = (row_end + mr - 1) / mr * mr;
+  const std::size_t j_pad_end = (row_end + nr - 1) / nr * nr;
+
+  // Tile-local count scratch (see gemm_count_fused). Zeroing the used
+  // window also makes skipped above-diagonal register tiles read as
+  // deterministic zeros.
+  AlignedBuffer<std::uint32_t> scratch(mc * nc);
+
+  for (std::size_t jc = jc0; jc < row_end; jc += nc) {
+    const std::size_t jc_end = std::min(jc + nc, j_pad_end);
+    const std::size_t tile_cols = jc_end - jc;
+
+    // Only row blocks that intersect the lower triangle of this column
+    // panel: global rows >= jc, snapped down to an mc boundary (the
+    // per-tile skip below handles the slack exactly).
+    std::size_t ic_start = ic0;
+    if (jc > ic0) ic_start = ic0 + (jc - ic0) / mc * mc;
+    for (std::size_t ic = ic_start; ic < row_end; ic += mc) {
+      const std::size_t ic_end = std::min(ic + mc, i_pad_end);
+      const std::size_t tile_rows = ic_end - ic;
+      for (std::size_t i = 0; i < tile_rows; ++i) {
+        std::memset(&scratch[i * nc], 0, tile_cols * sizeof(std::uint32_t));
+      }
+
+      for (std::size_t p = 0; p < a.panels(); ++p) {
+        const std::size_t kcp = a.panel_kc_padded(p);
+        const PackedPanelView b_panel = a.b_panel(p, jc / nr, tile_cols / nr);
+        const PackedPanelView a_panel = a.a_panel(p, ic / mr, tile_rows / mr);
+        for (std::size_t jr = jc; jr < jc_end; jr += nr) {
+          const std::uint64_t* bp = b_panel.sliver((jr - jc) / nr);
+          for (std::size_t ir = ic; ir < ic_end; ir += mr) {
+            // Skip tiles strictly above the diagonal band.
+            if (ir + mr <= jr) continue;
+            const std::uint64_t* ap = a_panel.sliver((ir - ic) / mr);
+            LDLA_ASSERT_ALIGNED(ap, 8);
+            LDLA_ASSERT_ALIGNED(bp, 8);
+            kern.fn(kcp, ap, bp, &scratch[(ir - ic) * nc + (jr - jc)], nc);
+          }
+        }
+      }
+
+      const std::size_t i_lo = std::max(ic, row_begin);
+      const std::size_t i_hi = std::min(ic_end, row_end);
+      const std::size_t j_lo = std::max(jc, row_begin);
+      const std::size_t j_hi = std::min(jc_end, row_end);
+      sink(CountTile{i_lo, j_lo, i_hi - i_lo, j_hi - j_lo,
+                     &scratch[(i_lo - ic) * nc + (j_lo - jc)], nc});
+    }
+  }
+}
+
 void syrk_count(const BitMatrixView& a, CountMatrixRef c,
                 const GemmConfig& cfg, bool triangular_only) {
   const std::size_t n = a.n_snps;

@@ -6,6 +6,7 @@
 #include "core/bit_matrix.hpp"
 #include "core/gemm/config.hpp"
 #include "core/gemm/count_matrix.hpp"
+#include "core/gemm/macro.hpp"
 #include "core/gemm/packed_bit_matrix.hpp"
 
 namespace ldla {
@@ -29,6 +30,17 @@ void syrk_count(const BitMatrixView& a, CountMatrixRef c,
 void syrk_count_packed(const PackedBitMatrix& a, std::size_t row_begin,
                        std::size_t row_end, CountMatrixRef c,
                        bool triangular_only = false);
+
+/// Fused variant of syrk_count_packed: the panel loop runs innermost per
+/// cache tile, and each finalized tile is handed to `sink` from tile-local
+/// scratch — no count matrix is materialized (peak intermediate storage is
+/// O(mc·nc)). Tiles cover the cache-tile grid over [row_begin, row_end)²
+/// restricted to tiles touching the lower triangle; within a delivered
+/// tile only entries with global col <= row are specified (register tiles
+/// strictly above the diagonal are skipped and read as zero). Each
+/// lower-triangle element appears in exactly one tile.
+void syrk_count_fused(const PackedBitMatrix& a, std::size_t row_begin,
+                      std::size_t row_end, const CountTileSink& sink);
 
 /// Mirror the lower triangle of the leading n x n block of `c` into the
 /// upper triangle, cache-blocked so the column-strided writes of the naive

@@ -39,16 +39,16 @@ double ld_d(std::uint64_t ci, std::uint64_t cj, std::uint64_t cij,
 double ld_r_squared(std::uint64_t ci, std::uint64_t cj, std::uint64_t cij,
                     std::uint64_t nseq) {
   LDLA_EXPECT(nseq > 0, "sample size must be positive");
-  // The operation order matches detail::stat_row exactly so the scalar and
-  // vectorized row paths agree bit-for-bit.
   const double n = static_cast<double>(nseq);
   const double pi = static_cast<double>(ci) / n;
   const double pj = static_cast<double>(cj) / n;
-  const double inv_i = 1.0 / (pi * (1.0 - pi));
-  const double inv_j = 1.0 / (pj * (1.0 - pj));
   if (pi <= 0.0 || pi >= 1.0 || pj <= 0.0 || pj >= 1.0) {
     return kNaN;  // monomorphic SNP: r^2 undefined
   }
+  // The operation order matches detail::stat_row exactly so the scalar and
+  // vectorized row paths agree bit-for-bit.
+  const double inv_i = 1.0 / (pi * (1.0 - pi));
+  const double inv_j = 1.0 / (pj * (1.0 - pj));
   const double pij = static_cast<double>(cij) / n;
   const double d = pij - pi * pj;
   const double r = (d * d) * (inv_i * inv_j);
@@ -85,11 +85,61 @@ double ld_value(LdStatistic stat, std::uint64_t ci, std::uint64_t cj,
   return kNaN;
 }
 
+void mirror_ld_lower_to_upper(LdMatrix& m) {
+  const std::size_t n = m.rows();
+  LDLA_EXPECT(m.cols() == n, "mirror needs a square matrix");
+  // Cache-blocked transpose copy (same shape as mirror_lower_to_upper for
+  // counts): 64 x 64 x 8 B destination blocks stay resident.
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t jb = 0; jb < n; jb += kBlock) {
+    const std::size_t j_end = std::min(jb + kBlock, n);
+    for (std::size_t i = jb; i < j_end; ++i) {
+      for (std::size_t j = i + 1; j < j_end; ++j) {
+        m(i, j) = m(j, i);
+      }
+    }
+    for (std::size_t ib = j_end; ib < n; ib += kBlock) {
+      const std::size_t i_end = std::min(ib + kBlock, n);
+      for (std::size_t i = ib; i < i_end; ++i) {
+        for (std::size_t j = jb; j < j_end; ++j) {
+          m(j, i) = m(i, j);
+        }
+      }
+    }
+  }
+}
+
 LdMatrix ld_matrix(const BitMatrix& g, const LdOptions& opts) {
   const std::size_t n = g.snps();
   LdMatrix out(n, n);
   if (n == 0) return out;
   LDLA_EXPECT(g.samples() > 0, "matrix has no samples");
+
+  if (opts.fused) {
+    std::optional<PackedBitMatrix> own;
+    const PackedBitMatrix* packed = resolve_packed(
+        g.view(), opts.gemm, opts.packed, PackSides::kBoth, own);
+    if (packed != nullptr) {
+      // Fused epilogue: convert each finalized count tile to statistics
+      // while hot, write the lower triangle, mirror the stats. All three
+      // statistics are bitwise symmetric in (i, j) (their formulas only
+      // combine the operands through commutative products and min), so
+      // this equals the two-pass count-mirror result bit-for-bit.
+      const detail::StatTables tables = detail::make_stat_tables(g);
+      syrk_count_fused(*packed, 0, n, [&](const CountTile& t) {
+        for (std::size_t i = 0; i < t.rows; ++i) {
+          const std::size_t gi = t.row_begin + i;
+          if (gi < t.col_begin) continue;
+          const std::size_t hi = std::min(t.col_begin + t.cols, gi + 1);
+          detail::stat_row_shifted(opts.stat, tables, gi, t.col_begin,
+                                   t.row(i), hi - t.col_begin,
+                                   &out(gi, t.col_begin));
+        }
+      });
+      mirror_ld_lower_to_upper(out);
+      return out;
+    }
+  }
 
   CountMatrix counts(n, n);
   if (opts.packed != nullptr) {
@@ -115,7 +165,6 @@ LdMatrix ld_cross_matrix(const BitMatrix& a, const BitMatrix& b,
   LdMatrix out(m, n);
   if (m == 0 || n == 0) return out;
 
-  CountMatrix counts(m, n);
   std::optional<PackedBitMatrix> own_a;
   std::optional<PackedBitMatrix> own_b;
   const PackedBitMatrix* pa = resolve_packed(a.view(), opts.gemm, opts.packed,
@@ -123,14 +172,30 @@ LdMatrix ld_cross_matrix(const BitMatrix& a, const BitMatrix& b,
   const PackedBitMatrix* pb = resolve_packed(b.view(), opts.gemm,
                                              opts.packed_b, PackSides::kB,
                                              own_b);
+  const detail::StatTables ta = detail::make_stat_tables(a);
+  const detail::StatTables tb = detail::make_stat_tables(b);
+
+  if (opts.fused && pa != nullptr && pb != nullptr) {
+    // Fused epilogue: stats written straight from hot count tiles; no
+    // m x n CountMatrix is ever allocated.
+    gemm_count_fused(*pa, 0, m, *pb, 0, n, [&](const CountTile& t) {
+      for (std::size_t i = 0; i < t.rows; ++i) {
+        const std::size_t gi = t.row_begin + i;
+        detail::stat_row_cross_shifted(opts.stat, ta, gi, tb, t.col_begin,
+                                       t.row(i), t.cols,
+                                       &out(gi, t.col_begin));
+      }
+    });
+    return out;
+  }
+
+  CountMatrix counts(m, n);
   if (pa != nullptr && pb != nullptr) {
     gemm_count_packed(*pa, 0, m, *pb, 0, n, counts.ref());
   } else {
     gemm_count(a.view(), b.view(), counts.ref(), opts.gemm);
   }
 
-  const detail::StatTables ta = detail::make_stat_tables(a);
-  const detail::StatTables tb = detail::make_stat_tables(b);
   for (std::size_t i = 0; i < m; ++i) {
     detail::stat_row_cross(opts.stat, ta, i, tb, &counts(i, 0), n,
                            &out(i, 0));
@@ -154,8 +219,33 @@ void ld_scan(const BitMatrix& g, const LdTileVisitor& visit,
   const PackedBitMatrix* packed =
       resolve_packed(g.view(), opts.gemm, opts.packed, PackSides::kBoth, own);
 
-  CountMatrix counts(std::min(slab, n), n);
   AlignedBuffer<double> values(std::min(slab, n) * n);
+
+  if (opts.fused && packed != nullptr) {
+    // Fused epilogue: the slab's count tiles are converted to statistics
+    // while hot and never stored — only the values slab (the tile payload
+    // itself) is materialized, so per-slab memory drops from 12·slab·n to
+    // 8·slab·n bytes. Tile geometry and values are bit-identical to the
+    // two-pass path.
+    for (std::size_t r0 = 0; r0 < n; r0 += slab) {
+      const std::size_t rows = std::min(slab, n - r0);
+      const std::size_t cols = r0 + rows;  // lower-trapezoid: j < slab end
+      gemm_count_fused(*packed, r0, r0 + rows, *packed, 0, cols,
+                       [&](const CountTile& t) {
+                         for (std::size_t i = 0; i < t.rows; ++i) {
+                           const std::size_t gi = t.row_begin + i;
+                           detail::stat_row_shifted(
+                               opts.stat, tables, gi, t.col_begin, t.row(i),
+                               t.cols,
+                               &values[(gi - r0) * cols + t.col_begin]);
+                         }
+                       });
+      visit(LdTile{r0, 0, rows, cols, values.data(), cols});
+    }
+    return;
+  }
+
+  CountMatrix counts(std::min(slab, n), n);
 
   for (std::size_t r0 = 0; r0 < n; r0 += slab) {
     const std::size_t rows = std::min(slab, n - r0);
@@ -201,8 +291,29 @@ void ld_cross_scan(const BitMatrix& a, const BitMatrix& b,
                                              own_b);
   const bool use_packed = pa != nullptr && pb != nullptr;
 
-  CountMatrix counts(std::min(slab, m), n);
   AlignedBuffer<double> values(std::min(slab, m) * n);
+
+  if (opts.fused && use_packed) {
+    // Fused epilogue: no slab CountMatrix; stats land in the values slab
+    // straight from hot tiles (geometry and values unchanged).
+    for (std::size_t r0 = 0; r0 < m; r0 += slab) {
+      const std::size_t rows = std::min(slab, m - r0);
+      gemm_count_fused(*pa, r0, r0 + rows, *pb, 0, n,
+                       [&](const CountTile& t) {
+                         for (std::size_t i = 0; i < t.rows; ++i) {
+                           const std::size_t gi = t.row_begin + i;
+                           detail::stat_row_cross_shifted(
+                               opts.stat, ta, gi, tb, t.col_begin, t.row(i),
+                               t.cols,
+                               &values[(gi - r0) * n + t.col_begin]);
+                         }
+                       });
+      visit(LdTile{r0, 0, rows, n, values.data(), n});
+    }
+    return;
+  }
+
+  CountMatrix counts(std::min(slab, m), n);
 
   for (std::size_t r0 = 0; r0 < m; r0 += slab) {
     const std::size_t rows = std::min(slab, m - r0);
@@ -214,6 +325,123 @@ void ld_cross_scan(const BitMatrix& a, const BitMatrix& b,
       gemm_count(a.view(r0, r0 + rows), b.view(), cref, opts.gemm);
     }
 
+    for (std::size_t i = 0; i < rows; ++i) {
+      detail::stat_row_cross(opts.stat, ta, r0 + i, tb, &cref.at(i, 0), n,
+                             &values[i * n]);
+    }
+    visit(LdTile{r0, 0, rows, n, values.data(), n});
+  }
+}
+
+void ld_stat_scan(const BitMatrix& g, const LdStatTileVisitor& visit,
+                  const LdOptions& opts) {
+  const std::size_t n = g.snps();
+  if (n == 0) return;
+  LDLA_EXPECT(g.samples() > 0, "matrix has no samples");
+  LDLA_EXPECT(visit != nullptr, "stat-tile scan needs a visitor");
+  const detail::StatTables tables = detail::make_stat_tables(g);
+
+  std::optional<PackedBitMatrix> own;
+  const PackedBitMatrix* packed =
+      resolve_packed(g.view(), opts.gemm, opts.packed, PackSides::kBoth, own);
+
+  if (packed != nullptr) {
+    const GemmPlan& plan = packed->plan();
+    AlignedBuffer<double> values(plan.mc * plan.nc);
+    syrk_count_fused(*packed, 0, n, [&](const CountTile& t) {
+      if (t.col_begin + t.cols <= t.row_begin + 1) {
+        // Tile entirely on/below the diagonal: every entry is canonical.
+        for (std::size_t i = 0; i < t.rows; ++i) {
+          detail::stat_row_shifted(opts.stat, tables, t.row_begin + i,
+                                   t.col_begin, t.row(i), t.cols,
+                                   &values[i * t.cols]);
+        }
+        visit(LdTile{t.row_begin, t.col_begin, t.rows, t.cols,
+                     values.data(), t.cols});
+      } else {
+        // Diagonal-crossing tile: emit the valid prefix of each row as a
+        // one-row fragment so no above-diagonal entry ever escapes.
+        for (std::size_t i = 0; i < t.rows; ++i) {
+          const std::size_t gi = t.row_begin + i;
+          if (gi < t.col_begin) continue;
+          const std::size_t width =
+              std::min(t.col_begin + t.cols, gi + 1) - t.col_begin;
+          detail::stat_row_shifted(opts.stat, tables, gi, t.col_begin,
+                                   t.row(i), width, values.data());
+          visit(LdTile{gi, t.col_begin, 1, width, values.data(), width});
+        }
+      }
+    });
+    return;
+  }
+
+  // Two-pass fallback (no packed operand): slab counts, per-row canonical
+  // emission — same every-pair-once contract, O(slab·n) resident.
+  const std::size_t slab = std::min(opts.slab_rows, n);
+  LDLA_EXPECT(slab > 0, "slab height must be positive");
+  CountMatrix counts(slab, n);
+  AlignedBuffer<double> values(n);
+  for (std::size_t r0 = 0; r0 < n; r0 += slab) {
+    const std::size_t rows = std::min(slab, n - r0);
+    const std::size_t cols = r0 + rows;
+    CountMatrixRef cref{counts.ref().data, rows, cols, n};
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::fill_n(&cref.at(i, 0), cols, 0u);
+    }
+    gemm_count(g.view(r0, r0 + rows), g.view(0, cols), cref, opts.gemm);
+    for (std::size_t i = 0; i < rows; ++i) {
+      const std::size_t gi = r0 + i;
+      detail::stat_row(opts.stat, tables, gi, &cref.at(i, 0), gi + 1,
+                       values.data());
+      visit(LdTile{gi, 0, 1, gi + 1, values.data(), gi + 1});
+    }
+  }
+}
+
+void ld_cross_stat_scan(const BitMatrix& a, const BitMatrix& b,
+                        const LdStatTileVisitor& visit,
+                        const LdOptions& opts) {
+  LDLA_EXPECT(a.samples() == b.samples(),
+              "cross-matrix LD needs matching sample sets");
+  const std::size_t m = a.snps();
+  const std::size_t n = b.snps();
+  if (m == 0 || n == 0) return;
+  LDLA_EXPECT(visit != nullptr, "stat-tile scan needs a visitor");
+  const detail::StatTables ta = detail::make_stat_tables(a);
+  const detail::StatTables tb = detail::make_stat_tables(b);
+
+  std::optional<PackedBitMatrix> own_a;
+  std::optional<PackedBitMatrix> own_b;
+  const PackedBitMatrix* pa = resolve_packed(a.view(), opts.gemm, opts.packed,
+                                             PackSides::kA, own_a);
+  const PackedBitMatrix* pb = resolve_packed(b.view(), opts.gemm,
+                                             opts.packed_b, PackSides::kB,
+                                             own_b);
+  if (pa != nullptr && pb != nullptr) {
+    const GemmPlan& plan = pa->plan();
+    AlignedBuffer<double> values(plan.mc * plan.nc);
+    gemm_count_fused(*pa, 0, m, *pb, 0, n, [&](const CountTile& t) {
+      for (std::size_t i = 0; i < t.rows; ++i) {
+        detail::stat_row_cross_shifted(opts.stat, ta, t.row_begin + i, tb,
+                                       t.col_begin, t.row(i), t.cols,
+                                       &values[i * t.cols]);
+      }
+      visit(LdTile{t.row_begin, t.col_begin, t.rows, t.cols, values.data(),
+                   t.cols});
+    });
+    return;
+  }
+
+  // Two-pass fallback: slab counts, one tile per slab.
+  const std::size_t slab = std::min(opts.slab_rows, m);
+  LDLA_EXPECT(slab > 0, "slab height must be positive");
+  CountMatrix counts(slab, n);
+  AlignedBuffer<double> values(slab * n);
+  for (std::size_t r0 = 0; r0 < m; r0 += slab) {
+    const std::size_t rows = std::min(slab, m - r0);
+    counts.zero();
+    CountMatrixRef cref{counts.ref().data, rows, n, n};
+    gemm_count(a.view(r0, r0 + rows), b.view(), cref, opts.gemm);
     for (std::size_t i = 0; i < rows; ++i) {
       detail::stat_row_cross(opts.stat, ta, r0 + i, tb, &cref.at(i, 0), n,
                              &values[i * n]);

@@ -56,6 +56,14 @@ struct LdOptions {
   const PackedBitMatrix* packed = nullptr;
   /// Same for the second matrix of the cross drivers (needs a B side).
   const PackedBitMatrix* packed_b = nullptr;
+  /// Fused statistics epilogue (default): each finalized count tile is
+  /// converted to D/D'/r² while still hot in cache, so no CountMatrix is
+  /// ever materialized — counts live only in O(mc·nc) tile scratch.
+  /// Applies whenever a packed operand is in effect (gemm.pack_once, or a
+  /// caller-supplied pack); false is the historical two-pass pipeline
+  /// (count matrix, then a statistics pass), kept as the ablation control
+  /// in the spirit of gemm.pack_once. Both paths are bit-identical.
+  bool fused = true;
 };
 
 /// Dense row-major matrix of doubles (LD values).
@@ -122,6 +130,33 @@ void ld_scan(const BitMatrix& g, const LdTileVisitor& visit,
 /// Streaming cross-matrix LD over row slabs of `a` (columns span all of b).
 void ld_cross_scan(const BitMatrix& a, const BitMatrix& b,
                    const LdTileVisitor& visit, const LdOptions& opts = {});
+
+/// Visitor for stat tiles delivered straight from the fused GEMM epilogue:
+/// tile geometry follows the cache blocking (at most mc x nc), values are
+/// valid only for the duration of the call, and — unlike the slab scans —
+/// total resident memory is O(mc·nc), independent of n.
+using LdStatTileVisitor = std::function<void(const LdTile&)>;
+
+/// Lowest-memory streaming all-pairs LD: emits stat tiles directly from
+/// the fused epilogue, covering every canonical pair (j <= i, including
+/// the diagonal) exactly once and emitting no other entries. Diagonal-
+/// crossing cache tiles are delivered as per-row fragments so every
+/// emitted value is valid. Falls back to slabbed two-pass emission (same
+/// canonical-only contract) when no packed operand is in effect.
+void ld_stat_scan(const BitMatrix& g, const LdStatTileVisitor& visit,
+                  const LdOptions& opts = {});
+
+/// Cross-matrix variant of ld_stat_scan: every (row of a, row of b) pair
+/// exactly once, in cache-tile geometry, O(mc·nc) resident.
+void ld_cross_stat_scan(const BitMatrix& a, const BitMatrix& b,
+                        const LdStatTileVisitor& visit,
+                        const LdOptions& opts = {});
+
+/// Mirror the lower triangle (j < i) of a square LdMatrix into the upper
+/// triangle, cache-blocked. All three statistics are symmetric in (i, j)
+/// operation-for-operation, so mirroring stats equals computing them from
+/// mirrored counts bit-for-bit.
+void mirror_ld_lower_to_upper(LdMatrix& m);
 
 /// Number of LD values a full symmetric analysis of n SNPs produces,
 /// N(N+1)/2 including the diagonal — the paper's "50M pairwise LDs" figure

@@ -35,8 +35,31 @@ void scan_row_range(const BitMatrix& g, const Range& range,
   const std::size_t max_rows = std::min(slab, range.size());
   const std::size_t max_cols = range.end;
 
-  CountMatrix counts(max_rows, max_cols);
   AlignedBuffer<double> values(max_rows * max_cols);
+
+  if (opts.fused && packed != nullptr) {
+    // Fused epilogue: per-worker slab counts never touch memory — only
+    // the values slab (the tile payload) is resident. Bit-identical to
+    // the two-pass path below.
+    for (std::size_t r0 = range.begin; r0 < range.end; r0 += slab) {
+      const std::size_t rows = std::min(slab, range.end - r0);
+      const std::size_t cols = r0 + rows;
+      gemm_count_fused(*packed, r0, r0 + rows, *packed, 0, cols,
+                       [&](const CountTile& t) {
+                         for (std::size_t i = 0; i < t.rows; ++i) {
+                           const std::size_t gi = t.row_begin + i;
+                           detail::stat_row_shifted(
+                               opts.stat, tables, gi, t.col_begin, t.row(i),
+                               t.cols,
+                               &values[(gi - r0) * cols + t.col_begin]);
+                         }
+                       });
+      visit(LdTile{r0, 0, rows, cols, values.data(), cols});
+    }
+    return;
+  }
+
+  CountMatrix counts(max_rows, max_cols);
 
   for (std::size_t r0 = range.begin; r0 < range.end; r0 += slab) {
     const std::size_t rows = std::min(slab, range.end - r0);
@@ -56,29 +79,6 @@ void scan_row_range(const BitMatrix& g, const Range& range,
                        &values[i * cols]);
     }
     visit(LdTile{r0, 0, rows, cols, values.data(), cols});
-  }
-}
-
-// Cache-blocked lower→upper mirror for the double-valued LD matrix (same
-// blocking rationale as mirror_lower_to_upper in syrk.cpp).
-void mirror_ld_matrix(LdMatrix& out) {
-  const std::size_t n = out.rows();
-  constexpr std::size_t kBlock = 64;
-  for (std::size_t jb = 0; jb < n; jb += kBlock) {
-    const std::size_t j_end = std::min(jb + kBlock, n);
-    for (std::size_t i = jb; i < j_end; ++i) {
-      for (std::size_t j = i + 1; j < j_end; ++j) {
-        out(i, j) = out(j, i);
-      }
-    }
-    for (std::size_t ib = j_end; ib < n; ib += kBlock) {
-      const std::size_t i_end = std::min(ib + kBlock, n);
-      for (std::size_t i = ib; i < i_end; ++i) {
-        for (std::size_t j = jb; j < j_end; ++j) {
-          out(j, i) = out(i, j);
-        }
-      }
-    }
   }
 }
 
@@ -132,8 +132,26 @@ void ld_cross_scan_parallel(const BitMatrix& a, const BitMatrix& b,
     const Range range = ranges[t];
     const std::size_t slab = opts.slab_rows;
     const std::size_t max_rows = std::min(slab, range.size());
-    CountMatrix counts(max_rows, n);
     AlignedBuffer<double> values(max_rows * n);
+    if (opts.fused && use_packed) {
+      // Fused epilogue: no per-worker slab CountMatrix.
+      for (std::size_t r0 = range.begin; r0 < range.end; r0 += slab) {
+        const std::size_t rows = std::min(slab, range.end - r0);
+        gemm_count_fused(*pa, r0, r0 + rows, *pb, 0, n,
+                         [&](const CountTile& tile) {
+                           for (std::size_t i = 0; i < tile.rows; ++i) {
+                             const std::size_t gi = tile.row_begin + i;
+                             detail::stat_row_cross_shifted(
+                                 opts.stat, ta, gi, tb, tile.col_begin,
+                                 tile.row(i), tile.cols,
+                                 &values[(gi - r0) * n + tile.col_begin]);
+                           }
+                         });
+        visit(LdTile{r0, 0, rows, n, values.data(), n});
+      }
+      return;
+    }
+    CountMatrix counts(max_rows, n);
     for (std::size_t r0 = range.begin; r0 < range.end; r0 += slab) {
       const std::size_t rows = std::min(slab, range.end - r0);
       counts.zero();
@@ -171,7 +189,7 @@ LdMatrix ld_matrix_parallel(const BitMatrix& g, const LdOptions& opts,
       opts, threads);
 
   // Mirror the computed lower trapezoids into the upper triangle.
-  mirror_ld_matrix(out);
+  mirror_ld_lower_to_upper(out);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "omega/sweep_scan.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -32,6 +33,7 @@ struct ScanContext {
   const PackedBitMatrix* packed = nullptr;
   std::vector<std::uint64_t> counts;
   std::uint64_t samples = 0;
+  bool fused = true;
 };
 
 std::optional<OmegaPoint> scan_window(const BitMatrix& g, double x,
@@ -79,12 +81,42 @@ std::optional<OmegaPoint> scan_window_packed(const ScanContext& ctx, double x,
   }
   if (keep.size() < 4) return std::nullopt;
 
+  const std::size_t wk = keep.size();
+  LdMatrix r2(wk, wk);
+
+  if (ctx.fused) {
+    // Fused epilogue: r^2 entries are produced straight from hot count
+    // tiles — the w×w window CountMatrix is never materialized, so ω
+    // consumes r² with zero count storage. ld_r_squared sees the same
+    // (ci, cj, cij, n) inputs as the two-pass branch: bit-identical.
+    constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+    std::vector<std::size_t> pos(end - begin, kNone);
+    for (std::size_t i = 0; i < wk; ++i) pos[keep[i] - begin] = i;
+    syrk_count_fused(packed, begin, end, [&](const CountTile& t) {
+      for (std::size_t i = 0; i < t.rows; ++i) {
+        const std::size_t gi = t.row_begin + i;
+        const std::size_t pi = pos[gi - begin];
+        if (pi == kNone) continue;
+        const std::size_t j_hi = std::min(t.col_begin + t.cols, gi + 1);
+        for (std::size_t gj = t.col_begin; gj < j_hi; ++gj) {
+          const std::size_t pj = pos[gj - begin];
+          if (pj == kNone) continue;
+          const double v = ld_r_squared(ctx.counts[gi], ctx.counts[gj],
+                                        t.row(i)[gj - t.col_begin],
+                                        ctx.samples);
+          r2(pi, pj) = v;
+          r2(pj, pi) = v;
+        }
+      }
+    });
+    const OmegaMax m = omega_max(r2);
+    return OmegaPoint{x, m.omega, begin, end, m.split};
+  }
+
   const std::size_t w = end - begin;
   CountMatrix cmat(w, w);
   syrk_count_packed(packed, begin, end, cmat.ref(), /*triangular_only=*/true);
 
-  const std::size_t wk = keep.size();
-  LdMatrix r2(wk, wk);
   for (std::size_t i = 0; i < wk; ++i) {
     const std::size_t gi = keep[i];
     for (std::size_t j = 0; j <= i; ++j) {
@@ -134,6 +166,7 @@ ScanContext make_scan_context(const BitMatrix& g,
   ScanContext ctx;
   ctx.packed = resolve_packed(g.view(), params.gemm, params.packed,
                               PackSides::kBoth, own);
+  ctx.fused = params.fused;
   if (ctx.packed != nullptr) {
     ctx.samples = g.samples();
     ctx.counts.resize(g.snps());

@@ -26,6 +26,11 @@ struct SweepScanParams {
   /// re-packing every window; when null, omega_scan packs once per call
   /// while gemm.pack_once is on.
   const PackedBitMatrix* packed = nullptr;
+  /// Fused statistics epilogue (see LdOptions::fused): each window's r²
+  /// matrix is filled straight from hot count tiles, so the w×w window
+  /// CountMatrix disappears — ω consumes r² with zero count storage.
+  /// Bit-identical to the two-pass path; applies on the packed path.
+  bool fused = true;
 };
 
 struct OmegaPoint {

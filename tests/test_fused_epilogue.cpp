@@ -1,0 +1,448 @@
+// Property sweep for the fused statistics epilogue: the single-pass
+// pipeline (stats written straight from hot count tiles, no intermediate
+// CountMatrix) must be bit-identical to the two-pass ablation across
+// stat x kernel arch x blocking params x ragged shapes x unaligned band
+// and omega windows x sequential/parallel drivers.
+#include "core/ld.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/band.hpp"
+#include "core/gemm/kernel.hpp"
+#include "core/gemm/macro.hpp"
+#include "core/gemm/syrk.hpp"
+#include "core/parallel.hpp"
+#include "omega/sweep_scan.hpp"
+#include "sim/rng.hpp"
+
+namespace ldla {
+namespace {
+
+BitMatrix random_matrix(std::size_t snps, std::size_t samples,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  BitMatrix m(snps, samples);
+  for (std::size_t s = 0; s < snps; ++s) {
+    for (std::size_t b = 0; b < samples; ++b) {
+      if (rng.next_bool(0.4)) m.set(s, b, true);
+    }
+  }
+  return m;
+}
+
+// Ragged shapes, none a multiple of any register tile; sample counts off
+// word boundaries so padding words are always in play.
+const std::vector<std::pair<std::size_t, std::size_t>> kShapes = {
+    {5, 100}, {33, 323}, {70, 129}, {128, 1000}};
+
+constexpr std::array<LdStatistic, 3> kStats = {
+    LdStatistic::kD, LdStatistic::kDPrime, LdStatistic::kRSquared};
+
+std::vector<GemmConfig> blocking_configs(KernelArch arch) {
+  std::vector<GemmConfig> cfgs(3);
+  cfgs[1].kc_words = 2;
+  cfgs[1].mc = 8;
+  cfgs[1].nc = 8;
+  cfgs[2].kc_words = 3;
+  cfgs[2].mc = 24;
+  cfgs[2].nc = 16;
+  for (GemmConfig& cfg : cfgs) cfg.arch = arch;
+  return cfgs;
+}
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+void expect_same_matrix(const LdMatrix& got, const LdMatrix& want,
+                        const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t i = 0; i < want.rows(); ++i) {
+    for (std::size_t j = 0; j < want.cols(); ++j) {
+      ASSERT_TRUE(same_bits(got(i, j), want(i, j)))
+          << what << " at (" << i << "," << j << ")";
+    }
+  }
+}
+
+// Full tile capture (geometry + payload): the fused scans promise not just
+// the same values but the same tile stream as the two-pass path.
+struct TileRecord {
+  std::size_t row_begin, col_begin, rows, cols;
+  std::vector<double> values;
+};
+
+std::vector<TileRecord> record_tiles(const LdTile& tile,
+                                     std::vector<TileRecord>&& acc) {
+  TileRecord r{tile.row_begin, tile.col_begin, tile.rows, tile.cols, {}};
+  r.values.reserve(tile.rows * tile.cols);
+  for (std::size_t i = 0; i < tile.rows; ++i) {
+    for (std::size_t j = 0; j < tile.cols; ++j) {
+      r.values.push_back(tile.at(i, j));
+    }
+  }
+  acc.push_back(std::move(r));
+  return std::move(acc);
+}
+
+void expect_same_tiles(const std::vector<TileRecord>& got,
+                       const std::vector<TileRecord>& want,
+                       const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t t = 0; t < want.size(); ++t) {
+    EXPECT_EQ(got[t].row_begin, want[t].row_begin) << what << " tile " << t;
+    EXPECT_EQ(got[t].col_begin, want[t].col_begin) << what << " tile " << t;
+    EXPECT_EQ(got[t].rows, want[t].rows) << what << " tile " << t;
+    EXPECT_EQ(got[t].cols, want[t].cols) << what << " tile " << t;
+    ASSERT_EQ(got[t].values.size(), want[t].values.size()) << what;
+    for (std::size_t v = 0; v < want[t].values.size(); ++v) {
+      ASSERT_TRUE(same_bits(got[t].values[v], want[t].values[v]))
+          << what << " tile " << t << " value " << v;
+    }
+  }
+}
+
+class FusedEpilogue : public ::testing::TestWithParam<KernelArch> {};
+
+TEST_P(FusedEpilogue, LdMatrixBitIdenticalToTwoPass) {
+  for (const auto& [n, k] : kShapes) {
+    const BitMatrix g = random_matrix(n, k, n * 57 + k);
+    for (const GemmConfig& cfg : blocking_configs(GetParam())) {
+      for (const LdStatistic stat : kStats) {
+        LdOptions fused;
+        fused.gemm = cfg;
+        fused.stat = stat;
+        LdOptions two_pass = fused;
+        two_pass.fused = false;
+        expect_same_matrix(ld_matrix(g, fused), ld_matrix(g, two_pass),
+                           ld_statistic_name(stat).c_str());
+      }
+    }
+  }
+}
+
+TEST_P(FusedEpilogue, CrossMatrixBitIdenticalToTwoPass) {
+  for (const auto& [n, k] : kShapes) {
+    const BitMatrix a = random_matrix(n, k, n * 77 + k);
+    const BitMatrix b = random_matrix((n * 2) / 3 + 1, k, n * 131 + k);
+    for (const GemmConfig& cfg : blocking_configs(GetParam())) {
+      for (const LdStatistic stat : kStats) {
+        LdOptions fused;
+        fused.gemm = cfg;
+        fused.stat = stat;
+        LdOptions two_pass = fused;
+        two_pass.fused = false;
+        expect_same_matrix(ld_cross_matrix(a, b, fused),
+                           ld_cross_matrix(a, b, two_pass),
+                           ld_statistic_name(stat).c_str());
+      }
+    }
+  }
+}
+
+TEST_P(FusedEpilogue, ScansEmitIdenticalTileStreams) {
+  const BitMatrix g = random_matrix(93, 323, 41);
+  const BitMatrix b = random_matrix(45, 323, 43);
+  for (const GemmConfig& cfg : blocking_configs(GetParam())) {
+    for (const LdStatistic stat : kStats) {
+      LdOptions fused;
+      fused.gemm = cfg;
+      fused.stat = stat;
+      fused.slab_rows = 17;  // off every tile boundary
+      LdOptions two_pass = fused;
+      two_pass.fused = false;
+
+      std::vector<TileRecord> ft, tt;
+      ld_scan(g, [&](const LdTile& t) { ft = record_tiles(t, std::move(ft)); },
+              fused);
+      ld_scan(g, [&](const LdTile& t) { tt = record_tiles(t, std::move(tt)); },
+              two_pass);
+      expect_same_tiles(ft, tt, "ld_scan");
+
+      std::vector<TileRecord> fc, tc;
+      ld_cross_scan(
+          g, b, [&](const LdTile& t) { fc = record_tiles(t, std::move(fc)); },
+          fused);
+      ld_cross_scan(
+          g, b, [&](const LdTile& t) { tc = record_tiles(t, std::move(tc)); },
+          two_pass);
+      expect_same_tiles(fc, tc, "ld_cross_scan");
+    }
+  }
+}
+
+TEST_P(FusedEpilogue, BandScanBitIdenticalAtUnalignedWindows) {
+  const BitMatrix g = random_matrix(90, 129, 47);
+  for (const GemmConfig& cfg : blocking_configs(GetParam())) {
+    // Bandwidths and slabs chosen so column windows start/end off every
+    // sliver and cache-tile boundary.
+    for (const std::size_t bandwidth : {1ul, 11ul, 37ul}) {
+      BandOptions fused;
+      fused.gemm = cfg;
+      fused.slab_rows = 13;
+      BandOptions two_pass = fused;
+      two_pass.fused = false;
+
+      std::vector<TileRecord> ft, tt;
+      ld_band_scan(
+          g, bandwidth,
+          [&](const LdTile& t) { ft = record_tiles(t, std::move(ft)); },
+          fused);
+      ld_band_scan(
+          g, bandwidth,
+          [&](const LdTile& t) { tt = record_tiles(t, std::move(tt)); },
+          two_pass);
+      expect_same_tiles(ft, tt, "ld_band_scan");
+    }
+  }
+}
+
+TEST_P(FusedEpilogue, StatScanCoversCanonicalPairsExactlyOnce) {
+  const BitMatrix g = random_matrix(70, 129, 53);
+  const std::size_t n = g.snps();
+  for (const GemmConfig& cfg : blocking_configs(GetParam())) {
+    LdOptions opts;
+    opts.gemm = cfg;
+    const LdMatrix want = ld_matrix(g, opts);
+
+    // Packed fused path and the two-pass fallback (no packing plan) must
+    // both deliver every canonical pair exactly once and nothing else.
+    for (const bool pack_once : {true, false}) {
+      LdOptions scan_opts = opts;
+      scan_opts.gemm.pack_once = pack_once;
+      std::map<std::pair<std::size_t, std::size_t>, double> seen;
+      ld_stat_scan(g, [&](const LdTile& tile) {
+        for (std::size_t i = 0; i < tile.rows; ++i) {
+          for (std::size_t j = 0; j < tile.cols; ++j) {
+            const auto key = std::pair(tile.row_begin + i, tile.col_begin + j);
+            ASSERT_LE(key.second, key.first) << "non-canonical entry emitted";
+            ASSERT_EQ(seen.count(key), 0u) << "duplicate pair";
+            seen[key] = tile.at(i, j);
+          }
+        }
+      }, scan_opts);
+      ASSERT_EQ(seen.size(), ld_pair_count(n));
+      for (const auto& [key, v] : seen) {
+        ASSERT_TRUE(same_bits(v, want(key.first, key.second)))
+            << "(" << key.first << "," << key.second
+            << ") pack_once=" << pack_once;
+      }
+    }
+  }
+}
+
+TEST_P(FusedEpilogue, CrossStatScanCoversEveryPairExactlyOnce) {
+  const BitMatrix a = random_matrix(33, 323, 59);
+  const BitMatrix b = random_matrix(23, 323, 61);
+  for (const GemmConfig& cfg : blocking_configs(GetParam())) {
+    LdOptions opts;
+    opts.gemm = cfg;
+    const LdMatrix want = ld_cross_matrix(a, b, opts);
+
+    for (const bool pack_once : {true, false}) {
+      LdOptions scan_opts = opts;
+      scan_opts.gemm.pack_once = pack_once;
+      std::map<std::pair<std::size_t, std::size_t>, double> seen;
+      ld_cross_stat_scan(a, b, [&](const LdTile& tile) {
+        for (std::size_t i = 0; i < tile.rows; ++i) {
+          for (std::size_t j = 0; j < tile.cols; ++j) {
+            const auto key = std::pair(tile.row_begin + i, tile.col_begin + j);
+            ASSERT_EQ(seen.count(key), 0u) << "duplicate pair";
+            seen[key] = tile.at(i, j);
+          }
+        }
+      }, scan_opts);
+      ASSERT_EQ(seen.size(), a.snps() * b.snps());
+      for (const auto& [key, v] : seen) {
+        ASSERT_TRUE(same_bits(v, want(key.first, key.second)));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, FusedEpilogue, ::testing::ValuesIn(available_kernels()),
+    [](const ::testing::TestParamInfo<KernelArch>& param_info) {
+      std::string name = kernel_arch_name(param_info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---- parallel drivers and omega windows ---------------------------------
+
+TEST(FusedEpilogueParallel, ParallelScanBitIdenticalToTwoPass) {
+  const BitMatrix g = random_matrix(93, 200, 67);
+  for (const LdStatistic stat : kStats) {
+    LdOptions fused;
+    fused.stat = stat;
+    fused.slab_rows = 17;
+    LdOptions two_pass = fused;
+    two_pass.fused = false;
+
+    // Tile arrival order is nondeterministic across workers: compare the
+    // per-pair value maps instead of the streams.
+    const auto collect = [&](const LdOptions& opts) {
+      std::map<std::pair<std::size_t, std::size_t>, double> seen;
+      std::mutex mu;
+      ld_scan_parallel(
+          g,
+          [&](const LdTile& tile) {
+            const std::lock_guard<std::mutex> lock(mu);
+            for (std::size_t i = 0; i < tile.rows; ++i) {
+              for (std::size_t j = 0; j < tile.cols; ++j) {
+                seen[{tile.row_begin + i, tile.col_begin + j}] =
+                    tile.at(i, j);
+              }
+            }
+          },
+          opts, 3);
+      return seen;
+    };
+    const auto a = collect(fused);
+    const auto b = collect(two_pass);
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto& [key, v] : a) {
+      const auto it = b.find(key);
+      ASSERT_NE(it, b.end());
+      ASSERT_TRUE(same_bits(v, it->second))
+          << "(" << key.first << "," << key.second << ")";
+    }
+  }
+}
+
+TEST(FusedEpilogueParallel, ParallelMatricesBitIdenticalToTwoPass) {
+  const BitMatrix g = random_matrix(70, 129, 71);
+  const BitMatrix b = random_matrix(33, 129, 73);
+  for (const LdStatistic stat : kStats) {
+    LdOptions fused;
+    fused.stat = stat;
+    fused.slab_rows = 17;
+    LdOptions two_pass = fused;
+    two_pass.fused = false;
+    expect_same_matrix(ld_matrix_parallel(g, fused, 3),
+                       ld_matrix_parallel(g, two_pass, 3), "ld_matrix_parallel");
+    expect_same_matrix(ld_cross_matrix_parallel(g, b, fused, 3),
+                       ld_cross_matrix_parallel(g, b, two_pass, 3),
+                       "ld_cross_matrix_parallel");
+  }
+}
+
+TEST(FusedEpilogueOmega, OmegaScanBitIdenticalAtUnalignedWindows) {
+  const BitMatrix g = random_matrix(160, 100, 79);
+  std::vector<double> positions(g.snps());
+  for (std::size_t s = 0; s < g.snps(); ++s) {
+    positions[s] =
+        (static_cast<double>(s) + 0.5) / static_cast<double>(g.snps());
+  }
+  // Window extents chosen so [begin, end) lands off every register-tile
+  // and cache-tile boundary across the grid.
+  SweepScanParams fused;
+  fused.grid_points = 12;
+  fused.window_snps = 14;
+  fused.window_candidates = {7, 25};
+  SweepScanParams two_pass = fused;
+  two_pass.fused = false;
+
+  for (const unsigned threads : {0u, 3u}) {
+    const std::vector<OmegaPoint> a =
+        threads == 0 ? omega_scan(g, positions, fused)
+                     : omega_scan_parallel(g, positions, fused, threads);
+    const std::vector<OmegaPoint> b =
+        threads == 0 ? omega_scan(g, positions, two_pass)
+                     : omega_scan_parallel(g, positions, two_pass, threads);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_TRUE(same_bits(a[i].omega, b[i].omega)) << "point " << i;
+      EXPECT_EQ(a[i].window_begin, b[i].window_begin);
+      EXPECT_EQ(a[i].window_end, b[i].window_end);
+      EXPECT_EQ(a[i].best_split, b[i].best_split);
+    }
+  }
+}
+
+// ---- driver-level: fused tile streams reassemble to the packed result ----
+
+TEST(FusedEpilogueDrivers, GemmFusedTilesReassembleExactly) {
+  const BitMatrix a = random_matrix(70, 129, 83);
+  const BitMatrix b = random_matrix(33, 129, 89);
+  for (const GemmConfig& cfg : blocking_configs(KernelArch::kAuto)) {
+    const PackedBitMatrix pa =
+        PackedBitMatrix::pack(a.view(), cfg, PackSides::kA);
+    const PackedBitMatrix pb =
+        PackedBitMatrix::pack(b.view(), cfg, PackSides::kB);
+    // Ranges start/end off every register-tile boundary.
+    for (const auto& [a0, a1, b0, b1] :
+         std::vector<std::array<std::size_t, 4>>{
+             {0, 70, 0, 33}, {3, 11, 1, 30}, {17, 42, 29, 30}}) {
+      CountMatrix want(a1 - a0, b1 - b0);
+      gemm_count_packed(pa, a0, a1, pb, b0, b1, want.ref());
+      CountMatrix got(a1 - a0, b1 - b0);
+      got.zero();
+      std::size_t covered = 0;
+      gemm_count_fused(pa, a0, a1, pb, b0, b1, [&](const CountTile& t) {
+        for (std::size_t i = 0; i < t.rows; ++i) {
+          for (std::size_t j = 0; j < t.cols; ++j) {
+            got(t.row_begin + i - a0, t.col_begin + j - b0) = t.row(i)[j];
+            ++covered;
+          }
+        }
+      });
+      ASSERT_EQ(covered, (a1 - a0) * (b1 - b0)) << "tiles must partition";
+      for (std::size_t i = 0; i < a1 - a0; ++i) {
+        for (std::size_t j = 0; j < b1 - b0; ++j) {
+          ASSERT_EQ(got(i, j), want(i, j)) << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(FusedEpilogueDrivers, SyrkFusedTilesCoverLowerTriangleExactly) {
+  const BitMatrix g = random_matrix(67, 200, 97);
+  for (const GemmConfig& cfg : blocking_configs(KernelArch::kAuto)) {
+    const PackedBitMatrix p = PackedBitMatrix::pack(g.view(), cfg);
+    for (const auto& [r0, r1] :
+         std::vector<std::pair<std::size_t, std::size_t>>{
+             {0, 67}, {5, 37}, {30, 31}, {62, 67}}) {
+      const std::size_t w = r1 - r0;
+      CountMatrix want(w, w);
+      syrk_count_packed(p, r0, r1, want.ref(), /*triangular_only=*/true);
+      CountMatrix got(w, w);
+      got.zero();
+      std::vector<std::uint8_t> hits(w * w, 0);
+      syrk_count_fused(p, r0, r1, [&](const CountTile& t) {
+        for (std::size_t i = 0; i < t.rows; ++i) {
+          const std::size_t gi = t.row_begin + i;
+          for (std::size_t j = 0; j < t.cols; ++j) {
+            const std::size_t gj = t.col_begin + j;
+            if (gj > gi) continue;  // above-diagonal entries unspecified
+            got(gi - r0, gj - r0) = t.row(i)[j];
+            ++hits[(gi - r0) * w + (gj - r0)];
+          }
+        }
+      });
+      for (std::size_t i = 0; i < w; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+          ASSERT_EQ(hits[i * w + j], 1u)
+              << "pair (" << i << "," << j << ") seen " << int{hits[i * w + j]}
+              << " times";
+          ASSERT_EQ(got(i, j), want(i, j)) << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldla

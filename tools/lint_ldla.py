@@ -85,11 +85,13 @@ PUBLIC_API = {
     "src/core/gemm/macro.cpp": [
         ("gemm_count", "expect"),
         ("gemm_count_packed", "expect"),
+        ("gemm_count_fused", "expect"),
         ("gemm_count_parallel", "expect"),
     ],
     "src/core/gemm/syrk.cpp": [
         ("syrk_count", "expect"),
         ("syrk_count_packed", "expect"),
+        ("syrk_count_fused", "expect"),
     ],
     "src/core/gemm/packing.cpp": [("pack_panel", "expect")],
     "src/core/gemm/packed_bit_matrix.cpp": [
@@ -99,6 +101,8 @@ PUBLIC_API = {
     "src/core/ld.cpp": [
         ("ld_scan", "expect"),
         ("ld_cross_scan", "expect"),
+        ("ld_stat_scan", "expect"),
+        ("ld_cross_stat_scan", "expect"),
     ],
     "src/core/parallel.cpp": [
         ("ld_scan_parallel", "expect"),
