@@ -27,7 +27,8 @@ AblationPoint run(const BitMatrix& g, const GemmConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  maybe_start_trace(argc, argv, "blocking_ablation");
   print_header("Blocking/packing ablation",
                "Sec. III: the layered GotoBLAS structure is what buys the "
                "84-90% of peak");
@@ -107,5 +108,7 @@ int main() {
       "\nexpected shape: the full configuration is at or near the top; very\n"
       "small kc/mc hurt (packing overhead dominates), and disabling packing\n"
       "or blocking costs performance on problems that exceed the caches.\n");
-  return 0;
+  const bool json_ok = json.flush();
+  const bool trace_ok = finish_trace();
+  return (json_ok && trace_ok) ? 0 : 1;
 }

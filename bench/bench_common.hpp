@@ -21,6 +21,7 @@
 #include "util/peak.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace ldla::bench {
 
@@ -56,19 +57,54 @@ class BenchJson {
            std::size_t snps, std::size_t samples, double seconds,
            double lds_per_sec, double pct_peak = -1.0) {
     rows_.push_back(
-        Row{workload, kernel, snps, samples, seconds, lds_per_sec, pct_peak});
+        Row{workload, kernel, snps, samples, seconds, lds_per_sec, pct_peak,
+            false, trace::TraceSnapshot{}});
   }
 
-  void flush() {
-    if (flushed_ || rows_.empty()) return;
+  /// Row with a per-phase breakdown: `phases` is the trace-snapshot delta
+  /// captured around the timed workload (trace::snapshot().since(before)).
+  /// Emitted as nested "phases" (self seconds per phase) and "counters"
+  /// objects so compare_bench.py can diff phase breakdowns across commits.
+  void add(const std::string& workload, const std::string& kernel,
+           std::size_t snps, std::size_t samples, double seconds,
+           double lds_per_sec, double pct_peak,
+           const trace::TraceSnapshot& phases) {
+    rows_.push_back(Row{workload, kernel, snps, samples, seconds, lds_per_sec,
+                        pct_peak, trace::compiled(), phases});
+  }
+
+  /// Writes the report once; later calls return the first outcome. True
+  /// means "written, or nothing to write"; false means the file could not
+  /// be produced (callers should fail their process on false).
+  bool flush() {
+    if (flushed_) return flush_ok_;
     flushed_ = true;
+    flush_ok_ = write_report();
+    return flush_ok_;
+  }
+
+ private:
+  struct Row {
+    std::string workload;
+    std::string kernel;
+    std::size_t snps = 0;
+    std::size_t samples = 0;
+    double seconds = 0.0;
+    double lds_per_sec = 0.0;
+    double pct_peak = -1.0;
+    bool has_phases = false;
+    trace::TraceSnapshot phases;
+  };
+
+  bool write_report() {
+    if (rows_.empty()) return true;
     const char* dir = std::getenv("LDLA_BENCH_JSON_DIR");
     const std::string path =
         std::string(dir != nullptr ? dir : ".") + "/BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
-      return;
+      return false;
     }
     std::fputs("[\n", f);
     for (std::size_t i = 0; i < rows_.size(); ++i) {
@@ -83,23 +119,42 @@ class BenchJson {
       number(f, "lds_per_sec", r.lds_per_sec);
       std::fputs(", ", f);
       number(f, "pct_peak", r.pct_peak < 0.0 ? nan_value() : r.pct_peak);
+      if (r.has_phases) write_phases(f, r.phases);
       std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
     std::fputs("]\n", f);
-    std::fclose(f);
+    const bool ok = std::ferror(f) == 0;
+    if (std::fclose(f) != 0 || !ok) {
+      std::fprintf(stderr, "BenchJson: write failed for %s\n", path.c_str());
+      return false;
+    }
     std::printf("\nwrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
   }
 
- private:
-  struct Row {
-    std::string workload;
-    std::string kernel;
-    std::size_t snps = 0;
-    std::size_t samples = 0;
-    double seconds = 0.0;
-    double lds_per_sec = 0.0;
-    double pct_peak = -1.0;
-  };
+  static void write_phases(std::FILE* f, const trace::TraceSnapshot& s) {
+    std::fputs(", \"phases\": {", f);
+    for (std::size_t p = 0; p < trace::kPhaseCount; ++p) {
+      const auto phase = static_cast<trace::Phase>(p);
+      std::fprintf(f, "%s\"%s_s\": %.9g", p == 0 ? "" : ", ",
+                   trace::phase_name(phase), s.phase_seconds(phase));
+    }
+    const trace::PhaseCounters& c = s.counters;
+    std::fprintf(f,
+                 "}, \"counters\": {\"bytes_packed\": %llu, "
+                 "\"slivers_packed\": %llu, \"slivers_reused\": %llu, "
+                 "\"kernel_calls\": %llu, \"kernel_words\": %llu, "
+                 "\"tiles_emitted\": %llu, \"epilogue_rows\": %llu, "
+                 "\"task_runs\": %llu}",
+                 static_cast<unsigned long long>(c.bytes_packed),
+                 static_cast<unsigned long long>(c.slivers_packed),
+                 static_cast<unsigned long long>(c.slivers_reused),
+                 static_cast<unsigned long long>(c.kernel_calls),
+                 static_cast<unsigned long long>(c.kernel_words),
+                 static_cast<unsigned long long>(c.tiles_emitted),
+                 static_cast<unsigned long long>(c.epilogue_rows),
+                 static_cast<unsigned long long>(c.task_runs));
+  }
 
   static double nan_value() {
     return std::numeric_limits<double>::quiet_NaN();
@@ -127,7 +182,69 @@ class BenchJson {
   std::string name_;
   std::vector<Row> rows_;
   bool flushed_ = false;
+  bool flush_ok_ = true;
 };
+
+/// Mirror one finished google-benchmark run (name shape
+/// "<fixture>/<label>/<arg>") into a BenchJson row: workload = label,
+/// samples = arg, rate from the benchmark's rate counter. Returns false
+/// (row skipped) when the name does not have the expected shape.
+inline bool add_gbench_row(BenchJson& json, const std::string& name,
+                           const std::string& kernel, double real_seconds,
+                           double rate) {
+  const std::size_t first = name.find('/');
+  const std::size_t last = name.rfind('/');
+  if (first == std::string::npos || last == first) return false;
+  const std::string label = name.substr(first + 1, last - first - 1);
+  const std::size_t arg = std::stoul(name.substr(last + 1));
+  json.add(label, kernel, 0, arg, real_seconds, rate);
+  return true;
+}
+
+/// `--trace` CLI support (also honours LDLA_TRACE=1 in the environment, so
+/// harnesses can turn tracing on without plumbing argv): starts a
+/// span-buffering trace session named after the bench. The flag is removed
+/// from argv (so argument-parsing frameworks never see it); the
+/// Chrome-trace report lands in $LDLA_TRACE_DIR via finish_trace() (or at
+/// exit).
+inline bool maybe_start_trace(int& argc, char** argv, const char* bench_name) {
+  bool want = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") {
+      want = true;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  const char* env = std::getenv("LDLA_TRACE");
+  if (env != nullptr && env[0] == '1') want = true;
+  if (!want) return false;
+  if (!trace::compiled()) {
+    std::fprintf(stderr,
+                 "--trace requested but this binary was built with "
+                 "-DLDLA_TRACE=OFF; no trace will be written\n");
+    return false;
+  }
+  trace::start_session(bench_name);
+  std::printf("tracing: session '%s' active (report at exit)\n", bench_name);
+  return true;
+}
+
+/// Ends an active trace session and reports where the trace went. Returns
+/// false when a session was active but the report could not be written.
+inline bool finish_trace() {
+  if (!trace::session_active()) return true;
+  const std::string path = trace::stop_session_and_write();
+  if (path.empty()) {
+    std::fprintf(stderr, "trace: report write FAILED\n");
+    return false;
+  }
+  std::printf("wrote %s (load in ui.perfetto.dev or chrome://tracing)\n",
+              path.c_str());
+  return true;
+}
 
 inline void print_header(const char* title, const char* paper_ref) {
   std::printf("==============================================================\n");

@@ -14,7 +14,8 @@
 using namespace ldla;
 using namespace ldla::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  maybe_start_trace(argc, argv, "dgemm_comparison");
   print_header("Packed popcount-GEMM vs double-precision GEMM",
                "Sec. II-III premise: casting LD as DLA pays off because of "
                "bit packing + the (AND,POPCNT,ADD) semiring");
@@ -77,5 +78,7 @@ int main() {
       "halving the dgemm time, the packed semiring wins by a wide margin —\n"
       "and it needs 64x less memory, which is what makes 100k-sample\n"
       "datasets cache-friendly at all.\n");
-  return 0;
+  const bool json_ok = json.flush();
+  const bool trace_ok = finish_trace();
+  return (json_ok && trace_ok) ? 0 : 1;
 }

@@ -7,7 +7,8 @@
 using namespace ldla;
 using namespace ldla::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  maybe_start_trace(argc, argv, "fig4_cross_matrix");
   print_header("Figure 4 — cross-matrix haplotype counts, % of peak",
                "Fig. 4: two genomic matrices, all m x n outputs; same "
                "84-90% band as Fig. 3");
@@ -76,5 +77,7 @@ int main() {
       "\npaper shape to verify: the cross-matrix driver computes ~2x the\n"
       "outputs of Fig. 3 at the SAME %% of peak — performance depends only\n"
       "on the kernel, not on which pair set is requested.\n");
-  return 0;
+  const bool json_ok = json.flush();
+  const bool trace_ok = finish_trace();
+  return (json_ok && trace_ok) ? 0 : 1;
 }

@@ -11,7 +11,8 @@
 using namespace ldla;
 using namespace ldla::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  maybe_start_trace(argc, argv, "fig5_thread_scaling");
   print_header("Figure 5 — thread scaling beyond physical cores",
                "Fig. 5: Dataset C; GEMM saturates at #cores, baselines keep "
                "climbing past it");
@@ -77,5 +78,7 @@ int main() {
       "\npaper shape to verify (multi-core): GEMM LD/s peaks at #physical\n"
       "cores and drops under oversubscription; the baselines continue to\n"
       "improve past the core count (they underutilize each core).\n");
-  return 0;
+  const bool json_ok = json.flush();
+  const bool trace_ok = finish_trace();
+  return (json_ok && trace_ok) ? 0 : 1;
 }

@@ -26,6 +26,7 @@ namespace {
 struct ArmResult {
   double seconds = 0.0;
   double checksum = 0.0;
+  trace::TraceSnapshot phases;  ///< counter/phase delta over the timed run
 };
 
 // Best-of-N trials (1 vCPU noise); each trial's checksum must agree.
@@ -65,7 +66,8 @@ double finite_sum_lower(const LdMatrix& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  maybe_start_trace(argc, argv, "fused_epilogue");
   print_header("Fused statistics epilogue — single-pass vs two-pass LD",
                "tentpole ablation: stats from hot count tiles vs an "
                "intermediate CountMatrix (12n^2 -> 8n^2 bytes of traffic)");
@@ -90,10 +92,12 @@ int main() {
       LdOptions opts;
       opts.stat = LdStatistic::kRSquared;
       opts.fused = fused;
+      const trace::TraceSnapshot before = trace::snapshot();
       Timer timer;
       const LdMatrix m = ld_matrix(g, opts);
       const double seconds = timer.seconds();
-      return ArmResult{seconds, finite_sum(m)};
+      return ArmResult{seconds, finite_sum(m),
+                       trace::snapshot().since(before)};
     };
     const ArmResult two_pass = best_of(trials, [&] { return run(false); });
     const ArmResult fused = best_of(trials, [&] { return run(true); });
@@ -103,9 +107,9 @@ int main() {
     }
     const double pairs = static_cast<double>(ld_pair_count(n));
     json.add("ld-matrix-r2-two-pass", "auto", n, k, two_pass.seconds,
-             pairs / two_pass.seconds);
+             pairs / two_pass.seconds, -1.0, two_pass.phases);
     json.add("ld-matrix-r2-fused", "auto", n, k, fused.seconds,
-             pairs / fused.seconds);
+             pairs / fused.seconds, -1.0, fused.phases);
     table.add_row({"ld_matrix r^2, n=" + std::to_string(n),
                    fmt_fixed(two_pass.seconds, 3), fmt_fixed(fused.seconds, 3),
                    fmt_fixed(two_pass.seconds / fused.seconds, 2) + "x"});
@@ -123,10 +127,12 @@ int main() {
         LdOptions opts;
         opts.stat = stat;
         opts.fused = fused;
+        const trace::TraceSnapshot before = trace::snapshot();
         Timer timer;
         const LdMatrix m = ld_matrix(g, opts);
         const double seconds = timer.seconds();
-        return ArmResult{seconds, finite_sum(m)};
+        return ArmResult{seconds, finite_sum(m),
+                         trace::snapshot().since(before)};
       };
       const ArmResult two_pass = best_of(trials, [&] { return run(false); });
       const ArmResult fused = best_of(trials, [&] { return run(true); });
@@ -136,9 +142,10 @@ int main() {
       }
       const double pairs = static_cast<double>(ld_pair_count(n));
       json.add("ld-matrix-" + name + "-two-pass", "auto", n, k,
-               two_pass.seconds, pairs / two_pass.seconds);
+               two_pass.seconds, pairs / two_pass.seconds, -1.0,
+               two_pass.phases);
       json.add("ld-matrix-" + name + "-fused", "auto", n, k, fused.seconds,
-               pairs / fused.seconds);
+               pairs / fused.seconds, -1.0, fused.phases);
       table.add_row({"ld_matrix " + name + ", n=" + std::to_string(n),
                      fmt_fixed(two_pass.seconds, 3),
                      fmt_fixed(fused.seconds, 3),
@@ -152,10 +159,12 @@ int main() {
       LdOptions opts;
       opts.stat = LdStatistic::kRSquared;
       opts.fused = fused;
+      const trace::TraceSnapshot before = trace::snapshot();
       Timer timer;
       const LdMatrix m = ld_cross_matrix(g, b, opts);
       const double seconds = timer.seconds();
-      return ArmResult{seconds, finite_sum(m)};
+      return ArmResult{seconds, finite_sum(m),
+                       trace::snapshot().since(before)};
     };
     const ArmResult two_pass = best_of(trials, [&] { return run_cross(false); });
     const ArmResult fused = best_of(trials, [&] { return run_cross(true); });
@@ -166,9 +175,9 @@ int main() {
     const double pairs =
         static_cast<double>(n) * static_cast<double>(b.snps());
     json.add("cross-matrix-r2-two-pass", "auto", n, k, two_pass.seconds,
-             pairs / two_pass.seconds);
+             pairs / two_pass.seconds, -1.0, two_pass.phases);
     json.add("cross-matrix-r2-fused", "auto", n, k, fused.seconds,
-             pairs / fused.seconds);
+             pairs / fused.seconds, -1.0, fused.phases);
     table.add_row({"ld_cross_matrix r^2", fmt_fixed(two_pass.seconds, 3),
                    fmt_fixed(fused.seconds, 3),
                    fmt_fixed(two_pass.seconds / fused.seconds, 2) + "x"});
@@ -197,13 +206,16 @@ int main() {
     LdOptions opts;
     opts.stat = LdStatistic::kRSquared;
     const ArmResult fused_matrix = best_of(trials, [&] {
+      const trace::TraceSnapshot before = trace::snapshot();
       Timer timer;
       const LdMatrix m = ld_matrix(g, opts);
       const double seconds = timer.seconds();
-      return ArmResult{seconds, finite_sum_lower(m)};
+      return ArmResult{seconds, finite_sum_lower(m),
+                       trace::snapshot().since(before)};
     });
     const ArmResult stat_scan = best_of(trials, [&] {
       double sum = 0.0;
+      const trace::TraceSnapshot before = trace::snapshot();
       Timer timer;
       ld_stat_scan(g, [&](const LdTile& tile) {
         for (std::size_t i = 0; i < tile.rows; ++i) {
@@ -213,7 +225,8 @@ int main() {
           }
         }
       }, opts);
-      return ArmResult{timer.seconds(), sum};
+      return ArmResult{timer.seconds(), sum,
+                       trace::snapshot().since(before)};
     });
     // Both arms cover exactly the canonical pairs, but the scan sums them
     // in tile order, so the float sums agree only up to association order.
@@ -225,9 +238,9 @@ int main() {
     }
     const double pairs = static_cast<double>(ld_pair_count(n));
     json.add("headroom-ld-matrix-fused", "auto", n, k, fused_matrix.seconds,
-             pairs / fused_matrix.seconds);
+             pairs / fused_matrix.seconds, -1.0, fused_matrix.phases);
     json.add("headroom-stat-scan", "auto", n, k, stat_scan.seconds,
-             pairs / stat_scan.seconds);
+             pairs / stat_scan.seconds, -1.0, stat_scan.phases);
     table.add_row({"headroom ld_matrix (fused only)", "-",
                    fmt_fixed(fused_matrix.seconds, 3), "-"});
     table.add_row({"headroom ld_stat_scan", "-",
@@ -241,5 +254,7 @@ int main() {
       "the two-pass path), smaller when samples dominate (compute-bound\n"
       "GEMM) or the slab already fits in cache. Checksums re-verify the\n"
       "bit-identical contract on every pair of arms.\n");
-  return rc;
+  const bool json_ok = json.flush();
+  const bool trace_ok = finish_trace();
+  return (json_ok && trace_ok) ? rc : 1;
 }

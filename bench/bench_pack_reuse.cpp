@@ -52,7 +52,8 @@ std::uint64_t count_checksum(const CountMatrix& c, std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  maybe_start_trace(argc, argv, "pack_reuse");
   print_header("Pack-reuse ablation — fresh pack vs persistent pack",
                "tentpole ablation: per-call/per-slab/per-window re-packing "
                "vs one PackedBitMatrix per dataset");
@@ -240,5 +241,7 @@ int main() {
       "\nexpected shape: pack-once wins grow with re-pack multiplicity —\n"
       "modest for one-shot SYRK (each side packed once either way), large\n"
       "for repeated calls, banded stripes and overlapping omega windows.\n");
-  return rc;
+  const bool json_ok = json.flush();
+  const bool trace_ok = finish_trace();
+  return (json_ok && trace_ok) ? rc : 1;
 }

@@ -71,26 +71,23 @@ namespace {
 
 // Console output as usual, with every finished run mirrored into the
 // machine-readable BENCH_*.json stream the table/figure benches emit
-// (workload = method, samples = word count, rate = words/s counter).
+// (workload = method, samples = word count, rate = words/s counter), via
+// the shared add_gbench_row helper.
 class JsonMirrorReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& reports) override {
     ConsoleReporter::ReportRuns(reports);
     for (const Run& run : reports) {
       if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
-      // Name shape: "bench_popcount_and/<method>/<words>".
-      const std::string name = run.benchmark_name();
-      const std::size_t first = name.find('/');
-      const std::size_t last = name.rfind('/');
-      if (first == std::string::npos || last == first) continue;
-      const std::string method = name.substr(first + 1, last - first - 1);
-      const std::size_t words = std::stoul(name.substr(last + 1));
       const auto it = run.counters.find("words/s");
       const double rate = it != run.counters.end() ? it->second.value : 0.0;
-      json_.add(method, "popcount-and", 0, words, run.real_accumulated_time,
-                rate);
+      // Name shape: "bench_popcount_and/<method>/<words>".
+      ldla::bench::add_gbench_row(json_, run.benchmark_name(), "popcount-and",
+                                  run.real_accumulated_time, rate);
     }
   }
+
+  bool flush_json() { return json_.flush(); }
 
  private:
   ldla::bench::BenchJson json_{"popcount_methods"};
@@ -99,10 +96,13 @@ class JsonMirrorReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ldla::bench::maybe_start_trace(argc, argv, "popcount_methods");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   JsonMirrorReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  return 0;
+  const bool json_ok = reporter.flush_json();
+  const bool trace_ok = ldla::bench::finish_trace();
+  return (json_ok && trace_ok) ? 0 : 1;
 }

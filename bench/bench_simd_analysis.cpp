@@ -18,7 +18,8 @@
 using namespace ldla;
 using namespace ldla::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  maybe_start_trace(argc, argv, "simd_analysis");
   print_header("Section V — SIMD benefit analysis (micro-kernel shootout)",
                "Sec. V: extract/insert SIMD <= scalar; vectorized POPCNT "
                "hardware ~ v-fold");
@@ -82,5 +83,7 @@ int main() {
       "paper shape to verify: simd-extract-strawman <= ~1x scalar (claim a);\n"
       "avx512-vpopcntdq is several-fold faster (claim b) — the 2016 paper's\n"
       "requested hardware, which shipped as AVX-512 VPOPCNTDQ in 2017+.\n");
-  return 0;
+  const bool json_ok = json.flush();
+  const bool trace_ok = finish_trace();
+  return (json_ok && trace_ok) ? 0 : 1;
 }

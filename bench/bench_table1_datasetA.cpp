@@ -3,12 +3,14 @@
 // see DESIGN.md substitutions).
 #include "bench_tables_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ldla::bench::maybe_start_trace(argc, argv, "table1_datasetA");
   const ldla::bench::PaperSpeedups paper{
       {7.48, 8.85, 7.36, 8.05, 8.43},   // GEMM speedup vs PLINK 1.9
       {3.71, 4.94, 5.41, 6.25, 6.72}};  // GEMM speedup vs OmegaPlus
-  return ldla::bench::run_dataset_table(
+  const int rc = ldla::bench::run_dataset_table(
       "Table I — Dataset A (10,000 SNPs x 2,504 samples)",
       "Table I: GEMM 7.4-8.9x vs PLINK 1.9, 3.7-6.7x vs OmegaPlus",
       10'000, 2'504, /*quick_samples=*/2'504, paper, "table1_datasetA");
+  return ldla::bench::finish_trace() ? rc : 1;
 }

@@ -1,12 +1,14 @@
 // Table II: simulated dataset, 10,000 SNPs x 10,000 sequences.
 #include "bench_tables_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ldla::bench::maybe_start_trace(argc, argv, "table2_datasetB");
   const ldla::bench::PaperSpeedups paper{
       {9.22, 12.45, 11.94, 9.44, 8.29},  // GEMM speedup vs PLINK 1.9
       {4.43, 4.53, 3.87, 3.70, 3.96}};   // GEMM speedup vs OmegaPlus
-  return ldla::bench::run_dataset_table(
+  const int rc = ldla::bench::run_dataset_table(
       "Table II — Dataset B (10,000 SNPs x 10,000 samples)",
       "Table II: GEMM 8.3-12.5x vs PLINK 1.9, 3.7-4.5x vs OmegaPlus",
       10'000, 10'000, /*quick_samples=*/10'000, paper, "table2_datasetB");
+  return ldla::bench::finish_trace() ? rc : 1;
 }

@@ -3,12 +3,14 @@
 // genotype-centric PLINK approach peaks (up to 17x in the paper).
 #include "bench_tables_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ldla::bench::maybe_start_trace(argc, argv, "table3_datasetC");
   const ldla::bench::PaperSpeedups paper{
       {10.30, 15.31, 16.04, 16.54, 17.13},  // GEMM speedup vs PLINK 1.9
       {4.68, 4.63, 4.50, 4.24, 4.01}};      // GEMM speedup vs OmegaPlus
-  return ldla::bench::run_dataset_table(
+  const int rc = ldla::bench::run_dataset_table(
       "Table III — Dataset C (10,000 SNPs x 100,000 samples)",
       "Table III: GEMM 10.3-17.1x vs PLINK 1.9, 4.0-4.7x vs OmegaPlus",
       10'000, 100'000, /*quick_samples=*/50'000, paper, "table3_datasetC");
+  return ldla::bench::finish_trace() ? rc : 1;
 }

@@ -164,7 +164,7 @@ inline int run_dataset_table(const char* title, const char* paper_ref,
       return 1;
     }
   }
-  return 0;
+  return json.flush() ? 0 : 1;
 }
 
 }  // namespace ldla::bench

@@ -13,6 +13,13 @@ more than the threshold (default 10%). Exit status: 0 = no regressions,
 
 Rows present on only one side are reported informationally (benches gain
 and lose arms as the suite grows) and do not affect the exit status.
+
+Rows that carry a per-phase breakdown (the "phases" object BenchJson emits
+when the bench was built with LDLA_TRACE=ON and captured a trace snapshot
+around the workload) additionally get a phase-level diff on regressed rows,
+so a slowdown is attributed to packing / kernel / epilogue / mirror time
+rather than just flagged. Pass --phases to print the phase diff for every
+common row.
 """
 
 import argparse
@@ -49,6 +56,24 @@ def fmt_key(key):
     return f"{bench}/{workload}[{kernel}] {snps}x{samples}"
 
 
+def phase_diff_lines(base_row, cand_row):
+    """Per-phase seconds diff for one row pair; [] when either side lacks
+    the breakdown. Phases with ~zero time on both sides are omitted."""
+    b = base_row.get("phases")
+    c = cand_row.get("phases")
+    if not isinstance(b, dict) or not isinstance(c, dict):
+        return []
+    lines = []
+    for phase in sorted(set(b) | set(c)):
+        bs = b.get(phase, 0.0) or 0.0
+        cs = c.get(phase, 0.0) or 0.0
+        if bs < 1e-9 and cs < 1e-9:
+            continue
+        delta = f" ({cs / bs:.2f}x)" if bs > 0 else ""
+        lines.append(f"      {phase}: {bs:.4g}s -> {cs:.4g}s{delta}")
+    return lines
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two bench_json directories; flag rate regressions.")
@@ -57,6 +82,10 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="fractional rate drop that counts as a "
                              "regression (default 0.10 = 10%%)")
+    parser.add_argument("--phases", action="store_true",
+                        help="print the per-phase time diff for every "
+                             "common row that carries one (regressed rows "
+                             "always get it)")
     args = parser.parse_args()
     if not 0.0 < args.threshold < 1.0:
         parser.error("--threshold must be in (0, 1)")
@@ -91,6 +120,13 @@ def main():
     if improvements:
         print(f"{improvements} row(s) improved by more than the threshold")
 
+    if args.phases:
+        for key in common:
+            lines = phase_diff_lines(base[key], cand[key])
+            if lines:
+                print(f"  phases for {fmt_key(key)}:")
+                print("\n".join(lines))
+
     if not regressions:
         print("no regressions")
         return 0
@@ -98,6 +134,8 @@ def main():
     for key, b, c, ratio in sorted(regressions, key=lambda r: r[3]):
         print(f"  {fmt_key(key)}: {b:.3g} -> {c:.3g} rate "
               f"({(1.0 - ratio):.1%} slower)")
+        for line in phase_diff_lines(base[key], cand[key]):
+            print(line)
     return 1
 
 

@@ -11,22 +11,39 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
-# Machine-readable results: each bench writes BENCH_<name>.json here.
+# Machine-readable results: each bench writes BENCH_<name>.json here (and,
+# when tracing is requested with LDLA_TRACE=1, its trace_<name>.json too).
 json_dir="bench_json"
 rm -rf "$json_dir"
 mkdir -p "$json_dir"
 export LDLA_BENCH_JSON_DIR="$json_dir"
+export LDLA_TRACE_DIR="$json_dir"
 
+# Run every bench even if one fails (bad checksum OR an unwritable
+# BENCH_*.json — BenchJson::flush reports write failures through the exit
+# status), then fail the script with the failure count.
+failures_file="$(mktemp)"
 {
+  failures=0
   for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     echo
     echo "################ $(basename "$b") ################"
-    "$b"
+    if ! "$b"; then
+      echo "BENCH FAILED: $(basename "$b") (checksum mismatch or JSON/trace not written)"
+      failures=$((failures + 1))
+    fi
   done
+  echo "$failures" > "$failures_file"
 } 2>&1 | tee bench_output.txt
+bench_failures="$(cat "$failures_file")"
+rm -f "$failures_file"
 
 echo
 echo "done: test_output.txt and bench_output.txt written."
 echo "machine-readable rows: $(ls "$json_dir"/BENCH_*.json 2>/dev/null | wc -l) file(s) in $json_dir/"
 echo "diff against a saved run: scripts/compare_bench.py <baseline_dir> $json_dir"
+if [ "$bench_failures" -ne 0 ]; then
+  echo "FAILED: $bench_failures bench(es) exited non-zero (see bench_output.txt)"
+  exit 1
+fi

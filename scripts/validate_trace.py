@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Validate a trace_<run>.json report written by src/util/trace.cpp.
+
+Checks the schema (metadata / counters / phases / traceEvents, the exact
+shape stop_session_and_write emits), the phase-name vocabulary, and the
+structural invariant Perfetto rendering relies on: within each thread lane
+the "X" complete events form a laminar family — every pair of spans is
+either disjoint or properly nested, never partially overlapping (RAII spans
+cannot interleave).
+
+Usage:
+    scripts/validate_trace.py TRACE.json [TRACE2.json ...]
+    scripts/validate_trace.py --run BENCH_BINARY [-- extra args]
+
+With --run, the bench binary is executed in a temporary directory with
+LDLA_SMOKE=1, LDLA_TRACE=1, and LDLA_TRACE_DIR pointing at that directory,
+then every trace_*.json it produced is validated. This is the ctest / CI
+entry point: it proves the whole chain (flag parsing -> session -> writer)
+emits a loadable report.
+
+Exit status: 0 = valid, 1 = validation failure, 2 = usage/setup error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+PHASES = ["pack_a", "pack_b", "kernel", "epilogue", "mirror", "io",
+          "task_run", "task_wait"]
+
+METADATA_KEYS = {"run", "clock", "session_ns", "tsc_hz", "core_hz",
+                 "scalar_peak_triples_per_sec", "cpu", "perf",
+                 "events_dropped"}
+CPU_KEYS = {"brand", "logical_cores", "l1d", "l2", "l3", "line"}
+COUNTER_KEYS = {"bytes_packed", "slivers_packed", "slivers_reused",
+                "kernel_calls", "kernel_words", "tiles_emitted",
+                "epilogue_rows", "task_runs"}
+EVENT_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+
+
+def check_laminar(events, errors, path):
+    """Per-tid: sorted spans must nest or be disjoint (child ends within
+    its innermost enclosing parent)."""
+    by_tid = {}
+    for ev in events:
+        by_tid.setdefault(ev["tid"], []).append(ev)
+    for tid, evs in sorted(by_tid.items()):
+        evs.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # end times of enclosing spans
+        for ev in evs:
+            end = ev["ts"] + ev["dur"]
+            # Float µs timestamps: allow 1ns of rounding slop.
+            while stack and stack[-1] <= ev["ts"] + 1e-3:
+                stack.pop()
+            if stack and end > stack[-1] + 1e-3:
+                errors.append(
+                    f"{path}: tid {tid}: span '{ev['name']}' at "
+                    f"ts={ev['ts']} dur={ev['dur']} partially overlaps its "
+                    f"enclosing span (parent ends at {stack[-1]})")
+            stack.append(end)
+
+
+def validate(path):
+    """Return a list of error strings (empty = valid)."""
+    errors = []
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: cannot parse: {e}"]
+
+    meta = data.get("metadata")
+    if not isinstance(meta, dict):
+        errors.append(f"{path}: missing metadata object")
+    else:
+        missing = METADATA_KEYS - meta.keys()
+        if missing:
+            errors.append(f"{path}: metadata missing keys {sorted(missing)}")
+        if not isinstance(meta.get("run"), str) or not meta.get("run"):
+            errors.append(f"{path}: metadata.run must be a non-empty string")
+        for key in ("tsc_hz", "core_hz"):
+            if not (isinstance(meta.get(key), (int, float))
+                    and meta.get(key, 0) > 0):
+                errors.append(f"{path}: metadata.{key} must be > 0")
+        cpu = meta.get("cpu")
+        if not isinstance(cpu, dict) or CPU_KEYS - cpu.keys():
+            errors.append(f"{path}: metadata.cpu missing keys")
+        perf = meta.get("perf")
+        if (not isinstance(perf, dict)
+                or not isinstance(perf.get("available"), bool)
+                or not isinstance(perf.get("status"), str)):
+            errors.append(f"{path}: metadata.perf needs bool 'available' "
+                          "and string 'status'")
+        dropped = meta.get("events_dropped", 0)
+        if dropped:
+            print(f"{path}: warning: {dropped} event(s) dropped "
+                  "(ring buffer full — trace is truncated, not invalid)",
+                  file=sys.stderr)
+
+    counters = data.get("counters")
+    if not isinstance(counters, dict):
+        errors.append(f"{path}: missing counters object")
+    else:
+        missing = COUNTER_KEYS - counters.keys()
+        if missing:
+            errors.append(f"{path}: counters missing keys {sorted(missing)}")
+        for k, v in counters.items():
+            if not (isinstance(v, int) and v >= 0):
+                errors.append(f"{path}: counters.{k} must be a non-negative "
+                              f"integer, got {v!r}")
+
+    phases = data.get("phases")
+    if not isinstance(phases, list):
+        errors.append(f"{path}: missing phases array")
+    else:
+        names = [p.get("phase") for p in phases if isinstance(p, dict)]
+        if names != PHASES:
+            errors.append(f"{path}: phases must list {PHASES} in order, "
+                          f"got {names}")
+        for p in phases:
+            for key in ("self_ns", "cycles", "instructions", "llc_loads",
+                        "llc_misses"):
+                v = p.get(key)
+                if not (isinstance(v, int) and v >= 0):
+                    errors.append(f"{path}: phases[{p.get('phase')}].{key} "
+                                  f"must be a non-negative integer")
+
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append(f"{path}: missing traceEvents array")
+    else:
+        for i, ev in enumerate(events):
+            if not isinstance(ev, dict) or EVENT_KEYS - ev.keys():
+                errors.append(f"{path}: traceEvents[{i}] missing keys")
+                continue
+            if ev["ph"] != "X":
+                errors.append(f"{path}: traceEvents[{i}].ph must be 'X'")
+            if ev["name"] not in PHASES:
+                errors.append(f"{path}: traceEvents[{i}].name "
+                              f"'{ev['name']}' is not a known phase")
+            if not (isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+                    and isinstance(ev["dur"], (int, float))
+                    and ev["dur"] >= 0):
+                errors.append(f"{path}: traceEvents[{i}] ts/dur must be "
+                              "non-negative numbers")
+        if not errors:
+            check_laminar(events, errors, path)
+
+    return errors
+
+
+def run_and_validate(binary, extra_args):
+    """Execute `binary` in smoke+trace mode in a temp dir; validate the
+    trace_*.json it writes."""
+    binary = os.path.abspath(binary)
+    if not os.access(binary, os.X_OK):
+        print(f"error: {binary} is not executable", file=sys.stderr)
+        return 2
+    with tempfile.TemporaryDirectory(prefix="ldla_trace_") as tmp:
+        env = dict(os.environ)
+        env.update({"LDLA_SMOKE": "1", "LDLA_TRACE": "1",
+                    "LDLA_TRACE_DIR": tmp, "LDLA_BENCH_JSON_DIR": tmp})
+        proc = subprocess.run([binary] + extra_args, env=env, cwd=tmp,
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True)
+        if proc.returncode != 0:
+            print(proc.stdout)
+            print(f"error: {binary} exited {proc.returncode}",
+                  file=sys.stderr)
+            return 1
+        traces = sorted(glob.glob(os.path.join(tmp, "trace_*.json")))
+        if not traces:
+            print(proc.stdout)
+            print(f"error: {binary} wrote no trace_*.json into "
+                  f"LDLA_TRACE_DIR (built with LDLA_TRACE=OFF?)",
+                  file=sys.stderr)
+            return 1
+        failures = 0
+        for t in traces:
+            errors = validate(t)
+            for e in errors:
+                print(e, file=sys.stderr)
+            failures += bool(errors)
+            if not errors:
+                with open(t) as f:
+                    n = len(json.load(f)["traceEvents"])
+                print(f"ok: {os.path.basename(t)} ({n} events)")
+        return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate ldla trace_<run>.json reports.")
+    parser.add_argument("paths", nargs="*",
+                        help="trace JSON files to validate")
+    parser.add_argument("--run", metavar="BINARY",
+                        help="run this bench in a temp dir with tracing on, "
+                             "then validate its output")
+    args, extra = parser.parse_known_args()
+    if extra and extra[0] == "--":
+        extra = extra[1:]
+
+    if args.run:
+        if args.paths:
+            parser.error("--run and file paths are mutually exclusive")
+        return run_and_validate(args.run, extra)
+
+    if not args.paths:
+        parser.error("give trace files to validate, or --run BINARY")
+    failures = 0
+    for path in args.paths:
+        errors = validate(path)
+        for e in errors:
+            print(e, file=sys.stderr)
+        failures += bool(errors)
+        if not errors:
+            print(f"ok: {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

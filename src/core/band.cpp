@@ -8,6 +8,7 @@
 #include "core/gemm/count_matrix.hpp"
 #include "core/gemm/macro.hpp"
 #include "util/contract.hpp"
+#include "util/trace.hpp"
 
 namespace ldla {
 
@@ -44,6 +45,7 @@ void ld_band_scan(const BitMatrix& g, std::size_t bandwidth,
       const std::size_t cols = col_end - col_begin;
       gemm_count_fused(*packed, r0, r0 + rows, *packed, col_begin, col_end,
                        [&](const CountTile& t) {
+                         LDLA_TRACE_SPAN(kEpilogue);
                          for (std::size_t i = 0; i < t.rows; ++i) {
                            const std::size_t gi = t.row_begin + i;
                            detail::stat_row_shifted(
@@ -52,6 +54,8 @@ void ld_band_scan(const BitMatrix& g, std::size_t bandwidth,
                                &values[(gi - r0) * cols +
                                        (t.col_begin - col_begin)]);
                          }
+                         LDLA_TRACE_ADD_EPILOGUE_ROWS(
+                             static_cast<std::uint64_t>(t.rows));
                        });
       visit(LdTile{r0, col_begin, rows, cols, values.data(), cols});
     }
@@ -79,12 +83,15 @@ void ld_band_scan(const BitMatrix& g, std::size_t bandwidth,
                  opts.gemm);
     }
 
-    for (std::size_t i = 0; i < rows; ++i) {
-      // Row r0+i pairs with global columns [col_begin, col_end); compute
-      // statistics for the whole stripe (values outside the band are still
-      // valid LD values; consumers filter by index).
-      detail::stat_row_shifted(opts.stat, tables, r0 + i, col_begin,
-                               &cref.at(i, 0), cols, &values[i * cols]);
+    {
+      LDLA_TRACE_SPAN(kEpilogue);
+      for (std::size_t i = 0; i < rows; ++i) {
+        // Row r0+i pairs with global columns [col_begin, col_end); compute
+        // statistics for the whole stripe (values outside the band are still
+        // valid LD values; consumers filter by index).
+        detail::stat_row_shifted(opts.stat, tables, r0 + i, col_begin,
+                                 &cref.at(i, 0), cols, &values[i * cols]);
+      }
     }
     visit(LdTile{r0, col_begin, rows, cols, values.data(), cols});
   }

@@ -14,6 +14,7 @@
 #include "util/partition.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace ldla {
 
@@ -35,6 +36,9 @@ void gemm_count_unpacked(const BitMatrixView& a, const BitMatrixView& b,
       const std::size_t kcb = std::min(plan.kc_words, k - pc);
       for (std::size_t ic = 0; ic < m; ic += plan.mc) {
         const std::size_t mcb = std::min(plan.mc, m - ic);
+        LDLA_TRACE_SPAN(kKernel);
+        // No micro-kernel here: the ablation streams row pairs in place.
+        LDLA_TRACE_ADD_KERNEL(0, static_cast<std::uint64_t>(mcb * ncb * kcb));
         for (std::size_t j = 0; j < ncb; ++j) {
           const std::uint64_t* rb = b.row(jc + j) + pc;
           for (std::size_t i = 0; i < mcb; ++i) {
@@ -109,15 +113,25 @@ void gemm_count(const BitMatrixView& a, const BitMatrixView& b,
     for (std::size_t pc = 0; pc < k; pc += kc) {
       const std::size_t kcb = std::min(kc, k - pc);
       const std::size_t kcb_padded = (kcb + ku - 1) / ku * ku;
-      const PackedPanelView b_panel =
-          pack_panel_view(b, jc, ncb, pc, kcb, nr, ku, b_pack.data());
+      const PackedPanelView b_panel = [&] {
+        LDLA_TRACE_SPAN(kPackB);
+        return pack_panel_view(b, jc, ncb, pc, kcb, nr, ku, b_pack.data());
+      }();
 
       // Loop 3 (ic): A row blocks — the L2-resident packed operand.
       for (std::size_t ic = 0; ic < m; ic += mc) {
         const std::size_t mcb = std::min(mc, m - ic);
-        const PackedPanelView a_panel =
-            pack_panel_view(a, ic, mcb, pc, kcb, mr, ku, a_pack.data());
+        const PackedPanelView a_panel = [&] {
+          LDLA_TRACE_SPAN(kPackA);
+          return pack_panel_view(a, ic, mcb, pc, kcb, mr, ku, a_pack.data());
+        }();
 
+        LDLA_TRACE_SPAN(kKernel);
+        const std::uint64_t block_calls = static_cast<std::uint64_t>(
+            ((ncb + nr - 1) / nr) * ((mcb + mr - 1) / mr));
+        LDLA_TRACE_ADD_KERNEL(
+            block_calls,
+            block_calls * static_cast<std::uint64_t>(mr * nr * kcb_padded));
         // Macro-kernel: loops 2 and 1 over register tiles.
         for (std::size_t jr = 0; jr < ncb; jr += nr) {
           const std::uint64_t* bp = b_panel.sliver(jr / nr);
@@ -200,6 +214,11 @@ void gemm_count_packed(const PackedBitMatrix& a, std::size_t a_begin,
         const PackedPanelView a_panel =
             a.a_panel(p, ic / mr, (ic_end - ic) / mr);
 
+        LDLA_TRACE_SPAN(kKernel);
+        const std::uint64_t block_calls = static_cast<std::uint64_t>(
+            ((jc_end - jc) / nr) * ((ic_end - ic) / mr));
+        LDLA_TRACE_ADD_KERNEL(
+            block_calls, block_calls * static_cast<std::uint64_t>(mr * nr * kcp));
         for (std::size_t jr = jc; jr < jc_end; jr += nr) {
           const std::uint64_t* bp = b_panel.sliver((jr - jc) / nr);
           const std::size_t j_lo = std::max(jr, b_begin);
@@ -282,25 +301,38 @@ void gemm_count_fused(const PackedBitMatrix& a, std::size_t a_begin,
 
       // All rank-kc updates for this tile before moving on: the tile is
       // final when the panel loop ends.
-      for (std::size_t p = 0; p < a.panels(); ++p) {
-        const std::size_t kcp = a.panel_kc_padded(p);
-        const PackedPanelView b_panel = b.b_panel(p, jc / nr, tile_cols / nr);
-        const PackedPanelView a_panel = a.a_panel(p, ic / mr, tile_rows / mr);
-        for (std::size_t jr = 0; jr < tile_cols; jr += nr) {
-          const std::uint64_t* bp = b_panel.sliver(jr / nr);
-          for (std::size_t ir = 0; ir < tile_rows; ir += mr) {
-            const std::uint64_t* ap = a_panel.sliver(ir / mr);
-            LDLA_ASSERT_ALIGNED(ap, 8);
-            LDLA_ASSERT_ALIGNED(bp, 8);
-            kern.fn(kcp, ap, bp, &scratch[ir * nc + jr], nc);
+      {
+        LDLA_TRACE_SPAN(kKernel);
+        std::uint64_t tile_calls = 0;
+        std::uint64_t tile_words = 0;
+        for (std::size_t p = 0; p < a.panels(); ++p) {
+          const std::size_t kcp = a.panel_kc_padded(p);
+          const PackedPanelView b_panel =
+              b.b_panel(p, jc / nr, tile_cols / nr);
+          const PackedPanelView a_panel =
+              a.a_panel(p, ic / mr, tile_rows / mr);
+          tile_calls += static_cast<std::uint64_t>((tile_cols / nr) *
+                                                   (tile_rows / mr));
+          tile_words +=
+              static_cast<std::uint64_t>(tile_rows * tile_cols * kcp);
+          for (std::size_t jr = 0; jr < tile_cols; jr += nr) {
+            const std::uint64_t* bp = b_panel.sliver(jr / nr);
+            for (std::size_t ir = 0; ir < tile_rows; ir += mr) {
+              const std::uint64_t* ap = a_panel.sliver(ir / mr);
+              LDLA_ASSERT_ALIGNED(ap, 8);
+              LDLA_ASSERT_ALIGNED(bp, 8);
+              kern.fn(kcp, ap, bp, &scratch[ir * nc + jr], nc);
+            }
           }
         }
+        LDLA_TRACE_ADD_KERNEL(tile_calls, tile_words);
       }
 
       const std::size_t i_lo = std::max(ic, a_begin);
       const std::size_t i_hi = std::min(ic_end, a_end);
       const std::size_t j_lo = std::max(jc, b_begin);
       const std::size_t j_hi = std::min(jc_end, b_end);
+      LDLA_TRACE_ADD_TILE();
       sink(CountTile{i_lo, j_lo, i_hi - i_lo, j_hi - j_lo,
                      &scratch[(i_lo - ic) * nc + (j_lo - jc)], nc});
     }

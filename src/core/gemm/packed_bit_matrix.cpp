@@ -1,6 +1,7 @@
 #include "core/gemm/packed_bit_matrix.hpp"
 
 #include "util/contract.hpp"
+#include "util/trace.hpp"
 
 namespace ldla {
 
@@ -55,6 +56,8 @@ void PackedBitMatrix::pack_side(const BitMatrixView& m, Side& side,
   }
   side.panel_offset[panels_] = words;
   side.data = AlignedBuffer<std::uint64_t>(words);
+  LDLA_TRACE_SPAN_EXPR(r == plan_.mr ? trace::Phase::kPackA
+                                     : trace::Phase::kPackB);
   for (std::size_t p = 0; p < panels_; ++p) {
     pack_panel(m, 0, n_snps_, panel_k_begin(p), panel_kc(p), r, plan_.ku,
                side.data.data() + side.panel_offset[p]);
@@ -69,6 +72,7 @@ PackedPanelView PackedBitMatrix::side_panel(const Side& side, std::size_t p,
                         slivers <= side.slivers - sliver_begin,
                     "packed sliver range out of range");
   const std::size_t kcp = panel_kc_padded(p);
+  LDLA_TRACE_ADD_REUSE(static_cast<std::uint64_t>(slivers));
   return PackedPanelView{
       side.data.data() + side.panel_offset[p] + sliver_begin * side.r * kcp,
       slivers, side.r, kcp};

@@ -8,11 +8,13 @@
 #include "core/gemm/packing.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/contract.hpp"
+#include "util/trace.hpp"
 
 namespace ldla {
 
 void mirror_lower_to_upper(CountMatrixRef c, std::size_t n) {
   LDLA_EXPECT(c.rows >= n && c.cols >= n, "matrix is too small to mirror");
+  LDLA_TRACE_SPAN(kMirror);
   // Block so the source rows (unit stride) and destination rows (the
   // transposed block) both stay cache-resident: 64 x 64 x 4 B = 16 KiB of
   // destination lines, far under L1+L2 even with the source streaming.
@@ -83,6 +85,10 @@ void syrk_count_packed(const PackedBitMatrix& a, std::size_t row_begin,
         const PackedPanelView a_panel =
             a.a_panel(p, ic / mr, (ic_end - ic) / mr);
 
+        LDLA_TRACE_SPAN(kKernel);
+        // The diagonal skip makes the call count data-dependent on the tile
+        // grid, so count actual invocations instead of deriving from shape.
+        std::uint64_t block_calls = 0;
         for (std::size_t jr = jc; jr < jc_end; jr += nr) {
           const std::uint64_t* bp = b_panel.sliver((jr - jc) / nr);
           const std::size_t j_lo = std::max(jr, row_begin);
@@ -90,6 +96,7 @@ void syrk_count_packed(const PackedBitMatrix& a, std::size_t row_begin,
           for (std::size_t ir = ic; ir < ic_end; ir += mr) {
             // Skip tiles strictly above the diagonal band.
             if (ir + mr <= jr) continue;
+            ++block_calls;
             const std::uint64_t* ap = a_panel.sliver((ir - ic) / mr);
             const std::size_t i_lo = std::max(ir, row_begin);
             const std::size_t i_hi = std::min(ir + mr, row_end);
@@ -118,6 +125,9 @@ void syrk_count_packed(const PackedBitMatrix& a, std::size_t row_begin,
             }
           }
         }
+        LDLA_TRACE_ADD_KERNEL(
+            block_calls,
+            block_calls * static_cast<std::uint64_t>(mr * nr * kcp));
       }
     }
   }
@@ -167,27 +177,40 @@ void syrk_count_fused(const PackedBitMatrix& a, std::size_t row_begin,
         std::memset(&scratch[i * nc], 0, tile_cols * sizeof(std::uint32_t));
       }
 
-      for (std::size_t p = 0; p < a.panels(); ++p) {
-        const std::size_t kcp = a.panel_kc_padded(p);
-        const PackedPanelView b_panel = a.b_panel(p, jc / nr, tile_cols / nr);
-        const PackedPanelView a_panel = a.a_panel(p, ic / mr, tile_rows / mr);
-        for (std::size_t jr = jc; jr < jc_end; jr += nr) {
-          const std::uint64_t* bp = b_panel.sliver((jr - jc) / nr);
-          for (std::size_t ir = ic; ir < ic_end; ir += mr) {
-            // Skip tiles strictly above the diagonal band.
-            if (ir + mr <= jr) continue;
-            const std::uint64_t* ap = a_panel.sliver((ir - ic) / mr);
-            LDLA_ASSERT_ALIGNED(ap, 8);
-            LDLA_ASSERT_ALIGNED(bp, 8);
-            kern.fn(kcp, ap, bp, &scratch[(ir - ic) * nc + (jr - jc)], nc);
+      {
+        LDLA_TRACE_SPAN(kKernel);
+        std::uint64_t tile_calls = 0;
+        std::uint64_t tile_words = 0;
+        for (std::size_t p = 0; p < a.panels(); ++p) {
+          const std::size_t kcp = a.panel_kc_padded(p);
+          const PackedPanelView b_panel =
+              a.b_panel(p, jc / nr, tile_cols / nr);
+          const PackedPanelView a_panel =
+              a.a_panel(p, ic / mr, tile_rows / mr);
+          std::uint64_t panel_calls = 0;
+          for (std::size_t jr = jc; jr < jc_end; jr += nr) {
+            const std::uint64_t* bp = b_panel.sliver((jr - jc) / nr);
+            for (std::size_t ir = ic; ir < ic_end; ir += mr) {
+              // Skip tiles strictly above the diagonal band.
+              if (ir + mr <= jr) continue;
+              ++panel_calls;
+              const std::uint64_t* ap = a_panel.sliver((ir - ic) / mr);
+              LDLA_ASSERT_ALIGNED(ap, 8);
+              LDLA_ASSERT_ALIGNED(bp, 8);
+              kern.fn(kcp, ap, bp, &scratch[(ir - ic) * nc + (jr - jc)], nc);
+            }
           }
+          tile_calls += panel_calls;
+          tile_words += panel_calls * static_cast<std::uint64_t>(mr * nr * kcp);
         }
+        LDLA_TRACE_ADD_KERNEL(tile_calls, tile_words);
       }
 
       const std::size_t i_lo = std::max(ic, row_begin);
       const std::size_t i_hi = std::min(ic_end, row_end);
       const std::size_t j_lo = std::max(jc, row_begin);
       const std::size_t j_hi = std::min(jc_end, row_end);
+      LDLA_TRACE_ADD_TILE();
       sink(CountTile{i_lo, j_lo, i_hi - i_lo, j_hi - j_lo,
                      &scratch[(i_lo - ic) * nc + (j_lo - jc)], nc});
     }
@@ -241,17 +264,23 @@ void syrk_count(const BitMatrixView& a, CountMatrixRef c,
     for (std::size_t pc = 0; pc < k; pc += kc) {
       const std::size_t kcb = std::min(kc, k - pc);
       const std::size_t kcb_padded = (kcb + ku - 1) / ku * ku;
-      const PackedPanelView b_panel =
-          pack_panel_view(a, jc, ncb, pc, kcb, nr, ku, b_pack.data());
+      const PackedPanelView b_panel = [&] {
+        LDLA_TRACE_SPAN(kPackB);
+        return pack_panel_view(a, jc, ncb, pc, kcb, nr, ku, b_pack.data());
+      }();
 
       // Only row blocks that intersect the lower triangle of this column
       // panel: rows >= jc (snapped down to an mc boundary).
       const std::size_t ic_start = (jc / mc) * mc;
       for (std::size_t ic = ic_start; ic < n; ic += mc) {
         const std::size_t mcb = std::min(mc, n - ic);
-        const PackedPanelView a_panel =
-            pack_panel_view(a, ic, mcb, pc, kcb, mr, ku, a_pack.data());
+        const PackedPanelView a_panel = [&] {
+          LDLA_TRACE_SPAN(kPackA);
+          return pack_panel_view(a, ic, mcb, pc, kcb, mr, ku, a_pack.data());
+        }();
 
+        LDLA_TRACE_SPAN(kKernel);
+        std::uint64_t block_calls = 0;
         for (std::size_t jr = 0; jr < ncb; jr += nr) {
           const std::uint64_t* bp = b_panel.sliver(jr / nr);
           const std::size_t nrb = std::min(nr, ncb - jr);
@@ -260,6 +289,7 @@ void syrk_count(const BitMatrixView& a, CountMatrixRef c,
             const std::size_t i_global = ic + ir;
             // Skip tiles strictly above the diagonal band.
             if (i_global + mr <= j_global) continue;
+            ++block_calls;
             const std::uint64_t* ap = a_panel.sliver(ir / mr);
             const std::size_t mrb = std::min(mr, mcb - ir);
             LDLA_ASSERT_ALIGNED(ap, 8);
@@ -283,6 +313,9 @@ void syrk_count(const BitMatrixView& a, CountMatrixRef c,
             }
           }
         }
+        LDLA_TRACE_ADD_KERNEL(
+            block_calls,
+            block_calls * static_cast<std::uint64_t>(mr * nr * kcb_padded));
       }
     }
   }

@@ -10,6 +10,7 @@
 #include "core/gemm/macro.hpp"
 #include "core/gemm/syrk.hpp"
 #include "util/contract.hpp"
+#include "util/trace.hpp"
 
 namespace ldla {
 
@@ -88,6 +89,7 @@ double ld_value(LdStatistic stat, std::uint64_t ci, std::uint64_t cj,
 void mirror_ld_lower_to_upper(LdMatrix& m) {
   const std::size_t n = m.rows();
   LDLA_EXPECT(m.cols() == n, "mirror needs a square matrix");
+  LDLA_TRACE_SPAN(kMirror);
   // Cache-blocked transpose copy (same shape as mirror_lower_to_upper for
   // counts): 64 x 64 x 8 B destination blocks stay resident.
   constexpr std::size_t kBlock = 64;
@@ -127,6 +129,8 @@ LdMatrix ld_matrix(const BitMatrix& g, const LdOptions& opts) {
       // this equals the two-pass count-mirror result bit-for-bit.
       const detail::StatTables tables = detail::make_stat_tables(g);
       syrk_count_fused(*packed, 0, n, [&](const CountTile& t) {
+        LDLA_TRACE_SPAN(kEpilogue);
+        std::uint64_t rows_converted = 0;
         for (std::size_t i = 0; i < t.rows; ++i) {
           const std::size_t gi = t.row_begin + i;
           if (gi < t.col_begin) continue;
@@ -134,7 +138,9 @@ LdMatrix ld_matrix(const BitMatrix& g, const LdOptions& opts) {
           detail::stat_row_shifted(opts.stat, tables, gi, t.col_begin,
                                    t.row(i), hi - t.col_begin,
                                    &out(gi, t.col_begin));
+          ++rows_converted;
         }
+        LDLA_TRACE_ADD_EPILOGUE_ROWS(rows_converted);
       });
       mirror_ld_lower_to_upper(out);
       return out;
@@ -150,6 +156,7 @@ LdMatrix ld_matrix(const BitMatrix& g, const LdOptions& opts) {
   }
 
   const detail::StatTables tables = detail::make_stat_tables(g);
+  LDLA_TRACE_SPAN(kEpilogue);
   for (std::size_t i = 0; i < n; ++i) {
     detail::stat_row(opts.stat, tables, i, &counts(i, 0), n, &out(i, 0));
   }
@@ -179,12 +186,14 @@ LdMatrix ld_cross_matrix(const BitMatrix& a, const BitMatrix& b,
     // Fused epilogue: stats written straight from hot count tiles; no
     // m x n CountMatrix is ever allocated.
     gemm_count_fused(*pa, 0, m, *pb, 0, n, [&](const CountTile& t) {
+      LDLA_TRACE_SPAN(kEpilogue);
       for (std::size_t i = 0; i < t.rows; ++i) {
         const std::size_t gi = t.row_begin + i;
         detail::stat_row_cross_shifted(opts.stat, ta, gi, tb, t.col_begin,
                                        t.row(i), t.cols,
                                        &out(gi, t.col_begin));
       }
+      LDLA_TRACE_ADD_EPILOGUE_ROWS(static_cast<std::uint64_t>(t.rows));
     });
     return out;
   }
@@ -196,6 +205,7 @@ LdMatrix ld_cross_matrix(const BitMatrix& a, const BitMatrix& b,
     gemm_count(a.view(), b.view(), counts.ref(), opts.gemm);
   }
 
+  LDLA_TRACE_SPAN(kEpilogue);
   for (std::size_t i = 0; i < m; ++i) {
     detail::stat_row_cross(opts.stat, ta, i, tb, &counts(i, 0), n,
                            &out(i, 0));
@@ -232,6 +242,7 @@ void ld_scan(const BitMatrix& g, const LdTileVisitor& visit,
       const std::size_t cols = r0 + rows;  // lower-trapezoid: j < slab end
       gemm_count_fused(*packed, r0, r0 + rows, *packed, 0, cols,
                        [&](const CountTile& t) {
+                         LDLA_TRACE_SPAN(kEpilogue);
                          for (std::size_t i = 0; i < t.rows; ++i) {
                            const std::size_t gi = t.row_begin + i;
                            detail::stat_row_shifted(
@@ -239,6 +250,8 @@ void ld_scan(const BitMatrix& g, const LdTileVisitor& visit,
                                t.cols,
                                &values[(gi - r0) * cols + t.col_begin]);
                          }
+                         LDLA_TRACE_ADD_EPILOGUE_ROWS(
+                             static_cast<std::uint64_t>(t.rows));
                        });
       visit(LdTile{r0, 0, rows, cols, values.data(), cols});
     }
@@ -260,9 +273,12 @@ void ld_scan(const BitMatrix& g, const LdTileVisitor& visit,
       gemm_count(g.view(r0, r0 + rows), g.view(0, cols), cref, opts.gemm);
     }
 
-    for (std::size_t i = 0; i < rows; ++i) {
-      detail::stat_row(opts.stat, tables, r0 + i, &cref.at(i, 0), cols,
-                       &values[i * cols]);
+    {
+      LDLA_TRACE_SPAN(kEpilogue);
+      for (std::size_t i = 0; i < rows; ++i) {
+        detail::stat_row(opts.stat, tables, r0 + i, &cref.at(i, 0), cols,
+                         &values[i * cols]);
+      }
     }
     visit(LdTile{r0, 0, rows, cols, values.data(), cols});
   }
@@ -300,6 +316,7 @@ void ld_cross_scan(const BitMatrix& a, const BitMatrix& b,
       const std::size_t rows = std::min(slab, m - r0);
       gemm_count_fused(*pa, r0, r0 + rows, *pb, 0, n,
                        [&](const CountTile& t) {
+                         LDLA_TRACE_SPAN(kEpilogue);
                          for (std::size_t i = 0; i < t.rows; ++i) {
                            const std::size_t gi = t.row_begin + i;
                            detail::stat_row_cross_shifted(
@@ -307,6 +324,8 @@ void ld_cross_scan(const BitMatrix& a, const BitMatrix& b,
                                t.cols,
                                &values[(gi - r0) * n + t.col_begin]);
                          }
+                         LDLA_TRACE_ADD_EPILOGUE_ROWS(
+                             static_cast<std::uint64_t>(t.rows));
                        });
       visit(LdTile{r0, 0, rows, n, values.data(), n});
     }
@@ -325,9 +344,12 @@ void ld_cross_scan(const BitMatrix& a, const BitMatrix& b,
       gemm_count(a.view(r0, r0 + rows), b.view(), cref, opts.gemm);
     }
 
-    for (std::size_t i = 0; i < rows; ++i) {
-      detail::stat_row_cross(opts.stat, ta, r0 + i, tb, &cref.at(i, 0), n,
-                             &values[i * n]);
+    {
+      LDLA_TRACE_SPAN(kEpilogue);
+      for (std::size_t i = 0; i < rows; ++i) {
+        detail::stat_row_cross(opts.stat, ta, r0 + i, tb, &cref.at(i, 0), n,
+                               &values[i * n]);
+      }
     }
     visit(LdTile{r0, 0, rows, n, values.data(), n});
   }
@@ -351,16 +373,23 @@ void ld_stat_scan(const BitMatrix& g, const LdStatTileVisitor& visit,
     syrk_count_fused(*packed, 0, n, [&](const CountTile& t) {
       if (t.col_begin + t.cols <= t.row_begin + 1) {
         // Tile entirely on/below the diagonal: every entry is canonical.
-        for (std::size_t i = 0; i < t.rows; ++i) {
-          detail::stat_row_shifted(opts.stat, tables, t.row_begin + i,
-                                   t.col_begin, t.row(i), t.cols,
-                                   &values[i * t.cols]);
+        {
+          LDLA_TRACE_SPAN(kEpilogue);
+          for (std::size_t i = 0; i < t.rows; ++i) {
+            detail::stat_row_shifted(opts.stat, tables, t.row_begin + i,
+                                     t.col_begin, t.row(i), t.cols,
+                                     &values[i * t.cols]);
+          }
+          LDLA_TRACE_ADD_EPILOGUE_ROWS(static_cast<std::uint64_t>(t.rows));
         }
         visit(LdTile{t.row_begin, t.col_begin, t.rows, t.cols,
                      values.data(), t.cols});
       } else {
         // Diagonal-crossing tile: emit the valid prefix of each row as a
-        // one-row fragment so no above-diagonal entry ever escapes.
+        // one-row fragment so no above-diagonal entry ever escapes. The
+        // span covers the interleaved visits too — fragment rows are tiny.
+        LDLA_TRACE_SPAN(kEpilogue);
+        std::uint64_t rows_converted = 0;
         for (std::size_t i = 0; i < t.rows; ++i) {
           const std::size_t gi = t.row_begin + i;
           if (gi < t.col_begin) continue;
@@ -368,8 +397,10 @@ void ld_stat_scan(const BitMatrix& g, const LdStatTileVisitor& visit,
               std::min(t.col_begin + t.cols, gi + 1) - t.col_begin;
           detail::stat_row_shifted(opts.stat, tables, gi, t.col_begin,
                                    t.row(i), width, values.data());
+          ++rows_converted;
           visit(LdTile{gi, t.col_begin, 1, width, values.data(), width});
         }
+        LDLA_TRACE_ADD_EPILOGUE_ROWS(rows_converted);
       }
     });
     return;
@@ -389,6 +420,7 @@ void ld_stat_scan(const BitMatrix& g, const LdStatTileVisitor& visit,
       std::fill_n(&cref.at(i, 0), cols, 0u);
     }
     gemm_count(g.view(r0, r0 + rows), g.view(0, cols), cref, opts.gemm);
+    LDLA_TRACE_SPAN(kEpilogue);
     for (std::size_t i = 0; i < rows; ++i) {
       const std::size_t gi = r0 + i;
       detail::stat_row(opts.stat, tables, gi, &cref.at(i, 0), gi + 1,
@@ -421,10 +453,14 @@ void ld_cross_stat_scan(const BitMatrix& a, const BitMatrix& b,
     const GemmPlan& plan = pa->plan();
     AlignedBuffer<double> values(plan.mc * plan.nc);
     gemm_count_fused(*pa, 0, m, *pb, 0, n, [&](const CountTile& t) {
-      for (std::size_t i = 0; i < t.rows; ++i) {
-        detail::stat_row_cross_shifted(opts.stat, ta, t.row_begin + i, tb,
-                                       t.col_begin, t.row(i), t.cols,
-                                       &values[i * t.cols]);
+      {
+        LDLA_TRACE_SPAN(kEpilogue);
+        for (std::size_t i = 0; i < t.rows; ++i) {
+          detail::stat_row_cross_shifted(opts.stat, ta, t.row_begin + i, tb,
+                                         t.col_begin, t.row(i), t.cols,
+                                         &values[i * t.cols]);
+        }
+        LDLA_TRACE_ADD_EPILOGUE_ROWS(static_cast<std::uint64_t>(t.rows));
       }
       visit(LdTile{t.row_begin, t.col_begin, t.rows, t.cols, values.data(),
                    t.cols});
@@ -442,9 +478,12 @@ void ld_cross_stat_scan(const BitMatrix& a, const BitMatrix& b,
     counts.zero();
     CountMatrixRef cref{counts.ref().data, rows, n, n};
     gemm_count(a.view(r0, r0 + rows), b.view(), cref, opts.gemm);
-    for (std::size_t i = 0; i < rows; ++i) {
-      detail::stat_row_cross(opts.stat, ta, r0 + i, tb, &cref.at(i, 0), n,
-                             &values[i * n]);
+    {
+      LDLA_TRACE_SPAN(kEpilogue);
+      for (std::size_t i = 0; i < rows; ++i) {
+        detail::stat_row_cross(opts.stat, ta, r0 + i, tb, &cref.at(i, 0), n,
+                               &values[i * n]);
+      }
     }
     visit(LdTile{r0, 0, rows, n, values.data(), n});
   }

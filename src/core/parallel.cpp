@@ -11,6 +11,7 @@
 #include "util/contract.hpp"
 #include "util/partition.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace ldla {
 
@@ -46,6 +47,7 @@ void scan_row_range(const BitMatrix& g, const Range& range,
       const std::size_t cols = r0 + rows;
       gemm_count_fused(*packed, r0, r0 + rows, *packed, 0, cols,
                        [&](const CountTile& t) {
+                         LDLA_TRACE_SPAN(kEpilogue);
                          for (std::size_t i = 0; i < t.rows; ++i) {
                            const std::size_t gi = t.row_begin + i;
                            detail::stat_row_shifted(
@@ -53,6 +55,8 @@ void scan_row_range(const BitMatrix& g, const Range& range,
                                t.cols,
                                &values[(gi - r0) * cols + t.col_begin]);
                          }
+                         LDLA_TRACE_ADD_EPILOGUE_ROWS(
+                             static_cast<std::uint64_t>(t.rows));
                        });
       visit(LdTile{r0, 0, rows, cols, values.data(), cols});
     }
@@ -74,9 +78,12 @@ void scan_row_range(const BitMatrix& g, const Range& range,
       gemm_count(g.view(r0, r0 + rows), g.view(0, cols), cref, opts.gemm);
     }
 
-    for (std::size_t i = 0; i < rows; ++i) {
-      detail::stat_row(opts.stat, tables, r0 + i, &cref.at(i, 0), cols,
-                       &values[i * cols]);
+    {
+      LDLA_TRACE_SPAN(kEpilogue);
+      for (std::size_t i = 0; i < rows; ++i) {
+        detail::stat_row(opts.stat, tables, r0 + i, &cref.at(i, 0), cols,
+                         &values[i * cols]);
+      }
     }
     visit(LdTile{r0, 0, rows, cols, values.data(), cols});
   }
@@ -139,6 +146,7 @@ void ld_cross_scan_parallel(const BitMatrix& a, const BitMatrix& b,
         const std::size_t rows = std::min(slab, range.end - r0);
         gemm_count_fused(*pa, r0, r0 + rows, *pb, 0, n,
                          [&](const CountTile& tile) {
+                           LDLA_TRACE_SPAN(kEpilogue);
                            for (std::size_t i = 0; i < tile.rows; ++i) {
                              const std::size_t gi = tile.row_begin + i;
                              detail::stat_row_cross_shifted(
@@ -146,6 +154,8 @@ void ld_cross_scan_parallel(const BitMatrix& a, const BitMatrix& b,
                                  tile.row(i), tile.cols,
                                  &values[(gi - r0) * n + tile.col_begin]);
                            }
+                           LDLA_TRACE_ADD_EPILOGUE_ROWS(
+                               static_cast<std::uint64_t>(tile.rows));
                          });
         visit(LdTile{r0, 0, rows, n, values.data(), n});
       }
@@ -161,9 +171,12 @@ void ld_cross_scan_parallel(const BitMatrix& a, const BitMatrix& b,
       } else {
         gemm_count(a.view(r0, r0 + rows), b.view(), cref, opts.gemm);
       }
-      for (std::size_t i = 0; i < rows; ++i) {
-        detail::stat_row_cross(opts.stat, ta, r0 + i, tb, &cref.at(i, 0), n,
-                               &values[i * n]);
+      {
+        LDLA_TRACE_SPAN(kEpilogue);
+        for (std::size_t i = 0; i < rows; ++i) {
+          detail::stat_row_cross(opts.stat, ta, r0 + i, tb, &cref.at(i, 0), n,
+                                 &values[i * n]);
+        }
       }
       visit(LdTile{r0, 0, rows, n, values.data(), n});
     }

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "util/contract.hpp"
+#include "util/trace.hpp"
 
 namespace ldla {
 
@@ -25,6 +26,7 @@ std::uint64_t read_u64(std::istream& in) {
 }  // namespace
 
 void write_ldm(std::ostream& out, const BitMatrix& m) {
+  LDLA_TRACE_SPAN(kIo);
   out.write(kMagic.data(), kMagic.size());
   write_u64(out, m.snps());
   write_u64(out, m.samples());
@@ -43,6 +45,7 @@ void write_ldm_file(const std::string& path, const BitMatrix& m) {
 }
 
 BitMatrix read_ldm(std::istream& in) {
+  LDLA_TRACE_SPAN(kIo);
   std::array<char, 8> magic{};
   in.read(magic.data(), magic.size());
   if (!in || magic != kMagic) throw ParseError("ldm: bad magic");

@@ -6,11 +6,13 @@
 #include <iomanip>
 
 #include "util/contract.hpp"
+#include "util/trace.hpp"
 
 namespace ldla {
 
 void write_matrix_csv(std::ostream& out, const LdMatrix& m, char delimiter,
                       int precision) {
+  LDLA_TRACE_SPAN(kIo);
   out << std::setprecision(precision);
   for (std::size_t i = 0; i < m.rows(); ++i) {
     for (std::size_t j = 0; j < m.cols(); ++j) {

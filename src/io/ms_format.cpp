@@ -7,6 +7,7 @@
 
 #include "core/bit_transpose.hpp"
 #include "util/contract.hpp"
+#include "util/trace.hpp"
 
 namespace ldla {
 
@@ -89,6 +90,7 @@ MsReplicate parse_one(std::istream& in) {
 }  // namespace
 
 std::vector<MsReplicate> parse_ms(std::istream& in) {
+  LDLA_TRACE_SPAN(kIo);
   std::vector<MsReplicate> reps;
   std::string line;
   // Skip the command/seed header up to the first "//".
@@ -108,6 +110,7 @@ std::vector<MsReplicate> parse_ms_file(const std::string& path) {
 }
 
 void write_ms(std::ostream& out, const MsReplicate& rep) {
+  LDLA_TRACE_SPAN(kIo);
   LDLA_EXPECT(rep.positions.size() == rep.genotypes.snps(),
               "positions/SNP count mismatch");
   out << "ldla " << rep.genotypes.samples() << " 1\n0 0 0\n\n//\n";

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/contract.hpp"
+#include "util/trace.hpp"
 
 namespace ldla {
 
@@ -47,6 +48,7 @@ bool append_gt(const std::string& field, std::string& row) {
 }  // namespace
 
 VcfData parse_vcf(std::istream& in, bool skip_invalid) {
+  LDLA_TRACE_SPAN(kIo);
   VcfData out;
   std::vector<std::string> snp_rows;
   std::string line;

@@ -12,6 +12,7 @@
 #include "util/contract.hpp"
 #include "util/partition.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace ldla {
 
@@ -93,6 +94,7 @@ std::optional<OmegaPoint> scan_window_packed(const ScanContext& ctx, double x,
     std::vector<std::size_t> pos(end - begin, kNone);
     for (std::size_t i = 0; i < wk; ++i) pos[keep[i] - begin] = i;
     syrk_count_fused(packed, begin, end, [&](const CountTile& t) {
+      LDLA_TRACE_SPAN(kEpilogue);
       for (std::size_t i = 0; i < t.rows; ++i) {
         const std::size_t gi = t.row_begin + i;
         const std::size_t pi = pos[gi - begin];
@@ -108,6 +110,7 @@ std::optional<OmegaPoint> scan_window_packed(const ScanContext& ctx, double x,
           r2(pj, pi) = v;
         }
       }
+      LDLA_TRACE_ADD_EPILOGUE_ROWS(static_cast<std::uint64_t>(t.rows));
     });
     const OmegaMax m = omega_max(r2);
     return OmegaPoint{x, m.omega, begin, end, m.split};
@@ -117,16 +120,20 @@ std::optional<OmegaPoint> scan_window_packed(const ScanContext& ctx, double x,
   CountMatrix cmat(w, w);
   syrk_count_packed(packed, begin, end, cmat.ref(), /*triangular_only=*/true);
 
-  for (std::size_t i = 0; i < wk; ++i) {
-    const std::size_t gi = keep[i];
-    for (std::size_t j = 0; j <= i; ++j) {
-      const std::size_t gj = keep[j];
-      // gi >= gj, so (gi, gj) indexes the valid lower triangle. r^2 is
-      // exactly symmetric in (ci, cj), so one evaluation fills both.
-      const double v = ld_r_squared(ctx.counts[gi], ctx.counts[gj],
-                                    cmat(gi - begin, gj - begin), ctx.samples);
-      r2(i, j) = v;
-      r2(j, i) = v;
+  {
+    LDLA_TRACE_SPAN(kEpilogue);
+    for (std::size_t i = 0; i < wk; ++i) {
+      const std::size_t gi = keep[i];
+      for (std::size_t j = 0; j <= i; ++j) {
+        const std::size_t gj = keep[j];
+        // gi >= gj, so (gi, gj) indexes the valid lower triangle. r^2 is
+        // exactly symmetric in (ci, cj), so one evaluation fills both.
+        const double v =
+            ld_r_squared(ctx.counts[gi], ctx.counts[gj],
+                         cmat(gi - begin, gj - begin), ctx.samples);
+        r2(i, j) = v;
+        r2(j, i) = v;
+      }
     }
   }
   const OmegaMax m = omega_max(r2);

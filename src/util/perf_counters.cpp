@@ -1,0 +1,204 @@
+// perf_event_open counter groups; see perf_counters.hpp for the contract.
+// The lint suite confines every perf_event_open reference to this file.
+#include "util/perf_counters.hpp"
+
+#if defined(__linux__)
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace ldla {
+
+namespace {
+
+int open_counter(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;  // group enabled via the leader
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid=0, cpu=-1: this thread, any CPU.
+  const long fd = ::syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0UL);
+  return static_cast<int>(fd);
+}
+
+constexpr std::uint64_t cache_config(std::uint64_t result) {
+  return static_cast<std::uint64_t>(PERF_COUNT_HW_CACHE_LL) |
+         (static_cast<std::uint64_t>(PERF_COUNT_HW_CACHE_OP_READ) << 8) |
+         (result << 16);
+}
+
+/// One thread's counter group; fds stay open for the thread's lifetime.
+struct ThreadGroup {
+  int fds[4] = {-1, -1, -1, -1};
+  int n_events = 0;
+  bool has_llc = false;
+  bool tried = false;
+  int err = 0;
+
+  ~ThreadGroup() { close_all(); }
+
+  void close_all() {
+    for (int& fd : fds) {
+      if (fd != -1) ::close(fd);
+      fd = -1;
+    }
+    n_events = 0;
+    has_llc = false;
+  }
+
+  bool open_group() {
+    tried = true;
+    fds[0] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (fds[0] == -1) {
+      err = errno;
+      return false;
+    }
+    fds[1] =
+        open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, fds[0]);
+    if (fds[1] == -1) {
+      err = errno;
+      close_all();
+      return false;
+    }
+    n_events = 2;
+    // LLC events are optional: virtualized PMUs often expose only the
+    // basic events, and a 2-event group still supports cycle attribution.
+    const int loads = open_counter(
+        PERF_TYPE_HW_CACHE, cache_config(PERF_COUNT_HW_CACHE_RESULT_ACCESS),
+        fds[0]);
+    if (loads != -1) {
+      const int misses = open_counter(
+          PERF_TYPE_HW_CACHE, cache_config(PERF_COUNT_HW_CACHE_RESULT_MISS),
+          fds[0]);
+      if (misses != -1) {
+        fds[2] = loads;
+        fds[3] = misses;
+        n_events = 4;
+        has_llc = true;
+      } else {
+        ::close(loads);
+      }
+    }
+    ::ioctl(fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    return true;
+  }
+};
+
+thread_local ThreadGroup t_group;
+
+int paranoid_level() {
+  std::FILE* f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "re");
+  if (f == nullptr) return -100;
+  int level = -100;
+  if (std::fscanf(f, "%d", &level) != 1) level = -100;
+  std::fclose(f);
+  return level;
+}
+
+struct Availability {
+  bool ok = false;
+  std::string status;
+};
+
+const Availability& availability() {
+  static const Availability cached = [] {
+    Availability a;
+    ThreadGroup probe;
+    if (probe.open_group()) {
+      a.ok = true;
+      a.status = probe.has_llc ? "ok" : "ok (PMU lacks LLC events)";
+      return a;
+    }
+    a.status = "perf_event_open failed: ";
+    a.status += std::strerror(probe.err);
+    if (probe.err == EACCES || probe.err == EPERM) {
+      const int level = paranoid_level();
+      if (level != -100) {
+        a.status += " (perf_event_paranoid=" + std::to_string(level) + ")";
+      }
+    }
+    return a;
+  }();
+  return cached;
+}
+
+}  // namespace
+
+bool perf_counters_available() { return availability().ok; }
+
+const std::string& perf_counters_status() { return availability().status; }
+
+PerfReading perf_read_thread_counters() {
+  if (!availability().ok) return {};
+  ThreadGroup& g = t_group;
+  if (!g.tried) g.open_group();
+  if (g.fds[0] == -1) return {};
+
+  struct {
+    std::uint64_t nr = 0;
+    std::uint64_t time_enabled = 0;
+    std::uint64_t time_running = 0;
+    std::uint64_t values[4] = {0, 0, 0, 0};
+  } buf;
+  const std::size_t want =
+      (3 + static_cast<std::size_t>(g.n_events)) * sizeof(std::uint64_t);
+  const ssize_t got = ::read(g.fds[0], &buf, sizeof buf);
+  if (got < 0 || static_cast<std::size_t>(got) < want ||
+      buf.nr != static_cast<std::uint64_t>(g.n_events)) {
+    return {};
+  }
+
+  // Multiplex scaling: extrapolate to the full enabled window.
+  double scale = 1.0;
+  if (buf.time_running > 0 && buf.time_running < buf.time_enabled) {
+    scale = static_cast<double>(buf.time_enabled) /
+            static_cast<double>(buf.time_running);
+  }
+  const auto scaled = [scale](std::uint64_t v) {
+    return static_cast<std::uint64_t>(static_cast<double>(v) * scale + 0.5);
+  };
+
+  PerfReading r;
+  r.valid = true;
+  r.has_llc = g.has_llc;
+  r.cycles = scaled(buf.values[0]);
+  r.instructions = scaled(buf.values[1]);
+  if (g.has_llc) {
+    r.llc_loads = scaled(buf.values[2]);
+    r.llc_misses = scaled(buf.values[3]);
+  }
+  return r;
+}
+
+}  // namespace ldla
+
+#else  // !__linux__
+
+namespace ldla {
+
+bool perf_counters_available() { return false; }
+
+const std::string& perf_counters_status() {
+  static const std::string status =
+      "perf_event_open unsupported on this platform";
+  return status;
+}
+
+PerfReading perf_read_thread_counters() { return {}; }
+
+}  // namespace ldla
+
+#endif  // __linux__

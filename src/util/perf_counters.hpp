@@ -1,0 +1,48 @@
+// Thin wrapper over perf_event_open for per-thread hardware-counter groups.
+//
+// Opens one counter group per calling thread — cycles (leader),
+// instructions, LLC-loads, LLC-misses — and reads all four atomically with
+// PERF_FORMAT_GROUP. Readings are multiplex-scaled by the kernel-reported
+// time_enabled/time_running ratio, so they stay meaningful when the PMU is
+// oversubscribed.
+//
+// Degrades gracefully, never throws, never prints: when the kernel forbids
+// access (perf_event_paranoid, seccomp, containers without CAP_PERFMON) or
+// the PMU lacks an event, availability is latched false once per process
+// and every read returns `valid == false`. perf_counters_status() reports
+// the reason so trace metadata can record *why* attribution is missing.
+//
+// This file is the only translation unit allowed to touch perf_event_open
+// (enforced by tools/lint_ldla.py).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ldla {
+
+/// One multiplex-scaled sample of the calling thread's counter group.
+/// `llc_loads`/`llc_misses` may be zero-valid on PMUs without LLC events
+/// (the group is opened without them rather than failing entirely).
+struct PerfReading {
+  bool valid = false;
+  bool has_llc = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_loads = 0;
+  std::uint64_t llc_misses = 0;
+};
+
+/// Probe once per process (opens and closes a trial group on the calling
+/// thread). Cheap after the first call.
+bool perf_counters_available();
+
+/// "ok", or the reason counters are unavailable (e.g. the errno string from
+/// perf_event_open, with the perf_event_paranoid level when relevant).
+const std::string& perf_counters_status();
+
+/// Read the calling thread's counter group, lazily opening it on first use.
+/// Returns `valid == false` when counters are unavailable.
+PerfReading perf_read_thread_counters();
+
+}  // namespace ldla

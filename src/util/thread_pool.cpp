@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "util/contract.hpp"
+#include "util/trace.hpp"
 
 namespace ldla {
 
@@ -60,6 +61,8 @@ void ThreadPool::run_tasks(std::size_t tasks,
     std::exception_ptr first_error;
     for (std::size_t t = 0; t < tasks; ++t) {
       try {
+        LDLA_TRACE_SPAN(kTaskRun);
+        LDLA_TRACE_ADD_TASK_RUN();
         fn(t);
       } catch (...) {
         if (!first_error) first_error = std::current_exception();
@@ -77,9 +80,15 @@ void ThreadPool::run_tasks(std::size_t tasks,
   {
     std::lock_guard lock(mutex_);
     for (std::size_t t = 0; t + 1 < tasks; ++t) {
-      queue_.emplace([this, &group, &fn, t] {
+      // The enqueue stamp rides in the closure so the worker can attribute
+      // queue latency (dequeue time minus stamp) to the task-wait phase.
+      const std::uint64_t enqueued_ns = LDLA_TRACE_QUEUE_STAMP();
+      queue_.emplace([this, &group, &fn, t, enqueued_ns] {
+        LDLA_TRACE_TASK_DEQUEUED(enqueued_ns);
         std::exception_ptr error;
         try {
+          LDLA_TRACE_SPAN(kTaskRun);
+          LDLA_TRACE_ADD_TASK_RUN();
           fn(t);
         } catch (...) {
           error = std::current_exception();
@@ -95,6 +104,8 @@ void ThreadPool::run_tasks(std::size_t tasks,
   {
     std::exception_ptr error;
     try {
+      LDLA_TRACE_SPAN(kTaskRun);
+      LDLA_TRACE_ADD_TASK_RUN();
       fn(tasks - 1);
     } catch (...) {
       error = std::current_exception();

@@ -80,4 +80,9 @@ double estimated_core_hz() {
   return hz;
 }
 
+const TimingCalibration& timing_calibration() {
+  static const TimingCalibration cal{tsc_hz(), estimated_core_hz()};
+  return cal;
+}
+
 }  // namespace ldla

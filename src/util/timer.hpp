@@ -34,6 +34,15 @@ double tsc_hz();
 /// %-of-peak reporting in Figures 3 and 4.
 double estimated_core_hz();
 
+/// Both clock calibrations, measured once per process and cached. Trace
+/// reports embed these so a trace file is self-describing; callers that
+/// need a calibration mid-run pay the (one-time) probe cost exactly once.
+struct TimingCalibration {
+  double tsc_hz = 0.0;
+  double core_hz = 0.0;
+};
+const TimingCalibration& timing_calibration();
+
 /// Prevent the optimizer from deleting a computed value.
 template <typename T>
 inline void do_not_optimize(T const& value) {

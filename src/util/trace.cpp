@@ -1,0 +1,589 @@
+// Implementation of the phase-counter / span / session layer declared in
+// util/trace.hpp. Storage model: a fixed static array of cache-line-aligned
+// per-thread slots (no heap allocation on the hot path; the repo's
+// allocation choke point stays intact). A thread claims a slot on first
+// instrumented call and keeps it for the process lifetime; counter and
+// phase-time writes are relaxed fetch_adds on the owner's dedicated cache
+// line, so there is no cross-thread contention and snapshot() can aggregate
+// lock-free from any thread. If more threads than slots ever appear, the
+// overflow threads share the last slot: fetch_add keeps their *counters*
+// exact, and the owner-only span machinery is disabled for them.
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/contract.hpp"
+#include "util/cpu_info.hpp"
+#include "util/peak.hpp"
+#include "util/perf_counters.hpp"
+#include "util/timer.hpp"
+
+namespace ldla::trace {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kPackA:
+      return "pack_a";
+    case Phase::kPackB:
+      return "pack_b";
+    case Phase::kKernel:
+      return "kernel";
+    case Phase::kEpilogue:
+      return "epilogue";
+    case Phase::kMirror:
+      return "mirror";
+    case Phase::kIo:
+      return "io";
+    case Phase::kTaskRun:
+      return "task_run";
+    case Phase::kTaskWait:
+      return "task_wait";
+  }
+  return "unknown";
+}
+
+TraceSnapshot TraceSnapshot::since(const TraceSnapshot& earlier) const {
+  TraceSnapshot d;
+  d.counters.bytes_packed = counters.bytes_packed - earlier.counters.bytes_packed;
+  d.counters.slivers_packed =
+      counters.slivers_packed - earlier.counters.slivers_packed;
+  d.counters.slivers_reused =
+      counters.slivers_reused - earlier.counters.slivers_reused;
+  d.counters.kernel_calls = counters.kernel_calls - earlier.counters.kernel_calls;
+  d.counters.kernel_words = counters.kernel_words - earlier.counters.kernel_words;
+  d.counters.tiles_emitted =
+      counters.tiles_emitted - earlier.counters.tiles_emitted;
+  d.counters.epilogue_rows =
+      counters.epilogue_rows - earlier.counters.epilogue_rows;
+  d.counters.task_runs = counters.task_runs - earlier.counters.task_runs;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    d.phase_self_ns[i] = phase_self_ns[i] - earlier.phase_self_ns[i];
+    d.phase_perf[i].cycles = phase_perf[i].cycles - earlier.phase_perf[i].cycles;
+    d.phase_perf[i].instructions =
+        phase_perf[i].instructions - earlier.phase_perf[i].instructions;
+    d.phase_perf[i].llc_loads =
+        phase_perf[i].llc_loads - earlier.phase_perf[i].llc_loads;
+    d.phase_perf[i].llc_misses =
+        phase_perf[i].llc_misses - earlier.phase_perf[i].llc_misses;
+  }
+  return d;
+}
+
+#if defined(LDLA_TRACE_ENABLED)
+
+namespace {
+
+constexpr std::uint32_t kMaxSlots = 128;
+constexpr int kMaxDepth = 16;
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 20;
+constexpr std::size_t kNumPerf = 4;
+
+// Counter indices, matching the PhaseCounters field order.
+enum CounterIndex : std::size_t {
+  kCBytesPacked = 0,
+  kCSliversPacked,
+  kCSliversReused,
+  kCKernelCalls,
+  kCKernelWords,
+  kCTilesEmitted,
+  kCEpilogueRows,
+  kCTaskRuns,
+  kNumCounters,
+};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct alignas(64) Slot {
+  // Any-thread-readable, owner-written (overflow threads may share writes;
+  // fetch_add keeps the totals exact either way).
+  std::atomic<std::uint64_t> counters[kNumCounters] = {};
+  std::atomic<std::uint64_t> phase_ns[kPhaseCount] = {};
+  std::atomic<std::uint64_t> perf[kPhaseCount][kNumPerf] = {};
+  std::atomic<bool> shared{false};
+  std::uint32_t tid = 0;
+
+  // Owner-only span stack (disabled on shared slots).
+  struct Frame {
+    Phase phase = Phase::kKernel;
+    std::uint64_t t0 = 0;
+    std::uint64_t child_ns = 0;
+    PerfReading p0;
+    std::uint64_t child_perf[kNumPerf] = {0, 0, 0, 0};
+  };
+  Frame stack[kMaxDepth];
+  int depth = 0;
+
+  // Owner-only session event buffer, tagged with the session epoch it
+  // belongs to so stale buffers are dropped lazily by the owner.
+  std::vector<TraceEvent> events;
+  std::uint64_t events_epoch = 0;
+  std::uint64_t events_dropped = 0;
+};
+
+Slot g_slots[kMaxSlots];
+std::atomic<std::uint32_t> g_next_slot{0};
+
+std::atomic<bool> g_timing{true};
+std::atomic<bool> g_session{false};
+std::atomic<bool> g_session_perf{false};
+std::atomic<std::uint64_t> g_epoch{0};
+std::atomic<std::uint64_t> g_session_t0{0};
+
+// Guards session start/stop/name; never taken on the hot path.
+std::mutex g_session_mutex;
+std::string& session_name() {
+  static std::string name;
+  return name;
+}
+
+thread_local Slot* t_slot = nullptr;
+
+Slot* slot() {
+  Slot* s = t_slot;
+  if (s == nullptr) [[unlikely]] {
+    const std::uint32_t idx =
+        g_next_slot.fetch_add(1, std::memory_order_relaxed);
+    if (idx < kMaxSlots) {
+      s = &g_slots[idx];
+      s->tid = idx;
+    } else {
+      s = &g_slots[kMaxSlots - 1];
+      s->shared.store(true, std::memory_order_relaxed);
+    }
+    t_slot = s;
+  }
+  return s;
+}
+
+void add_counter(std::size_t which, std::uint64_t x) {
+  slot()->counters[which].fetch_add(x, std::memory_order_relaxed);
+}
+
+// Append a span event to the owner's buffer (caller checked !shared).
+void append_event(Slot* s, Phase phase, std::uint64_t t0, std::uint64_t dur) {
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+  if (s->events_epoch != epoch) {
+    s->events.clear();
+    s->events_epoch = epoch;
+    s->events_dropped = 0;
+  }
+  if (s->events.size() >= kMaxEventsPerThread) {
+    ++s->events_dropped;
+    return;
+  }
+  const std::uint64_t base = g_session_t0.load(std::memory_order_relaxed);
+  TraceEvent e;
+  e.phase = phase;
+  e.tid = s->tid;
+  e.ts_ns = t0 >= base ? t0 - base : 0;
+  e.dur_ns = dur;
+  s->events.push_back(e);
+}
+
+// Gather all event buffers belonging to the current epoch. Caller holds
+// g_session_mutex and the quiescence contract.
+std::vector<TraceEvent> gather_events() {
+  std::vector<TraceEvent> out;
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+  const std::uint32_t n =
+      std::min(g_next_slot.load(std::memory_order_relaxed), kMaxSlots);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Slot& s = g_slots[i];
+    if (s.events_epoch == epoch) {
+      out.insert(out.end(), s.events.begin(), s.events.end());
+    }
+  }
+  return out;
+}
+
+std::uint64_t gather_dropped() {
+  std::uint64_t dropped = 0;
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
+  const std::uint32_t n =
+      std::min(g_next_slot.load(std::memory_order_relaxed), kMaxSlots);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (g_slots[i].events_epoch == epoch) dropped += g_slots[i].events_dropped;
+  }
+  return dropped;
+}
+
+void json_escape_to(std::string& out, const std::string& in) {
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string sanitize_for_filename(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? std::string("run") : out;
+}
+
+/// Write the Chrome-trace report. Caller holds g_session_mutex; the session
+/// flag is already cleared so no new events race the buffers.
+/// Returns the path, or "" on any write failure.
+std::string write_report(const std::string& run_name) {
+  const char* dir = std::getenv("LDLA_TRACE_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : ".";
+  path += "/trace_" + sanitize_for_filename(run_name) + ".json";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s for writing\n", path.c_str());
+    return "";
+  }
+
+  const TraceSnapshot snap = snapshot();
+  const std::vector<TraceEvent> events = gather_events();
+  const std::uint64_t dropped = gather_dropped();
+  const std::uint64_t t_end = now_ns();
+  const std::uint64_t t0 = g_session_t0.load(std::memory_order_relaxed);
+  const CpuInfo& cpu = cpu_info();
+  const TimingCalibration& cal = timing_calibration();
+  const bool perf_ok = perf_counters_available();
+
+  std::string brand;
+  json_escape_to(brand, cpu.brand);
+  std::string perf_status;
+  json_escape_to(perf_status, perf_counters_status());
+  std::string run_escaped;
+  json_escape_to(run_escaped, run_name);
+
+  // Metadata block: everything needed to interpret the numbers offline.
+  std::fprintf(f, "{\n\"metadata\": {\n");
+  std::fprintf(f, "  \"run\": \"%s\",\n", run_escaped.c_str());
+  std::fprintf(f, "  \"clock\": \"steady_clock\",\n");
+  std::fprintf(f, "  \"session_ns\": %llu,\n",
+               static_cast<unsigned long long>(t_end > t0 ? t_end - t0 : 0));
+  std::fprintf(f, "  \"tsc_hz\": %.6g,\n", cal.tsc_hz);
+  std::fprintf(f, "  \"core_hz\": %.6g,\n", cal.core_hz);
+  std::fprintf(f, "  \"scalar_peak_triples_per_sec\": %.6g,\n",
+               scalar_peak_triples_per_sec());
+  std::fprintf(f,
+               "  \"cpu\": {\"brand\": \"%s\", \"logical_cores\": %u, "
+               "\"l1d\": %llu, \"l2\": %llu, \"l3\": %llu, \"line\": %llu},\n",
+               brand.c_str(), cpu.logical_cores,
+               static_cast<unsigned long long>(cpu.cache.l1d),
+               static_cast<unsigned long long>(cpu.cache.l2),
+               static_cast<unsigned long long>(cpu.cache.l3),
+               static_cast<unsigned long long>(cpu.cache.line));
+  std::fprintf(f,
+               "  \"perf\": {\"available\": %s, \"status\": \"%s\"},\n",
+               perf_ok ? "true" : "false", perf_status.c_str());
+  std::fprintf(f, "  \"events_dropped\": %llu\n",
+               static_cast<unsigned long long>(dropped));
+  std::fprintf(f, "},\n");
+
+  // Cumulative counters (process lifetime; diff two traces to window them).
+  std::fprintf(
+      f,
+      "\"counters\": {\"bytes_packed\": %llu, \"slivers_packed\": %llu, "
+      "\"slivers_reused\": %llu, \"kernel_calls\": %llu, "
+      "\"kernel_words\": %llu, \"tiles_emitted\": %llu, "
+      "\"epilogue_rows\": %llu, \"task_runs\": %llu},\n",
+      static_cast<unsigned long long>(snap.counters.bytes_packed),
+      static_cast<unsigned long long>(snap.counters.slivers_packed),
+      static_cast<unsigned long long>(snap.counters.slivers_reused),
+      static_cast<unsigned long long>(snap.counters.kernel_calls),
+      static_cast<unsigned long long>(snap.counters.kernel_words),
+      static_cast<unsigned long long>(snap.counters.tiles_emitted),
+      static_cast<unsigned long long>(snap.counters.epilogue_rows),
+      static_cast<unsigned long long>(snap.counters.task_runs));
+
+  // Per-phase roofline table: self time, perf deltas, and the derived
+  // words/cycle + %-of-scalar-peak for the kernel phase (the paper's
+  // 3-ops/cycle argument) plus bytes-per-LLC-load when LLC events exist.
+  std::fprintf(f, "\"phases\": [\n");
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    const double self_s =
+        static_cast<double>(snap.phase_self_ns[i]) * 1e-9;
+    std::fprintf(
+        f,
+        "  {\"phase\": \"%s\", \"self_ns\": %llu, \"cycles\": %llu, "
+        "\"instructions\": %llu, \"llc_loads\": %llu, \"llc_misses\": %llu",
+        phase_name(p), static_cast<unsigned long long>(snap.phase_self_ns[i]),
+        static_cast<unsigned long long>(snap.phase_perf[i].cycles),
+        static_cast<unsigned long long>(snap.phase_perf[i].instructions),
+        static_cast<unsigned long long>(snap.phase_perf[i].llc_loads),
+        static_cast<unsigned long long>(snap.phase_perf[i].llc_misses));
+    if (p == Phase::kKernel && self_s > 0.0) {
+      const double words_per_sec =
+          static_cast<double>(snap.counters.kernel_words) / self_s;
+      std::fprintf(f, ", \"words_per_sec\": %.6g", words_per_sec);
+      const double peak = scalar_peak_triples_per_sec();
+      if (peak > 0.0) {
+        std::fprintf(f, ", \"pct_scalar_peak\": %.4g",
+                     100.0 * words_per_sec / peak);
+      }
+      if (snap.phase_perf[i].cycles > 0) {
+        std::fprintf(f, ", \"words_per_cycle\": %.4g",
+                     static_cast<double>(snap.counters.kernel_words) /
+                         static_cast<double>(snap.phase_perf[i].cycles));
+      }
+      if (snap.phase_perf[i].llc_loads > 0) {
+        // Operand traffic: two packed input words per word-triple.
+        std::fprintf(f, ", \"bytes_per_llc_load\": %.4g",
+                     static_cast<double>(snap.counters.kernel_words) * 16.0 /
+                         static_cast<double>(snap.phase_perf[i].llc_loads));
+      }
+    }
+    std::fprintf(f, "}%s\n", i + 1 < kPhaseCount ? "," : "");
+  }
+  std::fprintf(f, "],\n");
+
+  // Chrome-trace events: "X" complete events, microsecond timestamps.
+  std::fprintf(f, "\"displayTimeUnit\": \"ms\",\n");
+  std::fprintf(f, "\"traceEvents\": [\n");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"cat\": \"ldla\", \"ph\": \"X\", "
+                 "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}%s\n",
+                 phase_name(e.phase), static_cast<double>(e.ts_ns) * 1e-3,
+                 static_cast<double>(e.dur_ns) * 1e-3, e.tid,
+                 i + 1 < events.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n}\n");
+
+  const bool write_error = std::ferror(f) != 0;
+  const bool close_error = std::fclose(f) != 0;
+  if (write_error || close_error) {
+    std::fprintf(stderr, "trace: error writing %s\n", path.c_str());
+    return "";
+  }
+  return path;
+}
+
+void atexit_write() {
+  // Best-effort flush for runs that never called stop_session_and_write().
+  stop_session_and_write();
+}
+
+}  // namespace
+
+namespace detail {
+
+void add_pack(std::uint64_t slivers, std::uint64_t bytes) {
+  Slot* s = slot();
+  s->counters[kCSliversPacked].fetch_add(slivers, std::memory_order_relaxed);
+  s->counters[kCBytesPacked].fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void add_reuse(std::uint64_t slivers) { add_counter(kCSliversReused, slivers); }
+
+void add_kernel(std::uint64_t calls, std::uint64_t words) {
+  Slot* s = slot();
+  s->counters[kCKernelCalls].fetch_add(calls, std::memory_order_relaxed);
+  s->counters[kCKernelWords].fetch_add(words, std::memory_order_relaxed);
+}
+
+void add_tile() { add_counter(kCTilesEmitted, 1); }
+
+void add_epilogue_rows(std::uint64_t rows) {
+  add_counter(kCEpilogueRows, rows);
+}
+
+void add_task_run() { add_counter(kCTaskRuns, 1); }
+
+std::uint64_t queue_stamp() {
+  return g_timing.load(std::memory_order_relaxed) ? now_ns() : 0;
+}
+
+void task_dequeued(std::uint64_t enqueue_ns) {
+  if (enqueue_ns == 0) return;
+  const std::uint64_t t1 = now_ns();
+  const std::uint64_t wait = t1 > enqueue_ns ? t1 - enqueue_ns : 0;
+  Slot* s = slot();
+  s->phase_ns[static_cast<std::size_t>(Phase::kTaskWait)].fetch_add(
+      wait, std::memory_order_relaxed);
+  if (g_session.load(std::memory_order_acquire) &&
+      !s->shared.load(std::memory_order_relaxed)) {
+    append_event(s, Phase::kTaskWait, enqueue_ns, wait);
+  }
+}
+
+}  // namespace detail
+
+Span::Span(Phase p) noexcept {
+  if (!g_timing.load(std::memory_order_relaxed)) return;
+  Slot* s = slot();
+  if (s->shared.load(std::memory_order_relaxed) || s->depth >= kMaxDepth) {
+    return;
+  }
+  Slot::Frame& f = s->stack[s->depth];
+  f.phase = p;
+  f.child_ns = 0;
+  for (std::uint64_t& c : f.child_perf) c = 0;
+  f.p0 = PerfReading{};
+  if (g_session_perf.load(std::memory_order_relaxed) &&
+      g_session.load(std::memory_order_acquire)) {
+    f.p0 = perf_read_thread_counters();
+  }
+  f.t0 = now_ns();  // last, so the perf read is outside the timed window
+  ++s->depth;
+  slot_ = s;
+}
+
+Span::~Span() {
+  if (slot_ == nullptr) return;
+  Slot* s = static_cast<Slot*>(slot_);
+  const std::uint64_t t1 = now_ns();
+  Slot::Frame& f = s->stack[s->depth - 1];
+  const std::uint64_t dur = t1 > f.t0 ? t1 - f.t0 : 0;
+  const std::uint64_t self = dur > f.child_ns ? dur - f.child_ns : 0;
+  const auto pi = static_cast<std::size_t>(f.phase);
+  s->phase_ns[pi].fetch_add(self, std::memory_order_relaxed);
+
+  if (f.p0.valid) {
+    const PerfReading p1 = perf_read_thread_counters();
+    if (p1.valid) {
+      const std::uint64_t delta[kNumPerf] = {
+          p1.cycles - f.p0.cycles, p1.instructions - f.p0.instructions,
+          p1.llc_loads - f.p0.llc_loads, p1.llc_misses - f.p0.llc_misses};
+      for (std::size_t j = 0; j < kNumPerf; ++j) {
+        const std::uint64_t self_perf =
+            delta[j] > f.child_perf[j] ? delta[j] - f.child_perf[j] : 0;
+        s->perf[pi][j].fetch_add(self_perf, std::memory_order_relaxed);
+        if (s->depth >= 2) s->stack[s->depth - 2].child_perf[j] += delta[j];
+      }
+    }
+  }
+
+  --s->depth;
+  if (s->depth > 0) s->stack[s->depth - 1].child_ns += dur;
+
+  if (g_session.load(std::memory_order_acquire)) {
+    append_event(s, f.phase, f.t0, dur);
+  }
+}
+
+void set_timing_enabled(bool on) {
+  g_timing.store(on, std::memory_order_relaxed);
+}
+
+bool timing_enabled() { return g_timing.load(std::memory_order_relaxed); }
+
+TraceSnapshot snapshot() {
+  TraceSnapshot out;
+  const std::uint32_t n =
+      std::min(g_next_slot.load(std::memory_order_relaxed), kMaxSlots);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Slot& s = g_slots[i];
+    const auto c = [&s](std::size_t which) {
+      return s.counters[which].load(std::memory_order_relaxed);
+    };
+    out.counters.bytes_packed += c(kCBytesPacked);
+    out.counters.slivers_packed += c(kCSliversPacked);
+    out.counters.slivers_reused += c(kCSliversReused);
+    out.counters.kernel_calls += c(kCKernelCalls);
+    out.counters.kernel_words += c(kCKernelWords);
+    out.counters.tiles_emitted += c(kCTilesEmitted);
+    out.counters.epilogue_rows += c(kCEpilogueRows);
+    out.counters.task_runs += c(kCTaskRuns);
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      out.phase_self_ns[p] += s.phase_ns[p].load(std::memory_order_relaxed);
+      out.phase_perf[p].cycles +=
+          s.perf[p][0].load(std::memory_order_relaxed);
+      out.phase_perf[p].instructions +=
+          s.perf[p][1].load(std::memory_order_relaxed);
+      out.phase_perf[p].llc_loads +=
+          s.perf[p][2].load(std::memory_order_relaxed);
+      out.phase_perf[p].llc_misses +=
+          s.perf[p][3].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void start_session(const std::string& run_name) {
+  LDLA_EXPECT(!run_name.empty(), "trace run name must be non-empty");
+  LDLA_EXPECT(run_name.find('\n') == std::string::npos,
+              "trace run name must be a single line");
+  const std::lock_guard<std::mutex> lock(g_session_mutex);
+  session_name() = run_name;
+  g_epoch.fetch_add(1, std::memory_order_relaxed);  // invalidate old buffers
+  g_session_perf.store(perf_counters_available(), std::memory_order_relaxed);
+  g_session_t0.store(now_ns(), std::memory_order_relaxed);
+  g_session.store(true, std::memory_order_release);
+  static const int registered = std::atexit(atexit_write);
+  (void)registered;
+}
+
+bool session_active() { return g_session.load(std::memory_order_acquire); }
+
+std::string stop_session_and_write() {
+  const std::lock_guard<std::mutex> lock(g_session_mutex);
+  if (!g_session.load(std::memory_order_acquire)) return "";
+  g_session.store(false, std::memory_order_release);
+  return write_report(session_name());
+}
+
+void cancel_session() {
+  const std::lock_guard<std::mutex> lock(g_session_mutex);
+  g_session.store(false, std::memory_order_release);
+  g_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> session_events() {
+  const std::lock_guard<std::mutex> lock(g_session_mutex);
+  return gather_events();
+}
+
+#else  // !LDLA_TRACE_ENABLED
+
+// Compiled-out stubs: the macros already expand to nothing; these keep the
+// runtime API linkable so benches/tests can query state unconditionally.
+
+void set_timing_enabled(bool on) { (void)on; }
+
+bool timing_enabled() { return false; }
+
+TraceSnapshot snapshot() { return {}; }
+
+void start_session(const std::string& run_name) {
+  LDLA_EXPECT(!run_name.empty(), "trace run name must be non-empty");
+  LDLA_EXPECT(run_name.find('\n') == std::string::npos,
+              "trace run name must be a single line");
+}
+
+bool session_active() { return false; }
+
+std::string stop_session_and_write() { return ""; }
+
+void cancel_session() {}
+
+std::vector<TraceEvent> session_events() { return {}; }
+
+#endif  // LDLA_TRACE_ENABLED
+
+}  // namespace ldla::trace

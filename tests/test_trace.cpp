@@ -1,0 +1,421 @@
+// Counter-exactness and span-nesting tests for the tracing layer.
+//
+// The phase counters are specified as *exact*: for a resolved GemmPlan the
+// traced kernel/pack/tile counts must equal the analytic values implied by
+// the blocking (DESIGN.md "Observability"). The walkers below mirror the
+// documented loop structure of gemm_count_packed / gemm_count_fused and
+// PackedBitMatrix::pack_side; any drift between the drivers and their
+// instrumentation shows up here as an off-by-a-tile mismatch.
+//
+// Counter deltas are read with trace::snapshot().since(before), which is
+// exact as long as no unrelated instrumented work runs concurrently — true
+// inside a test binary.
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gemm/macro.hpp"
+#include "core/ld.hpp"
+#include "core/parallel.hpp"
+#include "sim/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ldla {
+namespace {
+
+BitMatrix random_matrix(std::size_t snps, std::size_t samples,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  BitMatrix m(snps, samples);
+  for (std::size_t s = 0; s < snps; ++s) {
+    for (std::size_t b = 0; b < samples; ++b) {
+      if (rng.next_bool(0.4)) m.set(s, b, true);
+    }
+  }
+  return m;
+}
+
+// Small blocking so a modest problem still crosses several cache blocks
+// and k panels (the interesting counter geometry).
+GemmConfig small_blocking(KernelArch arch) {
+  GemmConfig cfg;
+  cfg.arch = arch;
+  cfg.kc_words = 8;
+  cfg.mc = 16;
+  cfg.nc = 16;
+  return cfg;
+}
+
+// What one traced driver call should have counted.
+struct Expected {
+  std::uint64_t kernel_calls = 0;
+  std::uint64_t kernel_words = 0;
+  std::uint64_t tiles_emitted = 0;
+  std::uint64_t slivers_reused = 0;
+  std::uint64_t epilogue_rows = 0;  ///< sum of in-range tile rows (fused)
+};
+
+// Analytic mirror of gemm_count_packed's loop nest over [a_begin, a_end) x
+// [b_begin, b_end): jc (nc) -> k panel -> ic (mc), one micro-kernel call
+// per mr x nr register tile, one sliver view per panel side per block.
+Expected expect_two_pass(const PackedBitMatrix& p, std::size_t a_begin,
+                         std::size_t a_end, std::size_t b_begin,
+                         std::size_t b_end) {
+  const GemmPlan& plan = p.plan();
+  const std::size_t mr = plan.mr;
+  const std::size_t nr = plan.nr;
+  const std::size_t ic0 = a_begin / mr * mr;
+  const std::size_t jc0 = b_begin / nr * nr;
+  const std::size_t a_pad = (a_end + mr - 1) / mr * mr;
+  const std::size_t b_pad = (b_end + nr - 1) / nr * nr;
+  Expected e;
+  for (std::size_t jc = jc0; jc < b_end; jc += plan.nc) {
+    const std::size_t jc_end = std::min(jc + plan.nc, b_pad);
+    for (std::size_t panel = 0; panel < p.panels(); ++panel) {
+      const std::uint64_t kcp = p.panel_kc_padded(panel);
+      e.slivers_reused += (jc_end - jc) / nr;  // one b_panel view per (jc, p)
+      for (std::size_t ic = ic0; ic < a_end; ic += plan.mc) {
+        const std::size_t ic_end = std::min(ic + plan.mc, a_pad);
+        const std::uint64_t calls = static_cast<std::uint64_t>(
+            ((jc_end - jc) / nr) * ((ic_end - ic) / mr));
+        e.kernel_calls += calls;
+        e.kernel_words += calls * static_cast<std::uint64_t>(mr * nr) * kcp;
+        e.slivers_reused += (ic_end - ic) / mr;  // one a_panel view per block
+      }
+    }
+  }
+  return e;
+}
+
+// Analytic mirror of gemm_count_fused: jc (nc) -> ic (mc) tiles, with the
+// panel loop innermost; one CountTile per cache tile.
+Expected expect_fused(const PackedBitMatrix& p, std::size_t a_begin,
+                      std::size_t a_end, std::size_t b_begin,
+                      std::size_t b_end) {
+  const GemmPlan& plan = p.plan();
+  const std::size_t mr = plan.mr;
+  const std::size_t nr = plan.nr;
+  const std::size_t ic0 = a_begin / mr * mr;
+  const std::size_t jc0 = b_begin / nr * nr;
+  const std::size_t a_pad = (a_end + mr - 1) / mr * mr;
+  const std::size_t b_pad = (b_end + nr - 1) / nr * nr;
+  Expected e;
+  for (std::size_t jc = jc0; jc < b_end; jc += plan.nc) {
+    const std::size_t jc_end = std::min(jc + plan.nc, b_pad);
+    const std::size_t tile_cols = jc_end - jc;
+    for (std::size_t ic = ic0; ic < a_end; ic += plan.mc) {
+      const std::size_t ic_end = std::min(ic + plan.mc, a_pad);
+      const std::size_t tile_rows = ic_end - ic;
+      e.tiles_emitted += 1;
+      for (std::size_t panel = 0; panel < p.panels(); ++panel) {
+        const std::uint64_t kcp = p.panel_kc_padded(panel);
+        e.kernel_calls += static_cast<std::uint64_t>((tile_cols / nr) *
+                                                     (tile_rows / mr));
+        e.kernel_words +=
+            static_cast<std::uint64_t>(tile_rows * tile_cols) * kcp;
+        e.slivers_reused += tile_cols / nr + tile_rows / mr;
+      }
+      e.epilogue_rows += std::min(ic_end, a_end) - std::max(ic, a_begin);
+    }
+  }
+  return e;
+}
+
+struct Shape {
+  std::size_t m, n, samples;
+};
+
+// Ragged on every axis: m, n off register-tile multiples; samples chosen so
+// the word count is off the ku and kc_words grids.
+const Shape kShapes[] = {
+    {33, 47, 130},   // 3 words: single short k panel
+    {64, 64, 4099},  // 65 words: full tiles, ragged k panels
+    {37, 91, 1025},  // 17 words: everything ragged
+};
+
+class TraceCounters
+    : public ::testing::TestWithParam<std::tuple<KernelArch, Shape>> {
+ protected:
+  void SetUp() override {
+    if (!trace::compiled()) {
+      GTEST_SKIP() << "built with LDLA_TRACE=OFF";
+    }
+  }
+};
+
+TEST_P(TraceCounters, TwoPassMatchesAnalyticBlocking) {
+  const auto [arch, shape] = GetParam();
+  const BitMatrix a = random_matrix(shape.m, shape.samples, 7 + shape.m);
+  const BitMatrix b = random_matrix(shape.n, shape.samples, 11 + shape.n);
+  const GemmConfig cfg = small_blocking(arch);
+  const GemmPlan plan = gemm_plan_for(a.view(), cfg);
+  const PackedBitMatrix pa(a.view(), plan, PackSides::kA);
+  const PackedBitMatrix pb(b.view(), plan, PackSides::kB);
+
+  CountMatrix c(shape.m, shape.n);
+  const trace::TraceSnapshot before = trace::snapshot();
+  gemm_count_packed(pa, 0, shape.m, pb, 0, shape.n, c.ref());
+  const trace::TraceSnapshot d = trace::snapshot().since(before);
+
+  const Expected e = expect_two_pass(pa, 0, shape.m, 0, shape.n);
+  EXPECT_EQ(d.counters.kernel_calls, e.kernel_calls);
+  EXPECT_EQ(d.counters.kernel_words, e.kernel_words);
+  EXPECT_EQ(d.counters.slivers_reused, e.slivers_reused);
+  EXPECT_EQ(d.counters.tiles_emitted, 0u);
+  EXPECT_EQ(d.counters.epilogue_rows, 0u);
+  EXPECT_EQ(d.counters.slivers_packed, 0u);  // persistent pack: no repack
+  EXPECT_EQ(d.counters.bytes_packed, 0u);
+}
+
+TEST_P(TraceCounters, FusedMatchesAnalyticBlocking) {
+  const auto [arch, shape] = GetParam();
+  const BitMatrix a = random_matrix(shape.m, shape.samples, 7 + shape.m);
+  const BitMatrix b = random_matrix(shape.n, shape.samples, 11 + shape.n);
+  const GemmConfig cfg = small_blocking(arch);
+  const GemmPlan plan = gemm_plan_for(a.view(), cfg);
+  const PackedBitMatrix pa(a.view(), plan, PackSides::kA);
+  const PackedBitMatrix pb(b.view(), plan, PackSides::kB);
+
+  std::uint64_t sink_rows = 0;
+  std::uint64_t sink_tiles = 0;
+  const trace::TraceSnapshot before = trace::snapshot();
+  gemm_count_fused(pa, 0, shape.m, pb, 0, shape.n, [&](const CountTile& t) {
+    sink_rows += t.rows;
+    ++sink_tiles;
+  });
+  const trace::TraceSnapshot d = trace::snapshot().since(before);
+
+  const Expected e = expect_fused(pa, 0, shape.m, 0, shape.n);
+  EXPECT_EQ(d.counters.kernel_calls, e.kernel_calls);
+  EXPECT_EQ(d.counters.kernel_words, e.kernel_words);
+  EXPECT_EQ(d.counters.slivers_reused, e.slivers_reused);
+  EXPECT_EQ(d.counters.tiles_emitted, e.tiles_emitted);
+  EXPECT_EQ(sink_tiles, e.tiles_emitted);
+  EXPECT_EQ(sink_rows, e.epilogue_rows);
+}
+
+TEST_P(TraceCounters, RaggedRangesMatchAnalyticBlocking) {
+  const auto [arch, shape] = GetParam();
+  if (shape.m < 8 || shape.n < 8) GTEST_SKIP() << "range too small";
+  const BitMatrix g = random_matrix(shape.m + shape.n, shape.samples, 3);
+  const GemmConfig cfg = small_blocking(arch);
+  const GemmPlan plan = gemm_plan_for(g.view(), cfg);
+  const PackedBitMatrix p(g.view(), plan, PackSides::kBoth);
+
+  // Off-sliver window: starts and ends cross register-tile boundaries.
+  const std::size_t a_begin = 3, a_end = shape.m + 1;
+  const std::size_t b_begin = 5, b_end = shape.n + 2;
+
+  CountMatrix c(a_end - a_begin, b_end - b_begin);
+  const trace::TraceSnapshot t0 = trace::snapshot();
+  gemm_count_packed(p, a_begin, a_end, p, b_begin, b_end, c.ref());
+  const trace::TraceSnapshot d1 = trace::snapshot().since(t0);
+  const Expected e1 = expect_two_pass(p, a_begin, a_end, b_begin, b_end);
+  EXPECT_EQ(d1.counters.kernel_calls, e1.kernel_calls);
+  EXPECT_EQ(d1.counters.kernel_words, e1.kernel_words);
+  EXPECT_EQ(d1.counters.slivers_reused, e1.slivers_reused);
+
+  const trace::TraceSnapshot t1 = trace::snapshot();
+  std::uint64_t sink_rows = 0;
+  gemm_count_fused(p, a_begin, a_end, p, b_begin, b_end,
+                   [&](const CountTile& t) { sink_rows += t.rows; });
+  const trace::TraceSnapshot d2 = trace::snapshot().since(t1);
+  const Expected e2 = expect_fused(p, a_begin, a_end, b_begin, b_end);
+  EXPECT_EQ(d2.counters.kernel_calls, e2.kernel_calls);
+  EXPECT_EQ(d2.counters.kernel_words, e2.kernel_words);
+  EXPECT_EQ(d2.counters.tiles_emitted, e2.tiles_emitted);
+  EXPECT_EQ(sink_rows, e2.epilogue_rows);
+}
+
+std::vector<std::tuple<KernelArch, Shape>> counter_cases() {
+  std::vector<std::tuple<KernelArch, Shape>> cases;
+  for (const KernelArch arch : available_kernels()) {
+    for (const Shape& s : kShapes) cases.emplace_back(arch, s);
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocking, TraceCounters,
+                         ::testing::ValuesIn(counter_cases()));
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!trace::compiled()) {
+      GTEST_SKIP() << "built with LDLA_TRACE=OFF";
+    }
+  }
+};
+
+TEST_F(TraceFixture, PackCountersMatchSliverGeometry) {
+  const std::size_t snps = 53, samples = 1100;
+  const BitMatrix g = random_matrix(snps, samples, 17);
+  const GemmConfig cfg = small_blocking(KernelArch::kScalar);
+  const GemmPlan plan = gemm_plan_for(g.view(), cfg);
+
+  const trace::TraceSnapshot before = trace::snapshot();
+  const PackedBitMatrix p(g.view(), plan, PackSides::kBoth);
+  const trace::TraceSnapshot d = trace::snapshot().since(before);
+
+  // Per packed side, per k panel: ceil(snps/r) slivers of r*kcp words.
+  // When mr == nr one copy serves both sides (pack_side runs once).
+  std::vector<std::size_t> sides = {plan.mr};
+  if (plan.nr != plan.mr) sides.push_back(plan.nr);
+  std::uint64_t slivers = 0, bytes = 0;
+  for (const std::size_t r : sides) {
+    const std::uint64_t side_slivers = (snps + r - 1) / r;
+    for (std::size_t panel = 0; panel < p.panels(); ++panel) {
+      slivers += side_slivers;
+      bytes += side_slivers * r * p.panel_kc_padded(panel) * 8;
+    }
+  }
+  EXPECT_EQ(d.counters.slivers_packed, slivers);
+  EXPECT_EQ(d.counters.bytes_packed, bytes);
+  EXPECT_EQ(d.counters.slivers_reused, 0u);
+}
+
+TEST_F(TraceFixture, FusedEpilogueRowCounterMatchesSink) {
+  const std::size_t m = 45, n = 71, samples = 700;
+  const BitMatrix a = random_matrix(m, samples, 5);
+  const BitMatrix b = random_matrix(n, samples, 6);
+  LdOptions opts;
+  opts.gemm = small_blocking(KernelArch::kScalar);
+  opts.fused = true;
+
+  const trace::TraceSnapshot before = trace::snapshot();
+  const LdMatrix out = ld_cross_matrix(a, b, opts);
+  const trace::TraceSnapshot d = trace::snapshot().since(before);
+  ASSERT_EQ(out.rows(), m);
+
+  // ld_cross_matrix converts every row of every fused tile exactly once.
+  const GemmPlan plan = gemm_plan_for(a.view(), opts.gemm);
+  const PackedBitMatrix p(a.view(), plan, PackSides::kBoth);
+  const Expected e = expect_fused(p, 0, m, 0, n);
+  EXPECT_EQ(d.counters.epilogue_rows, e.epilogue_rows);
+  EXPECT_EQ(d.counters.tiles_emitted, e.tiles_emitted);
+}
+
+TEST_F(TraceFixture, CountersAccumulateWithTimingDisabled) {
+  const BitMatrix g = random_matrix(40, 500, 23);
+  const GemmConfig cfg = small_blocking(KernelArch::kScalar);
+  const GemmPlan plan = gemm_plan_for(g.view(), cfg);
+  const PackedBitMatrix p(g.view(), plan, PackSides::kBoth);
+  CountMatrix c(40, 40);
+
+  trace::set_timing_enabled(false);
+  const trace::TraceSnapshot before = trace::snapshot();
+  gemm_count_packed(p, 0, 40, p, 0, 40, c.ref());
+  const trace::TraceSnapshot d = trace::snapshot().since(before);
+  trace::set_timing_enabled(true);
+
+  EXPECT_GT(d.counters.kernel_calls, 0u);  // counters stay on
+  for (std::size_t ph = 0; ph < trace::kPhaseCount; ++ph) {
+    EXPECT_EQ(d.phase_self_ns[ph], 0u) << "phase " << ph;  // spans inert
+  }
+}
+
+// Events on one thread must form a laminar family (every pair disjoint or
+// nested): RAII spans cannot partially overlap. Returns the number of
+// top-level intervals checked.
+std::size_t check_laminar(std::vector<trace::TraceEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const trace::TraceEvent& x, const trace::TraceEvent& y) {
+              if (x.ts_ns != y.ts_ns) return x.ts_ns < y.ts_ns;
+              return x.dur_ns > y.dur_ns;  // enclosing span first
+            });
+  std::vector<std::uint64_t> stack;  // end times of enclosing spans
+  std::size_t top_level = 0;
+  for (const trace::TraceEvent& ev : events) {
+    const std::uint64_t end = ev.ts_ns + ev.dur_ns;
+    while (!stack.empty() && stack.back() <= ev.ts_ns) stack.pop_back();
+    if (stack.empty()) {
+      ++top_level;
+    } else {
+      EXPECT_LE(end, stack.back()) << "span partially overlaps its parent";
+    }
+    stack.push_back(end);
+  }
+  return top_level;
+}
+
+TEST_F(TraceFixture, SessionEventsNestExactlyOnceUnderParallelDrivers) {
+  const std::size_t n = 96;
+  const BitMatrix g = random_matrix(n, 400, 31);
+  LdOptions opts;
+  opts.gemm = small_blocking(KernelArch::kScalar);
+  opts.slab_rows = 24;
+
+  trace::start_session("test_trace_nesting");
+  ASSERT_TRUE(trace::session_active());
+  const trace::TraceSnapshot before = trace::snapshot();
+  const LdMatrix out = ld_matrix_parallel(g, opts, 2);
+  const trace::TraceSnapshot d = trace::snapshot().since(before);
+  const std::vector<trace::TraceEvent> events = trace::session_events();
+  trace::cancel_session();
+  ASSERT_FALSE(trace::session_active());
+  ASSERT_EQ(out.rows(), n);
+
+  ASSERT_FALSE(events.empty());
+  std::uint64_t task_run_events = 0;
+  std::uint64_t mirror_events = 0;
+  std::vector<std::vector<trace::TraceEvent>> by_tid;
+  for (const trace::TraceEvent& ev : events) {
+    ASSERT_LT(static_cast<std::size_t>(ev.phase), trace::kPhaseCount);
+    if (ev.phase == trace::Phase::kTaskRun) ++task_run_events;
+    if (ev.phase == trace::Phase::kMirror) ++mirror_events;
+    if (ev.tid >= by_tid.size()) by_tid.resize(ev.tid + 1);
+    by_tid[ev.tid].push_back(ev);
+  }
+  // Exactly one span per pool task and one mirror pass — no double
+  // emission from the worker/caller/inline execution paths.
+  EXPECT_EQ(task_run_events, d.counters.task_runs);
+  EXPECT_GE(task_run_events, 1u);
+  EXPECT_EQ(mirror_events, 1u);
+  for (const auto& tid_events : by_tid) {
+    check_laminar(tid_events);
+  }
+}
+
+TEST_F(TraceFixture, SessionLifecycleAndSnapshotDiff) {
+  // since() must subtract field-wise.
+  trace::TraceSnapshot a, b;
+  a.counters.kernel_calls = 10;
+  a.phase_self_ns[0] = 100;
+  b.counters.kernel_calls = 3;
+  b.phase_self_ns[0] = 40;
+  const trace::TraceSnapshot d = a.since(b);
+  EXPECT_EQ(d.counters.kernel_calls, 7u);
+  EXPECT_EQ(d.phase_self_ns[0], 60u);
+
+  // Cancelled sessions discard events; a new session starts clean.
+  trace::start_session("test_trace_lifecycle");
+  {
+    const BitMatrix g = random_matrix(8, 130, 2);
+    CountMatrix c(8, 8);
+    gemm_count(g.view(), g.view(), c.ref(),
+               small_blocking(KernelArch::kScalar));
+  }
+  EXPECT_FALSE(trace::session_events().empty());
+  trace::cancel_session();
+  trace::start_session("test_trace_lifecycle_2");
+  EXPECT_TRUE(trace::session_events().empty());
+  trace::cancel_session();
+}
+
+TEST(TraceBasics, PhaseNamesAreStable) {
+  // validate_trace.py and the BenchJson schema key on these strings.
+  EXPECT_STREQ(trace::phase_name(trace::Phase::kPackA), "pack_a");
+  EXPECT_STREQ(trace::phase_name(trace::Phase::kPackB), "pack_b");
+  EXPECT_STREQ(trace::phase_name(trace::Phase::kKernel), "kernel");
+  EXPECT_STREQ(trace::phase_name(trace::Phase::kEpilogue), "epilogue");
+  EXPECT_STREQ(trace::phase_name(trace::Phase::kMirror), "mirror");
+  EXPECT_STREQ(trace::phase_name(trace::Phase::kIo), "io");
+  EXPECT_STREQ(trace::phase_name(trace::Phase::kTaskRun), "task_run");
+  EXPECT_STREQ(trace::phase_name(trace::Phase::kTaskWait), "task_wait");
+}
+
+}  // namespace
+}  // namespace ldla

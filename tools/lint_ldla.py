@@ -20,6 +20,12 @@ Three rules that clang-tidy cannot express, enforced as a CI/ctest gate:
      for stream parsers. The manifest doubles as a freshness check — a
      renamed or deleted entry fails the lint until the manifest is updated.
 
+  4. perf-event-confinement — perf_event_open and its kernel ABI surface
+     (perf_event_attr, PERF_COUNT_*, <linux/perf_event.h>) may appear only
+     in src/util/perf_counters.cpp, so graceful degradation when the
+     syscall is unavailable (containers, perf_event_paranoid) is decided in
+     exactly one place.
+
 Usage:  python3 tools/lint_ldla.py [--root REPO_ROOT]
 Exit status 0 = clean, 1 = findings, 2 = usage/config error.
 """
@@ -67,6 +73,17 @@ DELETED_MEMBER_RE = re.compile(r"=\s*(?:delete|default)\b")
 ALLOC_ALLOWED = {
     "src/util/aligned_buffer.hpp",
     "src/util/aligned_buffer.cpp",
+}
+
+# --- rule 4: perf_event_open confinement --------------------------------------
+
+PERF_EVENT_RE = re.compile(
+    r"(\bperf_event_open\b|\bperf_event_attr\b|\bPERF_COUNT_\w+|"
+    r"#\s*include\s*<linux/perf_event\.h>)"
+)
+
+PERF_EVENT_ALLOWED = {
+    "src/util/perf_counters.cpp",
 }
 
 # --- rule 3: public API guard manifest ---------------------------------------
@@ -124,6 +141,7 @@ PUBLIC_API = {
         ("split_triangle_rows", "expect"),
     ],
     "src/util/thread_pool.cpp": [("ThreadPool::parallel_for", "expect")],
+    "src/util/trace.cpp": [("start_session", "expect")],
     "src/io/ms_format.cpp": [("parse_ms", "parse")],
     "src/io/vcf_lite.cpp": [("parse_vcf", "parse")],
     "src/io/ldm_binary.cpp": [("read_ldm", "parse")],
@@ -256,6 +274,15 @@ def main() -> int:
                     findings.append(
                         f"{rel}:{lineno}: [no-naked-allocation] "
                         f"'{m.group(0).strip()}' outside util/aligned_buffer"
+                    )
+
+        if rel not in PERF_EVENT_ALLOWED:
+            for lineno, line in enumerate(code.splitlines(), 1):
+                m = PERF_EVENT_RE.search(line)
+                if m:
+                    findings.append(
+                        f"{rel}:{lineno}: [perf-event-confinement] "
+                        f"'{m.group(0)}' outside util/perf_counters.cpp"
                     )
 
     for rel, entries in sorted(PUBLIC_API.items()):
