@@ -73,6 +73,13 @@ class BenchJson {
                         pct_peak, trace::compiled(), phases});
   }
 
+  /// Annotate the most recently added row with its thread-scaling speedup
+  /// relative to the same workload's single-thread run (emitted as
+  /// "speedup_vs_1t"; rows never annotated emit null).
+  void set_last_speedup(double speedup_vs_1t) {
+    if (!rows_.empty()) rows_.back().speedup_vs_1t = speedup_vs_1t;
+  }
+
   /// Writes the report once; later calls return the first outcome. True
   /// means "written, or nothing to write"; false means the file could not
   /// be produced (callers should fail their process on false).
@@ -94,6 +101,7 @@ class BenchJson {
     double pct_peak = -1.0;
     bool has_phases = false;
     trace::TraceSnapshot phases;
+    double speedup_vs_1t = std::numeric_limits<double>::quiet_NaN();
   };
 
   bool write_report() {
@@ -119,6 +127,8 @@ class BenchJson {
       number(f, "lds_per_sec", r.lds_per_sec);
       std::fputs(", ", f);
       number(f, "pct_peak", r.pct_peak < 0.0 ? nan_value() : r.pct_peak);
+      std::fputs(", ", f);
+      number(f, "speedup_vs_1t", r.speedup_vs_1t);
       if (r.has_phases) write_phases(f, r.phases);
       std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
@@ -145,7 +155,9 @@ class BenchJson {
                  "\"slivers_packed\": %llu, \"slivers_reused\": %llu, "
                  "\"kernel_calls\": %llu, \"kernel_words\": %llu, "
                  "\"tiles_emitted\": %llu, \"epilogue_rows\": %llu, "
-                 "\"task_runs\": %llu}",
+                 "\"task_runs\": %llu, \"steals\": %llu, "
+                 "\"failed_steals\": %llu, \"parks\": %llu, "
+                 "\"barrier_waits\": %llu}",
                  static_cast<unsigned long long>(c.bytes_packed),
                  static_cast<unsigned long long>(c.slivers_packed),
                  static_cast<unsigned long long>(c.slivers_reused),
@@ -153,7 +165,11 @@ class BenchJson {
                  static_cast<unsigned long long>(c.kernel_words),
                  static_cast<unsigned long long>(c.tiles_emitted),
                  static_cast<unsigned long long>(c.epilogue_rows),
-                 static_cast<unsigned long long>(c.task_runs));
+                 static_cast<unsigned long long>(c.task_runs),
+                 static_cast<unsigned long long>(c.steals),
+                 static_cast<unsigned long long>(c.failed_steals),
+                 static_cast<unsigned long long>(c.parks),
+                 static_cast<unsigned long long>(c.barrier_waits));
   }
 
   static double nan_value() {

@@ -30,7 +30,7 @@ import sys
 import tempfile
 
 PHASES = ["pack_a", "pack_b", "kernel", "epilogue", "mirror", "io",
-          "task_run", "task_wait"]
+          "task_run", "task_wait", "barrier"]
 
 METADATA_KEYS = {"run", "clock", "session_ns", "tsc_hz", "core_hz",
                  "scalar_peak_triples_per_sec", "cpu", "perf",
@@ -38,7 +38,8 @@ METADATA_KEYS = {"run", "clock", "session_ns", "tsc_hz", "core_hz",
 CPU_KEYS = {"brand", "logical_cores", "l1d", "l2", "l3", "line"}
 COUNTER_KEYS = {"bytes_packed", "slivers_packed", "slivers_reused",
                 "kernel_calls", "kernel_words", "tiles_emitted",
-                "epilogue_rows", "task_runs"}
+                "epilogue_rows", "task_runs", "steals", "failed_steals",
+                "parks", "barrier_waits"}
 EVENT_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
 
 

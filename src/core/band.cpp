@@ -7,7 +7,9 @@
 #include "core/detail/ld_stats_row.hpp"
 #include "core/gemm/count_matrix.hpp"
 #include "core/gemm/macro.hpp"
+#include "core/gemm/nest.hpp"
 #include "util/contract.hpp"
+#include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 namespace ldla {
@@ -26,37 +28,48 @@ void ld_band_scan(const BitMatrix& g, std::size_t bandwidth,
   // A slab of rows [r0, r1) needs columns [max(0, r0 - W), r1).
   const std::size_t max_cols = std::min(n, max_rows + bandwidth);
 
+  // Team size for the in-nest parallel stripes (1 = sequential nests).
+  const unsigned team =
+      opts.threads == 0 ? default_thread_count() : opts.threads;
+  const bool nest = opts.parallel == ParallelMode::kNest && team > 1;
+
   // Pack once for the whole band: consecutive slabs read overlapping
   // column stripes, which the fresh path re-packed on every slab.
   std::optional<PackedBitMatrix> own;
   const PackedBitMatrix* packed =
-      resolve_packed(g.view(), opts.gemm, opts.packed, PackSides::kBoth, own);
+      resolve_packed(g.view(), opts.gemm, opts.packed, PackSides::kBoth, own,
+                     nest ? team : 1);
 
   AlignedBuffer<double> values(max_rows * max_cols);
 
   if (opts.fused && packed != nullptr) {
     // Fused epilogue: the stripe's count tiles never touch memory — stats
     // land in the values slab straight from tile scratch. Geometry and
-    // values are bit-identical to the two-pass path.
+    // values are bit-identical to the two-pass path. With a team, the nest
+    // driver steals chunks inside each stripe; tiles write disjoint values
+    // windows and `visit` still fires sequentially from this thread.
     for (std::size_t r0 = 0; r0 < n; r0 += slab) {
       const std::size_t rows = std::min(slab, n - r0);
       const std::size_t col_begin = r0 > bandwidth ? r0 - bandwidth : 0;
       const std::size_t col_end = r0 + rows;
       const std::size_t cols = col_end - col_begin;
-      gemm_count_fused(*packed, r0, r0 + rows, *packed, col_begin, col_end,
-                       [&](const CountTile& t) {
-                         LDLA_TRACE_SPAN(kEpilogue);
-                         for (std::size_t i = 0; i < t.rows; ++i) {
-                           const std::size_t gi = t.row_begin + i;
-                           detail::stat_row_shifted(
-                               opts.stat, tables, gi, t.col_begin, t.row(i),
-                               t.cols,
-                               &values[(gi - r0) * cols +
-                                       (t.col_begin - col_begin)]);
-                         }
-                         LDLA_TRACE_ADD_EPILOGUE_ROWS(
-                             static_cast<std::uint64_t>(t.rows));
-                       });
+      const auto sink = [&](const CountTile& t) {
+        LDLA_TRACE_SPAN(kEpilogue);
+        for (std::size_t i = 0; i < t.rows; ++i) {
+          const std::size_t gi = t.row_begin + i;
+          detail::stat_row_shifted(
+              opts.stat, tables, gi, t.col_begin, t.row(i), t.cols,
+              &values[(gi - r0) * cols + (t.col_begin - col_begin)]);
+        }
+        LDLA_TRACE_ADD_EPILOGUE_ROWS(static_cast<std::uint64_t>(t.rows));
+      };
+      if (nest) {
+        gemm_count_parallel_nest(*packed, r0, r0 + rows, *packed, col_begin,
+                                 col_end, sink, team);
+      } else {
+        gemm_count_fused(*packed, r0, r0 + rows, *packed, col_begin, col_end,
+                         sink);
+      }
       visit(LdTile{r0, col_begin, rows, cols, values.data(), cols});
     }
     return;

@@ -22,6 +22,14 @@ std::string kernel_arch_name(KernelArch a) {
   return "unknown";
 }
 
+std::string parallel_mode_name(ParallelMode m) {
+  switch (m) {
+    case ParallelMode::kNest: return "nest";
+    case ParallelMode::kCoarse: return "coarse";
+  }
+  return "unknown";
+}
+
 bool kernel_available(KernelArch a) {
   const CpuFeatures& f = cpu_info().features;
   switch (a) {

@@ -25,6 +25,16 @@ enum class KernelArch {
 
 std::string kernel_arch_name(KernelArch a);
 
+/// How the multi-threaded LD drivers distribute work (DESIGN.md §4.4).
+enum class ParallelMode {
+  kNest,    ///< in-nest: one team cooperates inside each loop nest, draining
+            ///< a work-stealing queue of macro-tile chunks over shared packs
+  kCoarse,  ///< coarse: static row-range split, each worker runs a full
+            ///< sequential nest on its slab (the pre-nest ablation control)
+};
+
+std::string parallel_mode_name(ParallelMode m);
+
 struct GemmConfig {
   KernelArch arch = KernelArch::kAuto;
 

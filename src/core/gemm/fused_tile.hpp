@@ -1,0 +1,138 @@
+// Shared per-tile bodies of the fused count drivers.
+//
+// One cache-resident count tile — rows [ic, ic_end) × cols [jc, jc_end) of
+// the (sliver-padded) iteration space — is zeroed, accumulated over every
+// kc panel, clamped to the caller's in-range window, and handed to the
+// CountTileSink. The sequential fused drivers (gemm_count_fused /
+// syrk_count_fused) call these with whole mc×nc cache tiles; the in-nest
+// parallel drivers (core/gemm/nest.hpp) call them with mc×(q·nr) chunks so
+// stolen work keeps the exact same per-element arithmetic — results are
+// bit-identical by construction, only the tile granularity differs.
+//
+// Contract (callers are the drivers, which validate their public inputs):
+//  - ic is mr-aligned relative to the packed sliver grid, jc is nr-aligned;
+//    ic_end / jc_end are sliver-aligned or equal to the padded range end.
+//  - scratch holds at least (ic_end - ic) rows × scratch_ld cols, with
+//    scratch_ld >= jc_end - jc.
+//  - The clamp window [a_begin, a_end) × [b_begin, b_end) intersects the
+//    tile (the drivers only enumerate intersecting tiles).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "core/gemm/kernel.hpp"
+#include "core/gemm/macro.hpp"
+#include "core/gemm/packed_bit_matrix.hpp"
+#include "util/contract.hpp"
+#include "util/trace.hpp"
+
+namespace ldla::detail {
+
+inline void fused_gemm_tile(const PackedBitMatrix& a, const PackedBitMatrix& b,
+                            const KernelInfo& kern, std::size_t mr,
+                            std::size_t nr, std::size_t ic, std::size_t ic_end,
+                            std::size_t jc, std::size_t jc_end,
+                            std::size_t a_begin, std::size_t a_end,
+                            std::size_t b_begin, std::size_t b_end,
+                            std::uint32_t* scratch, std::size_t scratch_ld,
+                            const CountTileSink& sink) {
+  const std::size_t tile_rows = ic_end - ic;
+  const std::size_t tile_cols = jc_end - jc;
+  for (std::size_t i = 0; i < tile_rows; ++i) {
+    std::memset(&scratch[i * scratch_ld], 0,
+                tile_cols * sizeof(std::uint32_t));
+  }
+
+  // All rank-kc updates for this tile before moving on: the tile is final
+  // when the panel loop ends.
+  {
+    LDLA_TRACE_SPAN(kKernel);
+    std::uint64_t tile_calls = 0;
+    std::uint64_t tile_words = 0;
+    for (std::size_t p = 0; p < a.panels(); ++p) {
+      const std::size_t kcp = a.panel_kc_padded(p);
+      const PackedPanelView b_panel = b.b_panel(p, jc / nr, tile_cols / nr);
+      const PackedPanelView a_panel = a.a_panel(p, ic / mr, tile_rows / mr);
+      tile_calls +=
+          static_cast<std::uint64_t>((tile_cols / nr) * (tile_rows / mr));
+      tile_words += static_cast<std::uint64_t>(tile_rows * tile_cols * kcp);
+      for (std::size_t jr = 0; jr < tile_cols; jr += nr) {
+        const std::uint64_t* bp = b_panel.sliver(jr / nr);
+        for (std::size_t ir = 0; ir < tile_rows; ir += mr) {
+          const std::uint64_t* ap = a_panel.sliver(ir / mr);
+          LDLA_ASSERT_ALIGNED(ap, 8);
+          LDLA_ASSERT_ALIGNED(bp, 8);
+          kern.fn(kcp, ap, bp, &scratch[ir * scratch_ld + jr], scratch_ld);
+        }
+      }
+    }
+    LDLA_TRACE_ADD_KERNEL(tile_calls, tile_words);
+  }
+
+  const std::size_t i_lo = std::max(ic, a_begin);
+  const std::size_t i_hi = std::min(ic_end, a_end);
+  const std::size_t j_lo = std::max(jc, b_begin);
+  const std::size_t j_hi = std::min(jc_end, b_end);
+  LDLA_TRACE_ADD_TILE();
+  sink(CountTile{i_lo, j_lo, i_hi - i_lo, j_hi - j_lo,
+                 &scratch[(i_lo - ic) * scratch_ld + (j_lo - jc)],
+                 scratch_ld});
+}
+
+// Symmetric variant: register tiles strictly above the diagonal are skipped
+// (the zeroed scratch makes them read as deterministic zeros inside the
+// emitted tile), and the clamp window is [row_begin, row_end) on both axes.
+inline void fused_syrk_tile(const PackedBitMatrix& a, const KernelInfo& kern,
+                            std::size_t mr, std::size_t nr, std::size_t ic,
+                            std::size_t ic_end, std::size_t jc,
+                            std::size_t jc_end, std::size_t row_begin,
+                            std::size_t row_end, std::uint32_t* scratch,
+                            std::size_t scratch_ld, const CountTileSink& sink) {
+  const std::size_t tile_rows = ic_end - ic;
+  const std::size_t tile_cols = jc_end - jc;
+  for (std::size_t i = 0; i < tile_rows; ++i) {
+    std::memset(&scratch[i * scratch_ld], 0,
+                tile_cols * sizeof(std::uint32_t));
+  }
+
+  {
+    LDLA_TRACE_SPAN(kKernel);
+    std::uint64_t tile_calls = 0;
+    std::uint64_t tile_words = 0;
+    for (std::size_t p = 0; p < a.panels(); ++p) {
+      const std::size_t kcp = a.panel_kc_padded(p);
+      const PackedPanelView b_panel = a.b_panel(p, jc / nr, tile_cols / nr);
+      const PackedPanelView a_panel = a.a_panel(p, ic / mr, tile_rows / mr);
+      std::uint64_t panel_calls = 0;
+      for (std::size_t jr = jc; jr < jc_end; jr += nr) {
+        const std::uint64_t* bp = b_panel.sliver((jr - jc) / nr);
+        for (std::size_t ir = ic; ir < ic_end; ir += mr) {
+          // Skip tiles strictly above the diagonal band.
+          if (ir + mr <= jr) continue;
+          ++panel_calls;
+          const std::uint64_t* ap = a_panel.sliver((ir - ic) / mr);
+          LDLA_ASSERT_ALIGNED(ap, 8);
+          LDLA_ASSERT_ALIGNED(bp, 8);
+          kern.fn(kcp, ap, bp,
+                  &scratch[(ir - ic) * scratch_ld + (jr - jc)], scratch_ld);
+        }
+      }
+      tile_calls += panel_calls;
+      tile_words += panel_calls * static_cast<std::uint64_t>(mr * nr * kcp);
+    }
+    LDLA_TRACE_ADD_KERNEL(tile_calls, tile_words);
+  }
+
+  const std::size_t i_lo = std::max(ic, row_begin);
+  const std::size_t i_hi = std::min(ic_end, row_end);
+  const std::size_t j_lo = std::max(jc, row_begin);
+  const std::size_t j_hi = std::min(jc_end, row_end);
+  LDLA_TRACE_ADD_TILE();
+  sink(CountTile{i_lo, j_lo, i_hi - i_lo, j_hi - j_lo,
+                 &scratch[(i_lo - ic) * scratch_ld + (j_lo - jc)],
+                 scratch_ld});
+}
+
+}  // namespace ldla::detail

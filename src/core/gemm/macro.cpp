@@ -6,6 +6,7 @@
 #include <optional>
 #include <thread>
 
+#include "core/gemm/fused_tile.hpp"
 #include "core/gemm/kernel.hpp"
 #include "core/gemm/packing.hpp"
 #include "core/popcount.hpp"
@@ -287,54 +288,16 @@ void gemm_count_fused(const PackedBitMatrix& a, std::size_t a_begin,
   // Tile-local count scratch: the whole (sliver-rounded) cache tile lives
   // here, so every micro-kernel writes full slivers and no edge temporary
   // is needed; the in-range window is sliced out for the sink.
-  AlignedBuffer<std::uint32_t> scratch(mc * nc);
+  AlignedBuffer<std::uint32_t> scratch(
+      std::min(mc, a_pad_end - ic0) * std::min(nc, b_pad_end - jc0));
 
   for (std::size_t jc = jc0; jc < b_end; jc += nc) {
     const std::size_t jc_end = std::min(jc + nc, b_pad_end);
-    const std::size_t tile_cols = jc_end - jc;
     for (std::size_t ic = ic0; ic < a_end; ic += mc) {
       const std::size_t ic_end = std::min(ic + mc, a_pad_end);
-      const std::size_t tile_rows = ic_end - ic;
-      for (std::size_t i = 0; i < tile_rows; ++i) {
-        std::memset(&scratch[i * nc], 0, tile_cols * sizeof(std::uint32_t));
-      }
-
-      // All rank-kc updates for this tile before moving on: the tile is
-      // final when the panel loop ends.
-      {
-        LDLA_TRACE_SPAN(kKernel);
-        std::uint64_t tile_calls = 0;
-        std::uint64_t tile_words = 0;
-        for (std::size_t p = 0; p < a.panels(); ++p) {
-          const std::size_t kcp = a.panel_kc_padded(p);
-          const PackedPanelView b_panel =
-              b.b_panel(p, jc / nr, tile_cols / nr);
-          const PackedPanelView a_panel =
-              a.a_panel(p, ic / mr, tile_rows / mr);
-          tile_calls += static_cast<std::uint64_t>((tile_cols / nr) *
-                                                   (tile_rows / mr));
-          tile_words +=
-              static_cast<std::uint64_t>(tile_rows * tile_cols * kcp);
-          for (std::size_t jr = 0; jr < tile_cols; jr += nr) {
-            const std::uint64_t* bp = b_panel.sliver(jr / nr);
-            for (std::size_t ir = 0; ir < tile_rows; ir += mr) {
-              const std::uint64_t* ap = a_panel.sliver(ir / mr);
-              LDLA_ASSERT_ALIGNED(ap, 8);
-              LDLA_ASSERT_ALIGNED(bp, 8);
-              kern.fn(kcp, ap, bp, &scratch[ir * nc + jr], nc);
-            }
-          }
-        }
-        LDLA_TRACE_ADD_KERNEL(tile_calls, tile_words);
-      }
-
-      const std::size_t i_lo = std::max(ic, a_begin);
-      const std::size_t i_hi = std::min(ic_end, a_end);
-      const std::size_t j_lo = std::max(jc, b_begin);
-      const std::size_t j_hi = std::min(jc_end, b_end);
-      LDLA_TRACE_ADD_TILE();
-      sink(CountTile{i_lo, j_lo, i_hi - i_lo, j_hi - j_lo,
-                     &scratch[(i_lo - ic) * nc + (j_lo - jc)], nc});
+      detail::fused_gemm_tile(a, b, kern, mr, nr, ic, ic_end, jc, jc_end,
+                              a_begin, a_end, b_begin, b_end, scratch.data(),
+                              std::min(nc, b_pad_end - jc0), sink);
     }
   }
 }
@@ -348,7 +311,7 @@ void gemm_count_parallel(const BitMatrixView& a, const BitMatrixView& b,
   LDLA_EXPECT(c.rows >= a.n_snps && c.cols >= b.n_snps,
               "output matrix is too small");
   if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = default_thread_count();
   }
   if (threads == 1 || a.n_snps < 2) {
     gemm_count(a, b, c, cfg);
@@ -358,13 +321,13 @@ void gemm_count_parallel(const BitMatrixView& a, const BitMatrixView& b,
   const std::vector<Range> ranges = split_uniform(a.n_snps, threads);
   const GemmPlan plan = resolve_plan(cfg, a.n_words);
   if (plan.packing && cfg.pack_once) {
-    // Pack once, share the immutable slivers across every worker — this
-    // removes the historical per-thread duplicate B pack.
+    // Pack once (as a team), share the immutable slivers across every
+    // worker — this removes the historical per-thread duplicate B pack.
     const bool same = same_operand(a, b);
-    const PackedBitMatrix pa(a, plan,
-                             same ? PackSides::kBoth : PackSides::kA);
+    const PackedBitMatrix pa(a, plan, same ? PackSides::kBoth : PackSides::kA,
+                             threads);
     std::optional<PackedBitMatrix> pb_store;
-    if (!same) pb_store.emplace(b, plan, PackSides::kB);
+    if (!same) pb_store.emplace(b, plan, PackSides::kB, threads);
     const PackedBitMatrix& pb = same ? pa : *pb_store;
     global_pool().run_tasks(ranges.size(), [&](std::size_t t) {
       const Range r = ranges[t];

@@ -1,12 +1,16 @@
 #include "core/gemm/packed_bit_matrix.hpp"
 
+#include <algorithm>
+
 #include "util/contract.hpp"
+#include "util/partition.hpp"
+#include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 namespace ldla {
 
 PackedBitMatrix::PackedBitMatrix(const BitMatrixView& m, const GemmPlan& plan,
-                                 PackSides sides)
+                                 PackSides sides, unsigned threads)
     : plan_(plan),
       n_snps_(m.n_snps),
       n_words_(m.n_words),
@@ -28,24 +32,25 @@ PackedBitMatrix::PackedBitMatrix(const BitMatrixView& m, const GemmPlan& plan,
   const bool want_a = sides != PackSides::kB;
   const bool want_b = sides != PackSides::kA;
   if (want_a) {
-    pack_side(m, a_, plan.mr);
+    pack_side(m, a_, plan.mr, threads);
   }
   if (want_b) {
     if (want_a && plan.nr == plan.mr) {
       b_shares_a_ = true;  // one copy serves both operand sides
     } else {
-      pack_side(m, b_, plan.nr);
+      pack_side(m, b_, plan.nr, threads);
     }
   }
 }
 
 PackedBitMatrix PackedBitMatrix::pack(const BitMatrixView& m,
-                                      const GemmConfig& cfg, PackSides sides) {
-  return PackedBitMatrix(m, resolve_plan(cfg, m.n_words), sides);
+                                      const GemmConfig& cfg, PackSides sides,
+                                      unsigned threads) {
+  return PackedBitMatrix(m, resolve_plan(cfg, m.n_words), sides, threads);
 }
 
 void PackedBitMatrix::pack_side(const BitMatrixView& m, Side& side,
-                                std::size_t r) {
+                                std::size_t r, unsigned threads) {
   side.r = r;
   side.slivers = (n_snps_ + r - 1) / r;
   side.panel_offset.resize(panels_ + 1);
@@ -56,12 +61,37 @@ void PackedBitMatrix::pack_side(const BitMatrixView& m, Side& side,
   }
   side.panel_offset[panels_] = words;
   side.data = AlignedBuffer<std::uint64_t>(words);
-  LDLA_TRACE_SPAN_EXPR(r == plan_.mr ? trace::Phase::kPackA
-                                     : trace::Phase::kPackB);
-  for (std::size_t p = 0; p < panels_; ++p) {
-    pack_panel(m, 0, n_snps_, panel_k_begin(p), panel_kc(p), r, plan_.ku,
-               side.data.data() + side.panel_offset[p]);
+  const std::size_t team = std::max<std::size_t>(
+      1, std::min<std::size_t>(threads, side.slivers));
+  if (team <= 1) {
+    LDLA_TRACE_SPAN_EXPR(r == plan_.mr ? trace::Phase::kPackA
+                                       : trace::Phase::kPackB);
+    for (std::size_t p = 0; p < panels_; ++p) {
+      pack_panel(m, 0, n_snps_, panel_k_begin(p), panel_kc(p), r, plan_.ku,
+                 side.data.data() + side.panel_offset[p]);
+    }
+    return;
   }
+  // Team pack: each member owns a disjoint sliver range of every k panel.
+  // pack_panel writes only its slivers' words and self-accounts the pack
+  // counters, so the result (and the counter totals) are identical to the
+  // sequential pack; one run_tasks barrier joins the side.
+  const std::vector<Range> ranges = split_uniform(side.slivers, team);
+  global_pool().run_tasks(ranges.size(), [&](std::size_t t) {
+    LDLA_TRACE_SPAN_EXPR(r == plan_.mr ? trace::Phase::kPackA
+                                       : trace::Phase::kPackB);
+    const Range range = ranges[t];
+    const std::size_t row_begin = range.begin * r;
+    const std::size_t rows =
+        std::min(range.size() * r, n_snps_ - row_begin);
+    for (std::size_t p = 0; p < panels_; ++p) {
+      const std::size_t kcp = panel_kc_padded(p);
+      pack_panel(m, row_begin, rows, panel_k_begin(p), panel_kc(p), r,
+                 plan_.ku,
+                 side.data.data() + side.panel_offset[p] +
+                     range.begin * r * kcp);
+    }
+  });
 }
 
 PackedPanelView PackedBitMatrix::side_panel(const Side& side, std::size_t p,
@@ -102,7 +132,8 @@ const PackedBitMatrix* resolve_packed(const BitMatrixView& m,
                                       const GemmConfig& cfg,
                                       const PackedBitMatrix* supplied,
                                       PackSides sides,
-                                      std::optional<PackedBitMatrix>& own) {
+                                      std::optional<PackedBitMatrix>& own,
+                                      unsigned threads) {
   if (supplied != nullptr) {
     expect_packed_matches(*supplied, m);
     return supplied;
@@ -110,7 +141,7 @@ const PackedBitMatrix* resolve_packed(const BitMatrixView& m,
   if (!cfg.pack_once || m.n_snps == 0 || m.n_words == 0) return nullptr;
   const GemmPlan plan = resolve_plan(cfg, m.n_words);
   if (!plan.packing) return nullptr;
-  own.emplace(m, plan, sides);
+  own.emplace(m, plan, sides, threads);
   return &*own;
 }
 

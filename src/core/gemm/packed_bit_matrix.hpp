@@ -42,13 +42,18 @@ class PackedBitMatrix {
 
   /// Pack all rows of `m` for `plan`. The plan must have packing enabled
   /// (the unpacked ablation has no packed representation by definition).
+  /// `threads` > 1 packs each side as a parallel team on global_pool():
+  /// every worker packs a disjoint sliver range of every k panel, joined by
+  /// one barrier per side; the result is byte-identical to a sequential
+  /// pack and the pack counters stay exact (pack_panel self-accounts).
   PackedBitMatrix(const BitMatrixView& m, const GemmPlan& plan,
-                  PackSides sides = PackSides::kBoth);
+                  PackSides sides = PackSides::kBoth, unsigned threads = 1);
 
   /// Resolve `cfg` against the machine and pack (convenience).
   static PackedBitMatrix pack(const BitMatrixView& m,
                               const GemmConfig& cfg = {},
-                              PackSides sides = PackSides::kBoth);
+                              PackSides sides = PackSides::kBoth,
+                              unsigned threads = 1);
 
   PackedBitMatrix(PackedBitMatrix&&) noexcept = default;
   PackedBitMatrix& operator=(PackedBitMatrix&&) noexcept = default;
@@ -105,7 +110,8 @@ class PackedBitMatrix {
     AlignedBuffer<std::uint64_t> data;
   };
 
-  void pack_side(const BitMatrixView& m, Side& side, std::size_t r);
+  void pack_side(const BitMatrixView& m, Side& side, std::size_t r,
+                 unsigned threads);
   [[nodiscard]] PackedPanelView side_panel(const Side& side, std::size_t p,
                                            std::size_t sliver_begin,
                                            std::size_t slivers) const;
@@ -136,6 +142,7 @@ const PackedBitMatrix* resolve_packed(const BitMatrixView& m,
                                       const GemmConfig& cfg,
                                       const PackedBitMatrix* supplied,
                                       PackSides sides,
-                                      std::optional<PackedBitMatrix>& own);
+                                      std::optional<PackedBitMatrix>& own,
+                                      unsigned threads = 1);
 
 }  // namespace ldla

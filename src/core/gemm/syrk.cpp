@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/gemm/fused_tile.hpp"
 #include "core/gemm/kernel.hpp"
 #include "core/gemm/macro.hpp"
 #include "core/gemm/packing.hpp"
@@ -159,60 +160,23 @@ void syrk_count_fused(const PackedBitMatrix& a, std::size_t row_begin,
   // Tile-local count scratch (see gemm_count_fused). Zeroing the used
   // window also makes skipped above-diagonal register tiles read as
   // deterministic zeros.
-  AlignedBuffer<std::uint32_t> scratch(mc * nc);
+  const std::size_t scratch_ld = std::min(nc, j_pad_end - jc0);
+  AlignedBuffer<std::uint32_t> scratch(std::min(mc, i_pad_end - ic0) *
+                                       scratch_ld);
 
   for (std::size_t jc = jc0; jc < row_end; jc += nc) {
     const std::size_t jc_end = std::min(jc + nc, j_pad_end);
-    const std::size_t tile_cols = jc_end - jc;
 
     // Only row blocks that intersect the lower triangle of this column
     // panel: global rows >= jc, snapped down to an mc boundary (the
-    // per-tile skip below handles the slack exactly).
+    // per-tile skip inside the tile body handles the slack exactly).
     std::size_t ic_start = ic0;
     if (jc > ic0) ic_start = ic0 + (jc - ic0) / mc * mc;
     for (std::size_t ic = ic_start; ic < row_end; ic += mc) {
       const std::size_t ic_end = std::min(ic + mc, i_pad_end);
-      const std::size_t tile_rows = ic_end - ic;
-      for (std::size_t i = 0; i < tile_rows; ++i) {
-        std::memset(&scratch[i * nc], 0, tile_cols * sizeof(std::uint32_t));
-      }
-
-      {
-        LDLA_TRACE_SPAN(kKernel);
-        std::uint64_t tile_calls = 0;
-        std::uint64_t tile_words = 0;
-        for (std::size_t p = 0; p < a.panels(); ++p) {
-          const std::size_t kcp = a.panel_kc_padded(p);
-          const PackedPanelView b_panel =
-              a.b_panel(p, jc / nr, tile_cols / nr);
-          const PackedPanelView a_panel =
-              a.a_panel(p, ic / mr, tile_rows / mr);
-          std::uint64_t panel_calls = 0;
-          for (std::size_t jr = jc; jr < jc_end; jr += nr) {
-            const std::uint64_t* bp = b_panel.sliver((jr - jc) / nr);
-            for (std::size_t ir = ic; ir < ic_end; ir += mr) {
-              // Skip tiles strictly above the diagonal band.
-              if (ir + mr <= jr) continue;
-              ++panel_calls;
-              const std::uint64_t* ap = a_panel.sliver((ir - ic) / mr);
-              LDLA_ASSERT_ALIGNED(ap, 8);
-              LDLA_ASSERT_ALIGNED(bp, 8);
-              kern.fn(kcp, ap, bp, &scratch[(ir - ic) * nc + (jr - jc)], nc);
-            }
-          }
-          tile_calls += panel_calls;
-          tile_words += panel_calls * static_cast<std::uint64_t>(mr * nr * kcp);
-        }
-        LDLA_TRACE_ADD_KERNEL(tile_calls, tile_words);
-      }
-
-      const std::size_t i_lo = std::max(ic, row_begin);
-      const std::size_t i_hi = std::min(ic_end, row_end);
-      const std::size_t j_lo = std::max(jc, row_begin);
-      const std::size_t j_hi = std::min(jc_end, row_end);
-      LDLA_TRACE_ADD_TILE();
-      sink(CountTile{i_lo, j_lo, i_hi - i_lo, j_hi - j_lo,
-                     &scratch[(i_lo - ic) * nc + (j_lo - jc)], nc});
+      detail::fused_syrk_tile(a, kern, mr, nr, ic, ic_end, jc, jc_end,
+                              row_begin, row_end, scratch.data(), scratch_ld,
+                              sink);
     }
   }
 }

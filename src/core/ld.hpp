@@ -64,6 +64,13 @@ struct LdOptions {
   /// (count matrix, then a statistics pass), kept as the ablation control
   /// in the spirit of gemm.pack_once. Both paths are bit-identical.
   bool fused = true;
+  /// Work distribution of the *_parallel drivers (DESIGN.md §4.4). kNest
+  /// (default) runs the team inside one loop nest, draining a work-stealing
+  /// queue of macro-tile chunks over the shared pack; kCoarse is the
+  /// historical static row-range split, kept as the ablation control.
+  /// kNest requires a packed operand and the fused epilogue — drivers fall
+  /// back to the coarse split when either is unavailable.
+  ParallelMode parallel = ParallelMode::kNest;
 };
 
 /// Dense row-major matrix of doubles (LD values).

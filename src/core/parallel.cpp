@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <optional>
-#include <thread>
 #include <vector>
 
 #include "core/detail/ld_stats_row.hpp"
 #include "core/gemm/count_matrix.hpp"
 #include "core/gemm/macro.hpp"
+#include "core/gemm/nest.hpp"
+#include "core/gemm/syrk.hpp"
 #include "util/contract.hpp"
 #include "util/partition.hpp"
 #include "util/thread_pool.hpp"
@@ -19,7 +20,7 @@ namespace {
 
 unsigned resolve_threads(unsigned threads) {
   if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = default_thread_count();
   }
   return threads;
 }
@@ -101,10 +102,41 @@ void ld_scan_parallel(const BitMatrix& g, const LdTileVisitor& visit,
   const detail::StatTables tables = detail::make_stat_tables(g);
 
   // One pack shared (read-only) by every worker; the fresh-pack path had
-  // each worker re-pack the full column range privately.
+  // each worker re-pack the full column range privately. The pack itself
+  // runs as a team (one sliver range per worker, one barrier per side).
   std::optional<PackedBitMatrix> own;
-  const PackedBitMatrix* packed =
-      resolve_packed(g.view(), opts.gemm, opts.packed, PackSides::kBoth, own);
+  const PackedBitMatrix* packed = resolve_packed(
+      g.view(), opts.gemm, opts.packed, PackSides::kBoth, own, threads);
+
+  if (opts.parallel == ParallelMode::kNest && opts.fused &&
+      packed != nullptr) {
+    // In-nest: the caller walks the trapezoid slabs sequentially and the
+    // whole team cooperates inside each slab's nest, stealing macro-tile
+    // chunks. Tiles land in disjoint regions of the values slab, so the
+    // concurrent sink needs no locking, and `visit` fires from this thread
+    // after the slab's join — slab coverage is identical to ld_scan.
+    const std::size_t slab = opts.slab_rows;
+    AlignedBuffer<double> values(std::min(slab, n) * n);
+    for (std::size_t r0 = 0; r0 < n; r0 += slab) {
+      const std::size_t rows = std::min(slab, n - r0);
+      const std::size_t cols = r0 + rows;
+      gemm_count_parallel_nest(
+          *packed, r0, r0 + rows, *packed, 0, cols,
+          [&](const CountTile& t) {
+            LDLA_TRACE_SPAN(kEpilogue);
+            for (std::size_t i = 0; i < t.rows; ++i) {
+              const std::size_t gi = t.row_begin + i;
+              detail::stat_row_shifted(opts.stat, tables, gi, t.col_begin,
+                                       t.row(i), t.cols,
+                                       &values[(gi - r0) * cols + t.col_begin]);
+            }
+            LDLA_TRACE_ADD_EPILOGUE_ROWS(static_cast<std::uint64_t>(t.rows));
+          },
+          threads);
+      visit(LdTile{r0, 0, rows, cols, values.data(), cols});
+    }
+    return;
+  }
 
   const std::vector<Range> ranges = split_triangle_rows(n, threads);
   global_pool().run_tasks(ranges.size(), [&](std::size_t t) {
@@ -128,11 +160,37 @@ void ld_cross_scan_parallel(const BitMatrix& a, const BitMatrix& b,
   std::optional<PackedBitMatrix> own_a;
   std::optional<PackedBitMatrix> own_b;
   const PackedBitMatrix* pa = resolve_packed(a.view(), opts.gemm, opts.packed,
-                                             PackSides::kA, own_a);
+                                             PackSides::kA, own_a, threads);
   const PackedBitMatrix* pb = resolve_packed(b.view(), opts.gemm,
                                              opts.packed_b, PackSides::kB,
-                                             own_b);
+                                             own_b, threads);
   const bool use_packed = pa != nullptr && pb != nullptr;
+
+  if (opts.parallel == ParallelMode::kNest && opts.fused && use_packed) {
+    // In-nest: sequential slab walk, team-parallel nest per slab (see
+    // ld_scan_parallel); `visit` fires sequentially from this thread.
+    const std::size_t slab = opts.slab_rows;
+    AlignedBuffer<double> values(std::min(slab, m) * n);
+    for (std::size_t r0 = 0; r0 < m; r0 += slab) {
+      const std::size_t rows = std::min(slab, m - r0);
+      gemm_count_parallel_nest(
+          *pa, r0, r0 + rows, *pb, 0, n,
+          [&](const CountTile& tile) {
+            LDLA_TRACE_SPAN(kEpilogue);
+            for (std::size_t i = 0; i < tile.rows; ++i) {
+              const std::size_t gi = tile.row_begin + i;
+              detail::stat_row_cross_shifted(
+                  opts.stat, ta, gi, tb, tile.col_begin, tile.row(i),
+                  tile.cols, &values[(gi - r0) * n + tile.col_begin]);
+            }
+            LDLA_TRACE_ADD_EPILOGUE_ROWS(
+                static_cast<std::uint64_t>(tile.rows));
+          },
+          threads);
+      visit(LdTile{r0, 0, rows, n, values.data(), n});
+    }
+    return;
+  }
 
   const std::vector<Range> ranges = split_uniform(m, threads);
   global_pool().run_tasks(ranges.size(), [&](std::size_t t) {
@@ -188,6 +246,41 @@ LdMatrix ld_matrix_parallel(const BitMatrix& g, const LdOptions& opts,
   const std::size_t n = g.snps();
   LdMatrix out(n, n);
   if (n == 0) return out;
+  LDLA_EXPECT(g.samples() > 0, "matrix has no samples");
+  threads = resolve_threads(threads);
+
+  if (opts.parallel == ParallelMode::kNest && opts.fused) {
+    std::optional<PackedBitMatrix> own;
+    const PackedBitMatrix* packed = resolve_packed(
+        g.view(), opts.gemm, opts.packed, PackSides::kBoth, own, threads);
+    if (packed != nullptr) {
+      // Triangular in-nest SYRK over the whole matrix: the team steals
+      // diagonal-and-below macro-tile chunks, each tile writes only
+      // canonical (j <= i) entries of its disjoint window of `out`, then
+      // one mirror pass fills the upper triangle — the same epilogue and
+      // bit-identical values as the sequential fused ld_matrix.
+      const detail::StatTables tables = detail::make_stat_tables(g);
+      syrk_count_parallel_nest(
+          *packed, 0, n,
+          [&](const CountTile& t) {
+            LDLA_TRACE_SPAN(kEpilogue);
+            std::uint64_t rows_converted = 0;
+            for (std::size_t i = 0; i < t.rows; ++i) {
+              const std::size_t gi = t.row_begin + i;
+              if (gi < t.col_begin) continue;
+              const std::size_t hi = std::min(t.col_begin + t.cols, gi + 1);
+              detail::stat_row_shifted(opts.stat, tables, gi, t.col_begin,
+                                       t.row(i), hi - t.col_begin,
+                                       &out(gi, t.col_begin));
+              ++rows_converted;
+            }
+            LDLA_TRACE_ADD_EPILOGUE_ROWS(rows_converted);
+          },
+          threads);
+      mirror_ld_lower_to_upper(out);
+      return out;
+    }
+  }
 
   // Tiles cover disjoint rows, so concurrent writes never alias.
   ld_scan_parallel(
@@ -208,8 +301,43 @@ LdMatrix ld_matrix_parallel(const BitMatrix& g, const LdOptions& opts,
 
 LdMatrix ld_cross_matrix_parallel(const BitMatrix& a, const BitMatrix& b,
                                   const LdOptions& opts, unsigned threads) {
-  LdMatrix out(a.snps(), b.snps());
-  if (a.snps() == 0 || b.snps() == 0) return out;
+  LDLA_EXPECT(a.samples() == b.samples(),
+              "cross-matrix LD needs matching sample sets");
+  const std::size_t m = a.snps();
+  const std::size_t n = b.snps();
+  LdMatrix out(m, n);
+  if (m == 0 || n == 0) return out;
+  threads = resolve_threads(threads);
+
+  if (opts.parallel == ParallelMode::kNest && opts.fused) {
+    std::optional<PackedBitMatrix> own_a;
+    std::optional<PackedBitMatrix> own_b;
+    const PackedBitMatrix* pa = resolve_packed(
+        a.view(), opts.gemm, opts.packed, PackSides::kA, own_a, threads);
+    const PackedBitMatrix* pb = resolve_packed(
+        b.view(), opts.gemm, opts.packed_b, PackSides::kB, own_b, threads);
+    if (pa != nullptr && pb != nullptr) {
+      // One in-nest GEMM over the whole m x n problem: stats land straight
+      // in `out` from hot tiles (disjoint windows), no slab staging.
+      const detail::StatTables ta = detail::make_stat_tables(a);
+      const detail::StatTables tb = detail::make_stat_tables(b);
+      gemm_count_parallel_nest(
+          *pa, 0, m, *pb, 0, n,
+          [&](const CountTile& t) {
+            LDLA_TRACE_SPAN(kEpilogue);
+            for (std::size_t i = 0; i < t.rows; ++i) {
+              const std::size_t gi = t.row_begin + i;
+              detail::stat_row_cross_shifted(opts.stat, ta, gi, tb,
+                                             t.col_begin, t.row(i), t.cols,
+                                             &out(gi, t.col_begin));
+            }
+            LDLA_TRACE_ADD_EPILOGUE_ROWS(static_cast<std::uint64_t>(t.rows));
+          },
+          threads);
+      return out;
+    }
+  }
+
   ld_cross_scan_parallel(
       a, b,
       [&out](const LdTile& tile) {

@@ -1,14 +1,27 @@
 // Multi-threaded LD drivers.
 //
-// Parallelization strategy (DESIGN.md §4.4): each worker runs the complete
-// sequential slabbed scan over a disjoint row range — zero shared mutable
-// state, so scaling is limited only by memory bandwidth. With pack-once
-// (the default) the operands are packed exactly once and every worker reads
-// the shared immutable PackedBitMatrix; the fresh-pack ablation reverts to
-// private per-worker packing buffers. Symmetric scans balance the triangle
-// workload with split_triangle_rows (later rows own more pairs).
+// Parallelization strategy (DESIGN.md §4.4) is selected by
+// LdOptions::parallel:
 //
-// `threads` controls the work partition (0 = hardware concurrency); tasks
+//  - ParallelMode::kNest (default): the team works *inside* one loop nest —
+//    the operand is packed once as a team (one sliver range per worker, one
+//    barrier per side), then per-member Chase–Lev deques drain a queue of
+//    (ic, jr) macro-tile chunks over the shared immutable pack, stealing
+//    from each other when their block runs dry. The symmetric drivers
+//    enqueue only diagonal-and-below chunks, so the SYRK triangle saving
+//    survives parallelization without a static triangle-balancing split.
+//    Requires the fused epilogue and a packed operand (drivers fall back to
+//    kCoarse otherwise). Scan visitors fire sequentially from the calling
+//    thread in this mode.
+//  - ParallelMode::kCoarse: each worker runs the complete sequential
+//    slabbed scan over a disjoint static row range (split_triangle_rows
+//    for symmetric scans). Kept as the ablation control; scan visitors are
+//    invoked concurrently.
+//
+// Results are bit-identical across modes and to the sequential drivers.
+//
+// `threads` controls the work partition (0 = default_thread_count(): the
+// LDLA_THREADS environment variable, else hardware concurrency); tasks
 // execute on the process-wide global_pool(), so execution parallelism is
 // additionally capped by that pool's size and repeated calls pay no thread
 // spawn/join cost.
@@ -28,9 +41,11 @@ LdMatrix ld_cross_matrix_parallel(const BitMatrix& a, const BitMatrix& b,
                                   const LdOptions& opts = {},
                                   unsigned threads = 0);
 
-/// Streaming all-pairs scan; `visit` is invoked CONCURRENTLY from worker
-/// threads and must be thread-safe. Tile coverage is identical to ld_scan:
-/// every pair (i, j) with j <= i appears in exactly one tile.
+/// Streaming all-pairs scan. Under ParallelMode::kCoarse `visit` is invoked
+/// CONCURRENTLY from worker threads and must be thread-safe; under kNest it
+/// fires sequentially from the calling thread (the team parallelism lives
+/// inside each slab's nest). Tile coverage is identical to ld_scan: every
+/// pair (i, j) with j <= i appears in exactly one tile.
 void ld_scan_parallel(const BitMatrix& g, const LdTileVisitor& visit,
                       const LdOptions& opts = {}, unsigned threads = 0);
 

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <optional>
-#include <thread>
 #include <vector>
 
 #include "core/gemm/count_matrix.hpp"
+#include "core/gemm/nest.hpp"
 #include "core/gemm/syrk.hpp"
 #include "omega/omega_stat.hpp"
 #include "util/contract.hpp"
@@ -35,6 +35,8 @@ struct ScanContext {
   std::vector<std::uint64_t> counts;
   std::uint64_t samples = 0;
   bool fused = true;
+  /// Team size for in-nest window SYRKs (1 = sequential nests).
+  unsigned team = 1;
 };
 
 std::optional<OmegaPoint> scan_window(const BitMatrix& g, double x,
@@ -93,7 +95,10 @@ std::optional<OmegaPoint> scan_window_packed(const ScanContext& ctx, double x,
     constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
     std::vector<std::size_t> pos(end - begin, kNone);
     for (std::size_t i = 0; i < wk; ++i) pos[keep[i] - begin] = i;
-    syrk_count_fused(packed, begin, end, [&](const CountTile& t) {
+    // Each canonical pair lives in exactly one tile and writes its own
+    // r2(pi, pj) / r2(pj, pi) cells, so the sink is safe for the in-nest
+    // team (ctx.team > 1) without locking.
+    const auto sink = [&](const CountTile& t) {
       LDLA_TRACE_SPAN(kEpilogue);
       for (std::size_t i = 0; i < t.rows; ++i) {
         const std::size_t gi = t.row_begin + i;
@@ -111,7 +116,12 @@ std::optional<OmegaPoint> scan_window_packed(const ScanContext& ctx, double x,
         }
       }
       LDLA_TRACE_ADD_EPILOGUE_ROWS(static_cast<std::uint64_t>(t.rows));
-    });
+    };
+    if (ctx.team > 1) {
+      syrk_count_parallel_nest(packed, begin, end, sink, ctx.team);
+    } else {
+      syrk_count_fused(packed, begin, end, sink);
+    }
     const OmegaMax m = omega_max(r2);
     return OmegaPoint{x, m.omega, begin, end, m.split};
   }
@@ -169,11 +179,13 @@ std::optional<OmegaPoint> scan_grid_point(
 
 ScanContext make_scan_context(const BitMatrix& g,
                               const SweepScanParams& params,
-                              std::optional<PackedBitMatrix>& own) {
+                              std::optional<PackedBitMatrix>& own,
+                              unsigned team = 1) {
   ScanContext ctx;
   ctx.packed = resolve_packed(g.view(), params.gemm, params.packed,
-                              PackSides::kBoth, own);
+                              PackSides::kBoth, own, team);
   ctx.fused = params.fused;
+  ctx.team = team;
   if (ctx.packed != nullptr) {
     ctx.samples = g.samples();
     ctx.counts.resize(g.snps());
@@ -210,7 +222,26 @@ std::vector<OmegaPoint> omega_scan_parallel(
   validate(g, positions, params);
   if (g.snps() < 4) return {};
   if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+    threads = default_thread_count();
+  }
+
+  if (params.parallel == ParallelMode::kNest && params.fused) {
+    // In-nest: walk the grid sequentially, with the whole team stealing
+    // macro-tile chunks inside each window's SYRK. Requires the packed
+    // fused path (fall through to the coarse grid split otherwise).
+    std::optional<PackedBitMatrix> own;
+    const ScanContext ctx = make_scan_context(g, params, own, threads);
+    if (ctx.packed != nullptr) {
+      std::vector<OmegaPoint> out;
+      out.reserve(params.grid_points);
+      for (std::size_t gp = 0; gp < params.grid_points; ++gp) {
+        if (const auto point =
+                scan_grid_point(g, positions, params, ctx, gp)) {
+          out.push_back(*point);
+        }
+      }
+      return out;
+    }
   }
 
   // Pack once, share read-only across workers; grid points are distributed

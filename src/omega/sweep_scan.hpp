@@ -31,6 +31,14 @@ struct SweepScanParams {
   /// CountMatrix disappears — ω consumes r² with zero count storage.
   /// Bit-identical to the two-pass path; applies on the packed path.
   bool fused = true;
+  /// Work distribution of omega_scan_parallel (see LdOptions::parallel).
+  /// kNest (default): the grid is walked sequentially and the whole team
+  /// cooperates inside each window's SYRK nest, stealing macro-tile chunks
+  /// — one window is in flight at a time, so per-call memory stays one
+  /// window regardless of thread count. kCoarse: grid points are split
+  /// statically across workers, each evaluating whole windows (the
+  /// historical mode, kept as the ablation control). Results identical.
+  ParallelMode parallel = ParallelMode::kNest;
 };
 
 struct OmegaPoint {
@@ -47,8 +55,9 @@ std::vector<OmegaPoint> omega_scan(const BitMatrix& g,
                                    const std::vector<double>& positions,
                                    const SweepScanParams& params = {});
 
-/// Same scan with grid points distributed over `threads` workers
-/// (0 = hardware concurrency); results identical to omega_scan.
+/// Same scan with `threads` workers (0 = default_thread_count()); the
+/// work distribution follows params.parallel. Results identical to
+/// omega_scan.
 std::vector<OmegaPoint> omega_scan_parallel(
     const BitMatrix& g, const std::vector<double>& positions,
     const SweepScanParams& params = {}, unsigned threads = 0);

@@ -10,6 +10,11 @@
 #include <cpuid.h>
 #endif
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace ldla {
 namespace {
 
@@ -126,6 +131,19 @@ CpuInfo detect_all() {
 const CpuInfo& cpu_info() {
   static const CpuInfo info = detect_all();
   return info;
+}
+
+bool pin_current_thread_to_core(unsigned core) {
+#if defined(__linux__)
+  const unsigned cores = cpu_info().logical_cores;
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(core % (cores == 0 ? 1u : cores), &mask);
+  return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+#else
+  (void)core;
+  return false;
+#endif
 }
 
 std::string cpu_summary() {

@@ -42,4 +42,9 @@ const CpuInfo& cpu_info();
 /// Human-readable one-line summary (for bench headers).
 std::string cpu_summary();
 
+/// Pin the calling thread to logical CPU `core` (modulo the visible core
+/// count). Returns false when unsupported on this platform or when the
+/// scheduler rejects the mask (restricted cgroups, offline cores).
+bool pin_current_thread_to_core(unsigned core);
+
 }  // namespace ldla

@@ -1,20 +1,46 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 
 #include "util/contract.hpp"
+#include "util/cpu_info.hpp"
 #include "util/trace.hpp"
 
 namespace ldla {
 
+namespace {
+
+// Submission deques beyond the worker count, so many concurrent external
+// callers still find a free slot before degrading to inline execution.
+constexpr std::size_t kExtraSubmissions = 16;
+constexpr std::size_t kSubmissionCapacity = 1024;
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
+
+}  // namespace
+
+unsigned default_thread_count() {
+  if (const char* v = std::getenv("LDLA_THREADS")) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(unsigned threads) {
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  if (threads == 0) threads = default_thread_count();
   // The caller participates in run_tasks, so spawn one fewer worker.
   const unsigned spawned = threads - 1;
+  pin_workers_ = env_flag("LDLA_AFFINITY");
+  submissions_ = std::vector<Submission>(spawned + kExtraSubmissions);
   workers_.reserve(spawned);
   for (unsigned i = 0; i < spawned; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -27,39 +53,73 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::finish_one(TaskGroup& group,
-                            std::exception_ptr error) noexcept {
-  std::lock_guard lock(mutex_);
-  if (error && !group.first_error) group.first_error = std::move(error);
-  LDLA_ASSERT(group.remaining > 0);
-  if (--group.remaining == 0) cv_done_.notify_all();
+// Execute one task node and retire it against its set. Exceptions are
+// captured here so nothing escapes a worker thread; completion is signalled
+// under the set's own mutex so the set (on the caller's stack) cannot be
+// destroyed between the decrement and the notify.
+void ThreadPool::run_node(TaskNode* node) {
+  LDLA_TRACE_TASK_DEQUEUED(node->enqueued_ns);
+  std::exception_ptr error;
+  try {
+    LDLA_TRACE_SPAN(kTaskRun);
+    LDLA_TRACE_ADD_TASK_RUN();
+    (*node->set->fn)(node->index);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  TaskSet& set = *node->set;
+  std::lock_guard lock(set.m);
+  if (error && !set.first_error) set.first_error = std::move(error);
+  LDLA_ASSERT(set.remaining > 0);
+  if (--set.remaining == 0) set.done.notify_all();
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> job;
-    {
-      std::unique_lock lock(mutex_);
-      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      job = std::move(queue_.front());
-      queue_.pop();
+// One FIFO sweep over every submission deque; counts failed probes only for
+// deques that looked non-empty (an empty registry slot is not a steal
+// attempt worth attributing).
+ThreadPool::TaskNode* ThreadPool::try_steal_any() noexcept {
+  for (Submission& sub : submissions_) {
+    if (sub.deque.empty_hint()) continue;
+    TaskNode* node = nullptr;
+    if (sub.deque.steal(node)) {
+      LDLA_TRACE_ADD_STEAL();
+      return node;
     }
-    // Jobs are wrappers built in run_tasks that catch every exception and
-    // record it in their group, so nothing can escape and terminate here.
-    job();
+    LDLA_TRACE_ADD_FAILED_STEAL();
+  }
+  return nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned worker_index) {
+  if (pin_workers_) {
+    // Round-robin over logical cores, leaving core 0 to the caller thread.
+    pin_current_thread_to_core(worker_index + 1);
+  }
+  for (;;) {
+    if (TaskNode* node = try_steal_any()) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      run_node(node);
+      continue;
+    }
+    std::unique_lock lock(mutex_);
+    if (stop_) return;
+    if (pending_.load(std::memory_order_relaxed) > 0) continue;  // re-sweep
+    LDLA_TRACE_ADD_PARK();
+    cv_work_.wait(lock, [this] {
+      return stop_ || pending_.load(std::memory_order_relaxed) > 0;
+    });
   }
 }
 
 void ThreadPool::run_tasks(std::size_t tasks,
                            const std::function<void(std::size_t)>& fn) {
   if (tasks == 0) return;
-  if (tasks == 1 || workers_.empty()) {
+  const auto run_inline = [&fn](std::size_t count) {
     // Inline execution, with the same drain-then-rethrow semantics as the
     // pooled path: every task runs even if an earlier one throws, and the
     // first exception is rethrown afterwards.
     std::exception_ptr first_error;
-    for (std::size_t t = 0; t < tasks; ++t) {
+    for (std::size_t t = 0; t < count; ++t) {
       try {
         LDLA_TRACE_SPAN(kTaskRun);
         LDLA_TRACE_ADD_TASK_RUN();
@@ -69,56 +129,86 @@ void ThreadPool::run_tasks(std::size_t tasks,
       }
     }
     if (first_error) std::rethrow_exception(first_error);
+  };
+  if (tasks == 1 || workers_.empty()) {
+    run_inline(tasks);
     return;
   }
-  // Every call gets a private group, so concurrent run_tasks calls on the
-  // same pool interleave safely: workers only touch the group their job
-  // belongs to. `group` and `fn` outlive the jobs because this function
-  // does not return before `remaining` hits zero.
-  TaskGroup group;
-  group.remaining = tasks;
-  {
-    std::lock_guard lock(mutex_);
-    for (std::size_t t = 0; t + 1 < tasks; ++t) {
-      // The enqueue stamp rides in the closure so the worker can attribute
-      // queue latency (dequeue time minus stamp) to the task-wait phase.
-      const std::uint64_t enqueued_ns = LDLA_TRACE_QUEUE_STAMP();
-      queue_.emplace([this, &group, &fn, t, enqueued_ns] {
-        LDLA_TRACE_TASK_DEQUEUED(enqueued_ns);
-        std::exception_ptr error;
-        try {
-          LDLA_TRACE_SPAN(kTaskRun);
-          LDLA_TRACE_ADD_TASK_RUN();
-          fn(t);
-        } catch (...) {
-          error = std::current_exception();
-        }
-        finish_one(group, std::move(error));
-      });
+
+  // Claim a submission deque; a fully-claimed registry means the pool is
+  // saturated with callers already, so running inline is both correct and
+  // reasonable.
+  Submission* sub = nullptr;
+  for (Submission& candidate : submissions_) {
+    if (!candidate.in_use.exchange(true, std::memory_order_acquire)) {
+      sub = &candidate;
+      break;
     }
   }
-  cv_work_.notify_all();
-  // The caller runs the last slice, then helps drain by waiting on the
-  // group's completion. A throw from the caller's own slice must not leave
-  // queued jobs referencing a dead group, so it is captured the same way.
-  {
-    std::exception_ptr error;
-    try {
-      LDLA_TRACE_SPAN(kTaskRun);
-      LDLA_TRACE_ADD_TASK_RUN();
-      fn(tasks - 1);
-    } catch (...) {
-      error = std::current_exception();
+  if (sub == nullptr) {
+    run_inline(tasks);
+    return;
+  }
+
+  // Every call gets a private set, so concurrent run_tasks calls on the
+  // same pool interleave safely: workers only touch the set their node
+  // belongs to. `set`, `nodes` and `fn` outlive the tasks because this
+  // function does not return before `remaining` hits zero.
+  TaskSet set;
+  set.fn = &fn;
+  set.remaining = tasks;
+  std::vector<TaskNode> nodes(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    nodes[t].set = &set;
+    nodes[t].index = t;
+  }
+
+  // Publish tasks 0 .. tasks-2; the caller runs the last slice directly
+  // (no queue stamp — it never waits in a deque). push() failing on a full
+  // deque leaves the node for the caller's inline overflow loop below.
+  std::size_t pushed = 0;
+  for (std::size_t t = 0; t + 1 < tasks; ++t) {
+    // The enqueue stamp rides in the node so the executor can attribute
+    // queue latency (dequeue time minus stamp) to the task-wait phase.
+    nodes[t].enqueued_ns = LDLA_TRACE_QUEUE_STAMP();
+    if (!sub->deque.push(&nodes[t])) break;
+    ++pushed;
+  }
+  if (pushed > 0) {
+    pending_.fetch_add(pushed, std::memory_order_relaxed);
+    {
+      // Empty critical section: pairs with the worker's predicate check so
+      // a worker between "saw pending == 0" and "blocked" cannot miss the
+      // notify.
+      std::lock_guard lock(mutex_);
     }
-    finish_one(group, std::move(error));
+    cv_work_.notify_all();
   }
-  std::unique_lock lock(mutex_);
-  cv_done_.wait(lock, [&group] { return group.remaining == 0; });
-  if (group.first_error) {
-    std::exception_ptr error = std::move(group.first_error);
-    lock.unlock();
-    std::rethrow_exception(error);
+
+  // Caller's own slice first, then any overflow that did not fit the deque.
+  run_node(&nodes[tasks - 1]);
+  for (std::size_t t = pushed; t + 1 < tasks; ++t) run_node(&nodes[t]);
+
+  // Help drain the published work LIFO from the bottom; workers steal FIFO
+  // from the top, so contention only meets in the middle.
+  TaskNode* node = nullptr;
+  while (sub->deque.pop(node)) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    run_node(node);
   }
+
+  // Barrier: wait for stolen in-flight tasks, then release the deque slot
+  // (it is empty — every node was popped or stolen exactly once).
+  {
+    std::unique_lock lock(set.m);
+    LDLA_TRACE_ADD_BARRIER_WAIT();
+    if (set.remaining > 0) {
+      LDLA_TRACE_SPAN(kBarrier);
+      set.done.wait(lock, [&set] { return set.remaining == 0; });
+    }
+  }
+  sub->in_use.store(false, std::memory_order_release);
+  if (set.first_error) std::rethrow_exception(set.first_error);
 }
 
 void ThreadPool::parallel_for(

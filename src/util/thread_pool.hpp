@@ -1,31 +1,53 @@
-// A small fixed-size worker pool with a parallel_for primitive.
+// A fixed-size work-stealing worker pool with a parallel_for primitive.
 //
-// The LD drivers parallelize by handing each worker an independent column
-// slab (no shared mutable state), so the pool only needs fork-join task
-// groups — no work stealing.
+// Task distribution is BLIS-style fork-join over Chase–Lev deques
+// (util/work_steal.hpp): the caller of run_tasks claims a submission deque,
+// pushes its task nodes there, and executes its own share LIFO from the
+// bottom while parked workers wake and steal FIFO from the top. Stealing
+// replaces the old central FIFO queue, so ragged task batches (triangular
+// SYRK tails, uneven slabs) rebalance automatically instead of leaving
+// workers idle behind a static split.
 //
-// Concurrency contract:
+// Concurrency contract (unchanged from the FIFO pool):
 //  - run_tasks / parallel_for are safe to call from multiple threads
 //    concurrently on the same pool (including global_pool()): every call
-//    owns a private task group, so completion tracking never crosses calls.
+//    owns a private task set, so completion tracking never crosses calls.
 //  - Exceptions thrown by tasks do not escape worker threads. The first
-//    exception (by completion order) is captured, the group is drained to
+//    exception (by completion order) is captured, the set is drained to
 //    completion, and the exception is rethrown on the calling thread.
+//  - run_tasks must not be called from inside a task running on the same
+//    pool (the joining caller does not execute other calls' tasks, so
+//    nested forks could exhaust the workers and deadlock).
+//
+// Environment knobs:
+//  - LDLA_THREADS=<n>  default worker-team size when a caller passes 0
+//    (both for pool construction and for the parallel LD drivers).
+//  - LDLA_AFFINITY=1   pin each spawned worker round-robin to a logical
+//    core at pool construction (cpu_info topology; no-op where the
+//    scheduler rejects affinity masks).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
+#include "util/work_steal.hpp"
+
 namespace ldla {
+
+/// Thread-team size to use when the caller passes 0: $LDLA_THREADS when set
+/// to a positive integer, otherwise std::thread::hardware_concurrency()
+/// (minimum 1).
+unsigned default_thread_count();
 
 class ThreadPool {
  public:
-  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  /// Spawns `threads - 1` workers (the caller participates in run_tasks);
+  /// 0 means default_thread_count().
   explicit ThreadPool(unsigned threads = 0);
   ~ThreadPool();
 
@@ -49,23 +71,46 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
-  // One fork-join batch. Guarded by the pool mutex; `remaining` counts tasks
-  // not yet finished (including the caller's slice), `first_error` holds the
-  // earliest-completing failure.
-  struct TaskGroup {
+  // One fork-join batch. `remaining` and `first_error` are guarded by `m`;
+  // the caller waits on `done` (notified under `m` so the set can live on
+  // the caller's stack).
+  struct TaskSet {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex m;
+    std::condition_variable done;
     std::size_t remaining = 0;
     std::exception_ptr first_error;
   };
 
-  void worker_loop();
-  void finish_one(TaskGroup& group, std::exception_ptr error) noexcept;
+  // One deque cell: which set, which task index, and the enqueue stamp for
+  // task-wait attribution. Lives in a run_tasks-local vector that outlives
+  // execution because the caller does not return before `remaining` is 0.
+  struct TaskNode {
+    TaskSet* set = nullptr;
+    std::size_t index = 0;
+    std::uint64_t enqueued_ns = 0;
+  };
+
+  // A claimable submission deque. Owner = the run_tasks caller that holds
+  // `in_use`; workers only ever steal from it.
+  struct Submission {
+    std::atomic<bool> in_use{false};
+    WorkStealDeque<TaskNode*> deque;
+  };
+
+  void worker_loop(unsigned worker_index);
+  TaskNode* try_steal_any() noexcept;
+  static void run_node(TaskNode* node);
 
   std::vector<std::thread> workers_;
+  // Fixed registry: enough submission deques for heavily concurrent callers;
+  // exhaustion (or a full deque) degrades to inline execution, never blocks.
+  std::vector<Submission> submissions_;
   std::mutex mutex_;
   std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  std::queue<std::function<void()>> queue_;
+  std::atomic<std::size_t> pending_{0};  ///< task nodes resident in deques
   bool stop_ = false;
+  bool pin_workers_ = false;
 };
 
 /// Process-wide pool sized to the machine; created on first use.

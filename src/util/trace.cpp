@@ -43,6 +43,8 @@ const char* phase_name(Phase p) {
       return "task_run";
     case Phase::kTaskWait:
       return "task_wait";
+    case Phase::kBarrier:
+      return "barrier";
   }
   return "unknown";
 }
@@ -61,6 +63,12 @@ TraceSnapshot TraceSnapshot::since(const TraceSnapshot& earlier) const {
   d.counters.epilogue_rows =
       counters.epilogue_rows - earlier.counters.epilogue_rows;
   d.counters.task_runs = counters.task_runs - earlier.counters.task_runs;
+  d.counters.steals = counters.steals - earlier.counters.steals;
+  d.counters.failed_steals =
+      counters.failed_steals - earlier.counters.failed_steals;
+  d.counters.parks = counters.parks - earlier.counters.parks;
+  d.counters.barrier_waits =
+      counters.barrier_waits - earlier.counters.barrier_waits;
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
     d.phase_self_ns[i] = phase_self_ns[i] - earlier.phase_self_ns[i];
     d.phase_perf[i].cycles = phase_perf[i].cycles - earlier.phase_perf[i].cycles;
@@ -93,6 +101,10 @@ enum CounterIndex : std::size_t {
   kCTilesEmitted,
   kCEpilogueRows,
   kCTaskRuns,
+  kCSteals,
+  kCFailedSteals,
+  kCParks,
+  kCBarrierWaits,
   kNumCounters,
 };
 
@@ -309,7 +321,8 @@ std::string write_report(const std::string& run_name) {
       "\"counters\": {\"bytes_packed\": %llu, \"slivers_packed\": %llu, "
       "\"slivers_reused\": %llu, \"kernel_calls\": %llu, "
       "\"kernel_words\": %llu, \"tiles_emitted\": %llu, "
-      "\"epilogue_rows\": %llu, \"task_runs\": %llu},\n",
+      "\"epilogue_rows\": %llu, \"task_runs\": %llu, \"steals\": %llu, "
+      "\"failed_steals\": %llu, \"parks\": %llu, \"barrier_waits\": %llu},\n",
       static_cast<unsigned long long>(snap.counters.bytes_packed),
       static_cast<unsigned long long>(snap.counters.slivers_packed),
       static_cast<unsigned long long>(snap.counters.slivers_reused),
@@ -317,7 +330,11 @@ std::string write_report(const std::string& run_name) {
       static_cast<unsigned long long>(snap.counters.kernel_words),
       static_cast<unsigned long long>(snap.counters.tiles_emitted),
       static_cast<unsigned long long>(snap.counters.epilogue_rows),
-      static_cast<unsigned long long>(snap.counters.task_runs));
+      static_cast<unsigned long long>(snap.counters.task_runs),
+      static_cast<unsigned long long>(snap.counters.steals),
+      static_cast<unsigned long long>(snap.counters.failed_steals),
+      static_cast<unsigned long long>(snap.counters.parks),
+      static_cast<unsigned long long>(snap.counters.barrier_waits));
 
   // Per-phase roofline table: self time, perf deltas, and the derived
   // words/cycle + %-of-scalar-peak for the kernel phase (the paper's
@@ -415,6 +432,14 @@ void add_epilogue_rows(std::uint64_t rows) {
 
 void add_task_run() { add_counter(kCTaskRuns, 1); }
 
+void add_steal() { add_counter(kCSteals, 1); }
+
+void add_failed_steal() { add_counter(kCFailedSteals, 1); }
+
+void add_park() { add_counter(kCParks, 1); }
+
+void add_barrier_wait() { add_counter(kCBarrierWaits, 1); }
+
 std::uint64_t queue_stamp() {
   return g_timing.load(std::memory_order_relaxed) ? now_ns() : 0;
 }
@@ -510,6 +535,10 @@ TraceSnapshot snapshot() {
     out.counters.tiles_emitted += c(kCTilesEmitted);
     out.counters.epilogue_rows += c(kCEpilogueRows);
     out.counters.task_runs += c(kCTaskRuns);
+    out.counters.steals += c(kCSteals);
+    out.counters.failed_steals += c(kCFailedSteals);
+    out.counters.parks += c(kCParks);
+    out.counters.barrier_waits += c(kCBarrierWaits);
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
       out.phase_self_ns[p] += s.phase_ns[p].load(std::memory_order_relaxed);
       out.phase_perf[p].cycles +=

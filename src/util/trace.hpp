@@ -48,8 +48,9 @@ enum class Phase : std::uint8_t {
   kIo,          ///< file parsing / writing
   kTaskRun,     ///< thread-pool task execution
   kTaskWait,    ///< thread-pool task queue wait (enqueue -> dequeue)
+  kBarrier,     ///< fork-join barrier: caller waiting for in-flight tasks
 };
-inline constexpr std::size_t kPhaseCount = 8;
+inline constexpr std::size_t kPhaseCount = 9;
 
 const char* phase_name(Phase p);
 
@@ -64,6 +65,10 @@ struct PhaseCounters {
   std::uint64_t tiles_emitted = 0;   ///< fused CountTiles handed to sinks
   std::uint64_t epilogue_rows = 0;   ///< fused-epilogue stat rows converted
   std::uint64_t task_runs = 0;       ///< thread-pool tasks executed
+  std::uint64_t steals = 0;          ///< deque items taken by a non-owner
+  std::uint64_t failed_steals = 0;   ///< steal probes that found nothing / lost the race
+  std::uint64_t parks = 0;           ///< worker blocks on the idle condition variable
+  std::uint64_t barrier_waits = 0;   ///< fork-join caller barriers (pooled run_tasks joins)
 };
 
 /// Per-phase perf-event totals (all zero when perf attribution was off).
@@ -145,6 +150,10 @@ void add_kernel(std::uint64_t calls, std::uint64_t words);
 void add_tile();
 void add_epilogue_rows(std::uint64_t rows);
 void add_task_run();
+void add_steal();
+void add_failed_steal();
+void add_park();
+void add_barrier_wait();
 
 // Thread-pool queue-wait measurement: stamp at enqueue (0 when timing is
 // off), account the wait at dequeue.
@@ -196,6 +205,10 @@ class Span {
 #define LDLA_TRACE_ADD_EPILOGUE_ROWS(rows) \
   ::ldla::trace::detail::add_epilogue_rows((rows))
 #define LDLA_TRACE_ADD_TASK_RUN() ::ldla::trace::detail::add_task_run()
+#define LDLA_TRACE_ADD_STEAL() ::ldla::trace::detail::add_steal()
+#define LDLA_TRACE_ADD_FAILED_STEAL() ::ldla::trace::detail::add_failed_steal()
+#define LDLA_TRACE_ADD_PARK() ::ldla::trace::detail::add_park()
+#define LDLA_TRACE_ADD_BARRIER_WAIT() ::ldla::trace::detail::add_barrier_wait()
 #define LDLA_TRACE_QUEUE_STAMP() ::ldla::trace::detail::queue_stamp()
 #define LDLA_TRACE_TASK_DEQUEUED(enqueue_ns) \
   ::ldla::trace::detail::task_dequeued((enqueue_ns))
@@ -210,6 +223,10 @@ class Span {
 #define LDLA_TRACE_ADD_TILE() ((void)0)
 #define LDLA_TRACE_ADD_EPILOGUE_ROWS(rows) ((void)(rows))
 #define LDLA_TRACE_ADD_TASK_RUN() ((void)0)
+#define LDLA_TRACE_ADD_STEAL() ((void)0)
+#define LDLA_TRACE_ADD_FAILED_STEAL() ((void)0)
+#define LDLA_TRACE_ADD_PARK() ((void)0)
+#define LDLA_TRACE_ADD_BARRIER_WAIT() ((void)0)
 #define LDLA_TRACE_QUEUE_STAMP() (std::uint64_t{0})
 #define LDLA_TRACE_TASK_DEQUEUED(enqueue_ns) ((void)(enqueue_ns))
 

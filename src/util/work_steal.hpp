@@ -1,0 +1,109 @@
+// Chase–Lev work-stealing deque (fixed capacity, sequentially-consistent
+// formulation).
+//
+// One thread — the owner — pushes and pops at the bottom (LIFO); any other
+// thread steals from the top (FIFO). This is the original Chase & Lev
+// "Dynamic Circular Work-Stealing Deque" (SPAA 2005) protocol expressed
+// with seq_cst atomics on the two indices and atomic cells for the buffer.
+// The fence-optimized weak-memory variant (Lê et al., PPoPP 2013) relies on
+// atomic_thread_fence, which ThreadSanitizer cannot model (-Wtsan); the
+// seq_cst version is TSan-exact, and index operations are nowhere near the
+// hot path at our chunk granularity (one index op per macro-tile chunk).
+//
+// Capacity is fixed at construction (rounded up to a power of two): push()
+// reports failure instead of growing, and the caller runs the item inline.
+// That keeps the deque allocation-free on the hot path and sidesteps the
+// buffer-reclamation problem of the growing variant.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ldla {
+
+template <typename T>
+class WorkStealDeque {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2).
+  explicit WorkStealDeque(std::size_t capacity = 1024)
+      : buffer_(round_up_pow2(capacity)), mask_(buffer_.size() - 1) {}
+
+  WorkStealDeque(const WorkStealDeque&) = delete;
+  WorkStealDeque& operator=(const WorkStealDeque&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buffer_.size(); }
+
+  /// Owner only. Returns false when the deque is full (caller keeps the item).
+  bool push(T item) noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (b - t >= static_cast<std::int64_t>(buffer_.size())) return false;
+    buffer_[static_cast<std::size_t>(b) & mask_].store(
+        item, std::memory_order_relaxed);
+    // seq_cst (⊇ release) publishes the cell — and anything the owner wrote
+    // before push() — to thieves that acquire-read this bottom value.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only. LIFO: returns the most recently pushed item.
+  bool pop(T& out) noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Deque was already empty; restore bottom.
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return false;
+    }
+    out = buffer_[static_cast<std::size_t>(b) & mask_].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last item: race against thieves for it via top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst)) {
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+        return false;
+      }
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+    }
+    return true;
+  }
+
+  /// Any thread. FIFO: returns the oldest item, or false when empty or when
+  /// the CAS race against the owner / another thief is lost.
+  bool steal(T& out) noexcept {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    out = buffer_[static_cast<std::size_t>(t) & mask_].load(
+        std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Racy size hint for termination sweeps (exact only when quiescent).
+  [[nodiscard]] bool empty_hint() const noexcept {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::vector<std::atomic<T>> buffer_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace ldla

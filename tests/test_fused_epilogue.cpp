@@ -290,8 +290,11 @@ TEST(FusedEpilogueParallel, ParallelScanBitIdenticalToTwoPass) {
     LdOptions two_pass = fused;
     two_pass.fused = false;
 
-    // Tile arrival order is nondeterministic across workers: compare the
-    // per-pair value maps instead of the streams.
+    // Tile arrival order is nondeterministic across workers, and the
+    // above-diagonal slack a trapezoid tile carries depends on the work
+    // partition (nest slabs span [0, n), coarse slabs stop at each range
+    // boundary): compare the canonical (j <= i) per-pair value maps — the
+    // scan contract — and require each canonical pair exactly once.
     const auto collect = [&](const LdOptions& opts) {
       std::map<std::pair<std::size_t, std::size_t>, double> seen;
       std::mutex mu;
@@ -300,9 +303,15 @@ TEST(FusedEpilogueParallel, ParallelScanBitIdenticalToTwoPass) {
           [&](const LdTile& tile) {
             const std::lock_guard<std::mutex> lock(mu);
             for (std::size_t i = 0; i < tile.rows; ++i) {
+              const std::size_t gi = tile.row_begin + i;
               for (std::size_t j = 0; j < tile.cols; ++j) {
-                seen[{tile.row_begin + i, tile.col_begin + j}] =
-                    tile.at(i, j);
+                const std::size_t gj = tile.col_begin + j;
+                if (gj > gi) continue;
+                const bool fresh =
+                    seen.emplace(std::make_pair(gi, gj), tile.at(i, j))
+                        .second;
+                EXPECT_TRUE(fresh) << "duplicate pair (" << gi << "," << gj
+                                   << ")";
               }
             }
           },

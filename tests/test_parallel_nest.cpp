@@ -1,0 +1,259 @@
+// In-nest parallel driver sweep: gemm_count_parallel_nest and
+// syrk_count_parallel_nest must be bit-identical to the sequential fused
+// drivers across kernel arch x blocking params x ragged shapes x team
+// sizes, with every in-range (gemm) / canonical (syrk) element delivered
+// exactly once. The team packing path must also be byte-identical to a
+// sequential pack.
+#include "core/gemm/nest.hpp"
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gemm/kernel.hpp"
+#include "core/gemm/syrk.hpp"
+#include "sim/rng.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+BitMatrix random_matrix(std::size_t snps, std::size_t samples,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  BitMatrix m(snps, samples);
+  for (std::size_t s = 0; s < snps; ++s) {
+    for (std::size_t b = 0; b < samples; ++b) {
+      if (rng.next_bool(0.4)) m.set(s, b, true);
+    }
+  }
+  return m;
+}
+
+// Ragged shapes, none a multiple of any register tile; sample counts off
+// word boundaries so zero-padded words are always in play.
+const std::vector<std::pair<std::size_t, std::size_t>> kShapes = {
+    {5, 100}, {33, 323}, {70, 129}, {128, 1000}};
+
+// Team sizes around the interesting boundaries: 1 (degrades to the
+// sequential driver), 2, a non-power-of-two, and more members than most
+// shapes have chunks.
+const std::vector<unsigned> kTeams = {1, 2, 7, 16};
+
+std::vector<GemmConfig> blocking_configs(KernelArch arch) {
+  std::vector<GemmConfig> cfgs(3);
+  cfgs[1].kc_words = 2;
+  cfgs[1].mc = 8;
+  cfgs[1].nc = 8;
+  cfgs[2].kc_words = 3;
+  cfgs[2].mc = 24;
+  cfgs[2].nc = 16;
+  for (GemmConfig& cfg : cfgs) cfg.arch = arch;
+  return cfgs;
+}
+
+// Dense per-element capture of a tile stream over the rectangle
+// [r0, r1) x [c0, c1). Records each in-window element exactly once (a
+// duplicate delivery fails the test). With lower_only the window is the
+// canonical gj <= gi band — strictly-upper slack of diagonal-straddling
+// SYRK tiles is ignored, exactly as the real consumers ignore it.
+struct ElementCapture {
+  std::size_t r0, r1, c0, c1;
+  bool lower_only;  ///< restrict the window to gj <= gi (SYRK canonical)
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint8_t> seen;
+  std::mutex mu;
+  bool duplicate = false;
+
+  ElementCapture(std::size_t row_begin, std::size_t row_end,
+                 std::size_t col_begin, std::size_t col_end, bool lower)
+      : r0(row_begin), r1(row_end), c0(col_begin), c1(col_end),
+        lower_only(lower), counts((row_end - row_begin) * (col_end - col_begin)),
+        seen((row_end - row_begin) * (col_end - col_begin)) {}
+
+  CountTileSink sink() {
+    return [this](const CountTile& t) {
+      const std::lock_guard<std::mutex> lock(mu);
+      for (std::size_t i = 0; i < t.rows; ++i) {
+        const std::size_t gi = t.row_begin + i;
+        for (std::size_t j = 0; j < t.cols; ++j) {
+          const std::size_t gj = t.col_begin + j;
+          if (lower_only && gj > gi) continue;
+          const std::size_t at = (gi - r0) * (c1 - c0) + (gj - c0);
+          if (seen[at]) duplicate = true;
+          seen[at] = 1;
+          counts[at] = t.row(i)[j];
+        }
+      }
+    };
+  }
+};
+
+void expect_same_capture(const ElementCapture& got, const ElementCapture& want,
+                         const char* what) {
+  ASSERT_FALSE(got.duplicate) << what << ": element delivered twice";
+  ASSERT_EQ(got.seen.size(), want.seen.size()) << what;
+  for (std::size_t i = 0; i < want.seen.size(); ++i) {
+    ASSERT_EQ(got.seen[i] != 0, want.seen[i] != 0)
+        << what << " coverage mismatch at flat index " << i;
+    ASSERT_EQ(got.counts[i], want.counts[i])
+        << what << " count mismatch at flat index " << i;
+  }
+}
+
+class ParallelNest : public ::testing::TestWithParam<KernelArch> {};
+
+TEST_P(ParallelNest, GemmBitIdenticalToSequentialFused) {
+  for (const auto& [n, k] : kShapes) {
+    const BitMatrix a = random_matrix(n, k, n * 131 + k);
+    const BitMatrix b = random_matrix(n + 11, k, n * 137 + k + 1);
+    for (const GemmConfig& cfg : blocking_configs(GetParam())) {
+      const GemmPlan plan = resolve_plan(cfg, a.view().n_words);
+      const PackedBitMatrix pa(a.view(), plan, PackSides::kA);
+      const PackedBitMatrix pb(b.view(), plan, PackSides::kB);
+
+      ElementCapture want(0, n, 0, b.snps(), /*lower=*/false);
+      gemm_count_fused(pa, 0, n, pb, 0, b.snps(), want.sink());
+      ASSERT_FALSE(want.duplicate);
+
+      for (const unsigned team : kTeams) {
+        ElementCapture got(0, n, 0, b.snps(), /*lower=*/false);
+        gemm_count_parallel_nest(pa, 0, n, pb, 0, b.snps(), got.sink(), team);
+        expect_same_capture(got, want, "gemm full");
+      }
+    }
+  }
+}
+
+TEST_P(ParallelNest, GemmSubRangesMatchSequentialFused) {
+  // Ranges that start and end off every register-tile boundary, so the
+  // chunk grid's ic0/jc0 snapping and clamp windows are all exercised.
+  const BitMatrix a = random_matrix(61, 517, 21);
+  const BitMatrix b = random_matrix(83, 517, 22);
+  for (const GemmConfig& cfg : blocking_configs(GetParam())) {
+    const GemmPlan plan = resolve_plan(cfg, a.view().n_words);
+    const PackedBitMatrix pa(a.view(), plan, PackSides::kA);
+    const PackedBitMatrix pb(b.view(), plan, PackSides::kB);
+    for (const auto& [a0, a1, b0, b1] :
+         std::vector<std::array<std::size_t, 4>>{
+             {3, 58, 5, 77}, {7, 12, 41, 42}, {0, 61, 19, 83}}) {
+      ElementCapture want(a0, a1, b0, b1, /*lower=*/false);
+      gemm_count_fused(pa, a0, a1, pb, b0, b1, want.sink());
+      for (const unsigned team : kTeams) {
+        ElementCapture got(a0, a1, b0, b1, /*lower=*/false);
+        gemm_count_parallel_nest(pa, a0, a1, pb, b0, b1, got.sink(), team);
+        expect_same_capture(got, want, "gemm subrange");
+      }
+    }
+  }
+}
+
+TEST_P(ParallelNest, SyrkBitIdenticalToSequentialFused) {
+  for (const auto& [n, k] : kShapes) {
+    const BitMatrix g = random_matrix(n, k, n * 149 + k);
+    for (const GemmConfig& cfg : blocking_configs(GetParam())) {
+      const GemmPlan plan = resolve_plan(cfg, g.view().n_words);
+      const PackedBitMatrix pg(g.view(), plan, PackSides::kBoth);
+
+      ElementCapture want(0, n, 0, n, /*lower=*/true);
+      syrk_count_fused(pg, 0, n, want.sink());
+      ASSERT_FALSE(want.duplicate);
+
+      for (const unsigned team : kTeams) {
+        ElementCapture got(0, n, 0, n, /*lower=*/true);
+        syrk_count_parallel_nest(pg, 0, n, got.sink(), team);
+        expect_same_capture(got, want, "syrk full");
+      }
+    }
+  }
+}
+
+TEST_P(ParallelNest, SyrkSubRangesMatchSequentialFused) {
+  const BitMatrix g = random_matrix(90, 413, 23);
+  for (const GemmConfig& cfg : blocking_configs(GetParam())) {
+    const GemmPlan plan = resolve_plan(cfg, g.view().n_words);
+    const PackedBitMatrix pg(g.view(), plan, PackSides::kBoth);
+    for (const auto& [r0, r1] : std::vector<std::pair<std::size_t, std::size_t>>{
+             {3, 87}, {17, 33}, {0, 90}, {41, 42}}) {
+      ElementCapture want(r0, r1, r0, r1, /*lower=*/true);
+      syrk_count_fused(pg, r0, r1, want.sink());
+      for (const unsigned team : kTeams) {
+        ElementCapture got(r0, r1, r0, r1, /*lower=*/true);
+        syrk_count_parallel_nest(pg, r0, r1, got.sink(), team);
+        expect_same_capture(got, want, "syrk subrange");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, ParallelNest, ::testing::ValuesIn(available_kernels()),
+    [](const ::testing::TestParamInfo<KernelArch>& param_info) {
+      std::string name = kernel_arch_name(param_info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ParallelPack, TeamPackIsByteIdenticalToSequential) {
+  const BitMatrix g = random_matrix(77, 700, 31);
+  GemmConfig cfg;
+  cfg.kc_words = 3;
+  const GemmPlan plan = resolve_plan(cfg, g.view().n_words);
+  const PackedBitMatrix seq(g.view(), plan, PackSides::kBoth, /*threads=*/1);
+  for (const unsigned threads : {2u, 5u, 16u}) {
+    const PackedBitMatrix par(g.view(), plan, PackSides::kBoth, threads);
+    ASSERT_EQ(par.panels(), seq.panels());
+    for (std::size_t p = 0; p < seq.panels(); ++p) {
+      const PackedPanelView sa = seq.a_panel(p, 0, (seq.snps() + plan.mr - 1) / plan.mr);
+      const PackedPanelView pa = par.a_panel(p, 0, (par.snps() + plan.mr - 1) / plan.mr);
+      ASSERT_EQ(pa.words(), sa.words());
+      for (std::size_t w = 0; w < sa.words(); ++w) {
+        ASSERT_EQ(pa.data[w], sa.data[w])
+            << "threads=" << threads << " panel " << p << " word " << w;
+      }
+      const PackedPanelView sb = seq.b_panel(p, 0, (seq.snps() + plan.nr - 1) / plan.nr);
+      const PackedPanelView pb = par.b_panel(p, 0, (par.snps() + plan.nr - 1) / plan.nr);
+      ASSERT_EQ(pb.words(), sb.words());
+      for (std::size_t w = 0; w < sb.words(); ++w) {
+        ASSERT_EQ(pb.data[w], sb.data[w])
+            << "threads=" << threads << " panel " << p << " word " << w;
+      }
+    }
+  }
+}
+
+TEST(ParallelNestContracts, RejectsBadRangesAndMissingSink) {
+  const BitMatrix g = random_matrix(10, 64, 41);
+  const GemmPlan plan = resolve_plan({}, g.view().n_words);
+  const PackedBitMatrix pg(g.view(), plan, PackSides::kBoth);
+  EXPECT_THROW(syrk_count_parallel_nest(pg, 0, 11, [](const CountTile&) {}),
+               ContractViolation);
+  EXPECT_THROW(syrk_count_parallel_nest(pg, 0, 10, nullptr),
+               ContractViolation);
+  EXPECT_THROW(
+      gemm_count_parallel_nest(pg, 0, 11, pg, 0, 10, [](const CountTile&) {}),
+      ContractViolation);
+  EXPECT_THROW(gemm_count_parallel_nest(pg, 0, 10, pg, 0, 10, nullptr),
+               ContractViolation);
+}
+
+TEST(ParallelNestContracts, EmptyRangeIsANoop) {
+  const BitMatrix g = random_matrix(10, 64, 43);
+  const GemmPlan plan = resolve_plan({}, g.view().n_words);
+  const PackedBitMatrix pg(g.view(), plan, PackSides::kBoth);
+  bool called = false;
+  syrk_count_parallel_nest(pg, 4, 4, [&](const CountTile&) { called = true; },
+                           8);
+  gemm_count_parallel_nest(pg, 0, 0, pg, 0, 10,
+                           [&](const CountTile&) { called = true; }, 8);
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace ldla

@@ -87,6 +87,24 @@ TEST(SplitTriangleRows, CoversRangeExactly) {
   }
 }
 
+TEST(SplitTriangleRows, MorePartsThanRowsNeverOverAssigns) {
+  // Regression guard for the parallel drivers' n < threads corner: a tiny
+  // matrix scanned with a big team (e.g. n=3, threads=16) must yield at
+  // most n ranges, all non-empty — never empty ranges or rows assigned to
+  // more than one worker.
+  const auto ranges = split_triangle_rows(3, 16);
+  EXPECT_LE(ranges.size(), 3u);
+  expect_contiguous_cover(ranges, 3);
+
+  for (std::size_t n = 1; n <= 64; ++n) {
+    for (std::size_t p : {1u, 2u, 3u, 7u, 15u, 16u, 32u}) {
+      const auto rs = split_triangle_rows(n, p);
+      EXPECT_LE(rs.size(), std::min(p, n)) << "n=" << n << " p=" << p;
+      expect_contiguous_cover(rs, n);
+    }
+  }
+}
+
 TEST(SplitTriangleRows, BalancesRowWork) {
   const std::size_t n = 10'000;
   const auto ranges = split_triangle_rows(n, 8);

@@ -13,11 +13,14 @@
 #include "util/trace.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/gemm/macro.hpp"
+#include "core/gemm/nest.hpp"
 #include "core/ld.hpp"
 #include "core/parallel.hpp"
 #include "sim/rng.hpp"
@@ -415,6 +418,78 @@ TEST(TraceBasics, PhaseNamesAreStable) {
   EXPECT_STREQ(trace::phase_name(trace::Phase::kIo), "io");
   EXPECT_STREQ(trace::phase_name(trace::Phase::kTaskRun), "task_run");
   EXPECT_STREQ(trace::phase_name(trace::Phase::kTaskWait), "task_wait");
+  EXPECT_STREQ(trace::phase_name(trace::Phase::kBarrier), "barrier");
+}
+
+TEST_F(TraceFixture, PoolCountersOnInlineAndPooledPaths) {
+  // Inline execution (single task, or a pool with zero workers) runs no
+  // fork-join barrier and steals nothing; the pooled path pays exactly one
+  // barrier per run_tasks call.
+  ThreadPool solo(1);  // 0 workers: every run_tasks degrades to inline
+  trace::TraceSnapshot before = trace::snapshot();
+  solo.run_tasks(5, [](std::size_t) {});
+  trace::TraceSnapshot d = trace::snapshot().since(before);
+  EXPECT_EQ(d.counters.task_runs, 5u);
+  EXPECT_EQ(d.counters.barrier_waits, 0u);
+  EXPECT_EQ(d.counters.steals, 0u);
+
+  ThreadPool& pool = global_pool();
+  before = trace::snapshot();
+  pool.run_tasks(1, [](std::size_t) {});
+  d = trace::snapshot().since(before);
+  EXPECT_EQ(d.counters.task_runs, 1u);
+  EXPECT_EQ(d.counters.barrier_waits, 0u);  // single task is always inline
+
+  before = trace::snapshot();
+  pool.run_tasks(4, [](std::size_t) {});
+  d = trace::snapshot().since(before);
+  EXPECT_EQ(d.counters.task_runs, 4u);
+  if (pool.size() == 0) {
+    EXPECT_EQ(d.counters.barrier_waits, 0u);
+  } else {
+    EXPECT_EQ(d.counters.barrier_waits, 1u);
+  }
+}
+
+TEST_F(TraceFixture, WorkerParksAreCounted) {
+  const trace::TraceSnapshot before = trace::snapshot();
+  {
+    // One spawned worker with nothing to do: its first sweep finds no work
+    // and it parks on the idle condition variable.
+    ThreadPool pool(2);
+    for (int i = 0; i < 2000; ++i) {
+      if (trace::snapshot().since(before).counters.parks > 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_GT(trace::snapshot().since(before).counters.parks, 0u);
+}
+
+TEST_F(TraceFixture, NestDriversExposeStealCounters) {
+  // Chunk stealing must be visible in the trace even on a single-CPU
+  // machine: the team's chunk deques are pre-seeded before launch, so when
+  // the pool has no workers the caller runs every member in turn — member 0
+  // drains its own block, then *steals* every other member's seeded chunks.
+  const std::size_t n = 96;
+  const BitMatrix g = random_matrix(n, 700, 51);
+  const GemmConfig cfg = small_blocking(KernelArch::kScalar);
+  const GemmPlan plan = gemm_plan_for(g.view(), cfg);
+  const PackedBitMatrix p(g.view(), plan, PackSides::kBoth);
+
+  const trace::TraceSnapshot before = trace::snapshot();
+  syrk_count_parallel_nest(p, 0, n, [](const CountTile&) {}, 4);
+  const trace::TraceSnapshot d = trace::snapshot().since(before);
+
+  // One pool task per team member, every member accounted exactly once.
+  EXPECT_EQ(d.counters.task_runs, 4u);
+  if (global_pool().size() == 0) {
+    // Deterministic single-thread schedule: members 1..3 never pop their
+    // own deques before member 0 has swept them.
+    EXPECT_GT(d.counters.steals, 0u);
+    EXPECT_EQ(d.counters.barrier_waits, 0u);
+  } else {
+    EXPECT_EQ(d.counters.barrier_waits, 1u);
+  }
 }
 
 }  // namespace

@@ -105,6 +105,10 @@ PUBLIC_API = {
         ("gemm_count_fused", "expect"),
         ("gemm_count_parallel", "expect"),
     ],
+    "src/core/gemm/nest.cpp": [
+        ("gemm_count_parallel_nest", "expect"),
+        ("syrk_count_parallel_nest", "expect"),
+    ],
     "src/core/gemm/syrk.cpp": [
         ("syrk_count", "expect"),
         ("syrk_count_packed", "expect"),
