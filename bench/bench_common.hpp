@@ -11,12 +11,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "ldla.hpp"
 #include "sim/rng.hpp"
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 #include "util/cpu_info.hpp"
 #include "util/peak.hpp"
 #include "util/table.hpp"
@@ -44,6 +45,10 @@ inline bool smoke_mode() {
 /// seconds, LDs (or word-triples) per second, and — where a calibrated
 /// peak applies — the fraction of peak; scripts/run_all.sh collects the
 /// files so the perf trajectory is trackable across commits.
+///
+/// Thread-safe: add() may be called from concurrent parallel-driver sinks;
+/// the row list is mutex-guarded and the locking contract machine-checked
+/// via the LDLA_GUARDED_BY annotations (thread-safety preset).
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
@@ -56,6 +61,7 @@ class BenchJson {
   void add(const std::string& workload, const std::string& kernel,
            std::size_t snps, std::size_t samples, double seconds,
            double lds_per_sec, double pct_peak = -1.0) {
+    const MutexLock lock(mu_);
     rows_.push_back(
         Row{workload, kernel, snps, samples, seconds, lds_per_sec, pct_peak,
             false, trace::TraceSnapshot{}});
@@ -69,6 +75,7 @@ class BenchJson {
            std::size_t snps, std::size_t samples, double seconds,
            double lds_per_sec, double pct_peak,
            const trace::TraceSnapshot& phases) {
+    const MutexLock lock(mu_);
     rows_.push_back(Row{workload, kernel, snps, samples, seconds, lds_per_sec,
                         pct_peak, trace::compiled(), phases});
   }
@@ -77,6 +84,7 @@ class BenchJson {
   /// relative to the same workload's single-thread run (emitted as
   /// "speedup_vs_1t"; rows never annotated emit null).
   void set_last_speedup(double speedup_vs_1t) {
+    const MutexLock lock(mu_);
     if (!rows_.empty()) rows_.back().speedup_vs_1t = speedup_vs_1t;
   }
 
@@ -84,6 +92,7 @@ class BenchJson {
   /// means "written, or nothing to write"; false means the file could not
   /// be produced (callers should fail their process on false).
   bool flush() {
+    const MutexLock lock(mu_);
     if (flushed_) return flush_ok_;
     flushed_ = true;
     flush_ok_ = write_report();
@@ -104,7 +113,7 @@ class BenchJson {
     double speedup_vs_1t = std::numeric_limits<double>::quiet_NaN();
   };
 
-  bool write_report() {
+  bool write_report() LDLA_REQUIRES(mu_) {
     if (rows_.empty()) return true;
     const char* dir = std::getenv("LDLA_BENCH_JSON_DIR");
     const std::string path =
@@ -196,9 +205,10 @@ class BenchJson {
   }
 
   std::string name_;
-  std::vector<Row> rows_;
-  bool flushed_ = false;
-  bool flush_ok_ = true;
+  Mutex mu_;
+  std::vector<Row> rows_ LDLA_GUARDED_BY(mu_);
+  bool flushed_ LDLA_GUARDED_BY(mu_) = false;
+  bool flush_ok_ LDLA_GUARDED_BY(mu_) = true;
 };
 
 /// Mirror one finished google-benchmark run (name shape
@@ -363,7 +373,7 @@ struct LdScanTiming {
 inline LdScanTiming time_gemm_ld_scan(const BitMatrix& g, unsigned threads,
                                       const GemmConfig& cfg) {
   LdScanTiming out;
-  std::mutex mu;
+  Mutex mu;
   LdOptions opts;
   opts.stat = LdStatistic::kRSquared;
   opts.gemm = cfg;
@@ -382,7 +392,7 @@ inline LdScanTiming time_gemm_ld_scan(const BitMatrix& g, unsigned threads,
             ++local_pairs;
           }
         }
-        std::lock_guard lock(mu);
+        const MutexLock lock(mu);
         out.sum += local;
         out.pairs += local_pairs;
       },

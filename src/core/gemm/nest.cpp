@@ -92,13 +92,11 @@ void run_chunk_team(std::size_t chunks, std::size_t team,
   for (std::size_t t = 0; t < blocks.size(); ++t) {
     deques.emplace_back(max_block);
     for (std::size_t i = blocks[t].end; i > blocks[t].begin; --i) {
-      const bool pushed =
-          deques.back().push(static_cast<std::int64_t>(i - 1));
-      LDLA_EXPECT(pushed, "chunk deque sized below its seed block");
+      deques.back().push(static_cast<std::int64_t>(i - 1));
     }
   }
   // The pre-launch pushes happen-before every task body: run_tasks
-  // publishes through the pool's own seq_cst deque/cv protocol.
+  // publishes through the pool's own release/acquire deque+cv protocol.
   global_pool().run_tasks(blocks.size(), [&](std::size_t t) {
     make_run(t, [&](const auto& run) { drain_chunks(deques, t, run); });
   });

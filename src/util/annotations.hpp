@@ -1,0 +1,70 @@
+// Clang thread-safety-analysis attribute shim.
+//
+// Machine-checked locking contracts: annotate which lock guards which state
+// (LDLA_GUARDED_BY), which functions need a lock held (LDLA_REQUIRES), and
+// which acquire/release one (LDLA_ACQUIRE / LDLA_RELEASE), and clang's
+// -Wthread-safety turns lock misuse into a compile error — the
+// `thread-safety` CMake preset builds with -Wthread-safety -Werror, so a
+// forgotten lock fails the build instead of waiting for the nightly TSan
+// run to get lucky.
+//
+// Off-Clang every macro expands to nothing, so GCC builds and the release
+// presets are byte-identical to unannotated code. The annotations attach to
+// the capability types in util/sync.hpp (std::mutex itself carries no
+// capability attribute under libstdc++, so lock-protected code uses
+// ldla::Mutex / ldla::MutexLock instead — enforced by the
+// mutex-annotation-freshness lint rule in tools/lint_ldla.py).
+//
+// Attribute reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define LDLA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LDLA_THREAD_ANNOTATION(x)  // no-op off-Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "role", ...).
+#define LDLA_CAPABILITY(x) LDLA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define LDLA_SCOPED_CAPABILITY LDLA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define LDLA_GUARDED_BY(x) LDLA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define LDLA_PT_GUARDED_BY(x) LDLA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function callable only while holding the listed capabilities.
+#define LDLA_REQUIRES(...) \
+  LDLA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities (held on return).
+#define LDLA_ACQUIRE(...) \
+  LDLA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities (must be held on entry).
+#define LDLA_RELEASE(...) \
+  LDLA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability when it returns `ret`.
+#define LDLA_TRY_ACQUIRE(ret, ...) \
+  LDLA_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function that must NOT be called with the listed capabilities held
+/// (deadlock prevention for self-locking entry points).
+#define LDLA_EXCLUDES(...) LDLA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (for the analysis only) that the capability is held.
+#define LDLA_ASSERT_CAPABILITY(x) \
+  LDLA_THREAD_ANNOTATION(assert_capability(x))
+
+/// Return value carries the capability (lock accessor methods).
+#define LDLA_RETURN_CAPABILITY(x) LDLA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for trusted primitives the analysis cannot follow (e.g.
+/// condition-variable wait relinking a scoped lock). Use sparingly; every
+/// use is a hand-verified proof obligation.
+#define LDLA_NO_THREAD_SAFETY_ANALYSIS \
+  LDLA_THREAD_ANNOTATION(no_thread_safety_analysis)

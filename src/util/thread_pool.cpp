@@ -15,7 +15,6 @@ namespace {
 // Submission deques beyond the worker count, so many concurrent external
 // callers still find a free slot before degrading to inline execution.
 constexpr std::size_t kExtraSubmissions = 16;
-constexpr std::size_t kSubmissionCapacity = 1024;
 
 bool env_flag(const char* name) {
   const char* v = std::getenv(name);
@@ -46,7 +45,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -68,7 +67,7 @@ void ThreadPool::run_node(TaskNode* node) {
     error = std::current_exception();
   }
   TaskSet& set = *node->set;
-  std::lock_guard lock(set.m);
+  MutexLock lock(set.m);
   if (error && !set.first_error) set.first_error = std::move(error);
   LDLA_ASSERT(set.remaining > 0);
   if (--set.remaining == 0) set.done.notify_all();
@@ -101,13 +100,16 @@ void ThreadPool::worker_loop(unsigned worker_index) {
       run_node(node);
       continue;
     }
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) return;
     if (pending_.load(std::memory_order_relaxed) > 0) continue;  // re-sweep
     LDLA_TRACE_ADD_PARK();
-    cv_work_.wait(lock, [this] {
-      return stop_ || pending_.load(std::memory_order_relaxed) > 0;
-    });
+    // Manual predicate loop (not the lambda overload) so the guarded reads
+    // of stop_ stay inside this function's analyzed lock scope.
+    while (!stop_ && pending_.load(std::memory_order_relaxed) == 0) {
+      cv_work_.wait(lock);
+    }
+    if (stop_) return;
   }
 }
 
@@ -154,9 +156,7 @@ void ThreadPool::run_tasks(std::size_t tasks,
   // same pool interleave safely: workers only touch the set their node
   // belongs to. `set`, `nodes` and `fn` outlive the tasks because this
   // function does not return before `remaining` hits zero.
-  TaskSet set;
-  set.fn = &fn;
-  set.remaining = tasks;
+  TaskSet set(fn, tasks);
   std::vector<TaskNode> nodes(tasks);
   for (std::size_t t = 0; t < tasks; ++t) {
     nodes[t].set = &set;
@@ -164,33 +164,28 @@ void ThreadPool::run_tasks(std::size_t tasks,
   }
 
   // Publish tasks 0 .. tasks-2; the caller runs the last slice directly
-  // (no queue stamp — it never waits in a deque). push() failing on a full
-  // deque leaves the node for the caller's inline overflow loop below.
-  std::size_t pushed = 0;
+  // (no queue stamp — it never waits in a deque). The deque grows on
+  // demand, so every node lands in it.
+  const std::size_t pushed = tasks - 1;
   for (std::size_t t = 0; t + 1 < tasks; ++t) {
     // The enqueue stamp rides in the node so the executor can attribute
     // queue latency (dequeue time minus stamp) to the task-wait phase.
     nodes[t].enqueued_ns = LDLA_TRACE_QUEUE_STAMP();
-    if (!sub->deque.push(&nodes[t])) break;
-    ++pushed;
+    sub->deque.push(&nodes[t]);
   }
-  if (pushed > 0) {
-    pending_.fetch_add(pushed, std::memory_order_relaxed);
-    {
-      // Empty critical section: pairs with the worker's predicate check so
-      // a worker between "saw pending == 0" and "blocked" cannot miss the
-      // notify.
-      std::lock_guard lock(mutex_);
-    }
-    cv_work_.notify_all();
+  pending_.fetch_add(pushed, std::memory_order_relaxed);
+  {
+    // Empty critical section: pairs with the worker's predicate check so
+    // a worker between "saw pending == 0" and "blocked" cannot miss the
+    // notify.
+    MutexLock lock(mutex_);
   }
+  cv_work_.notify_all();
 
-  // Caller's own slice first, then any overflow that did not fit the deque.
+  // Caller's own slice first, then help drain the published work LIFO from
+  // the bottom; workers steal FIFO from the top, so contention only meets
+  // in the middle.
   run_node(&nodes[tasks - 1]);
-  for (std::size_t t = pushed; t + 1 < tasks; ++t) run_node(&nodes[t]);
-
-  // Help drain the published work LIFO from the bottom; workers steal FIFO
-  // from the top, so contention only meets in the middle.
   TaskNode* node = nullptr;
   while (sub->deque.pop(node)) {
     pending_.fetch_sub(1, std::memory_order_relaxed);
@@ -198,17 +193,20 @@ void ThreadPool::run_tasks(std::size_t tasks,
   }
 
   // Barrier: wait for stolen in-flight tasks, then release the deque slot
-  // (it is empty — every node was popped or stolen exactly once).
+  // (it is empty — every node was popped or stolen exactly once). The
+  // captured exception is read under the same lock that guards it.
+  std::exception_ptr first_error;
   {
-    std::unique_lock lock(set.m);
+    MutexLock lock(set.m);
     LDLA_TRACE_ADD_BARRIER_WAIT();
     if (set.remaining > 0) {
       LDLA_TRACE_SPAN(kBarrier);
-      set.done.wait(lock, [&set] { return set.remaining == 0; });
+      while (set.remaining > 0) set.done.wait(lock);
     }
+    first_error = set.first_error;
   }
   sub->in_use.store(false, std::memory_order_release);
-  if (set.first_error) std::rethrow_exception(set.first_error);
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::parallel_for(

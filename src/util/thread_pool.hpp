@@ -19,6 +19,10 @@
 //    pool (the joining caller does not execute other calls' tasks, so
 //    nested forks could exhaust the workers and deadlock).
 //
+// Locking contracts are machine-checked: every mutex-protected member
+// carries LDLA_GUARDED_BY (util/annotations.hpp), and the `thread-safety`
+// CMake preset fails the build on any access outside its lock.
+//
 // Environment knobs:
 //  - LDLA_THREADS=<n>  default worker-team size when a caller passes 0
 //    (both for pool construction and for the parallel LD drivers).
@@ -27,14 +31,14 @@
 //    scheduler rejects affinity masks).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
 #include "util/work_steal.hpp"
 
 namespace ldla {
@@ -63,23 +67,27 @@ class ThreadPool {
   /// two-way overlap-free execution with zero queueing overhead.
   /// If any task throws, the first captured exception is rethrown here after
   /// every task of this call has finished.
-  void run_tasks(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+  void run_tasks(std::size_t tasks, const std::function<void(std::size_t)>& fn)
+      LDLA_EXCLUDES(mutex_);
 
   /// Split [begin, end) into contiguous chunks, one per worker (including
   /// the caller), and run fn(chunk_begin, chunk_end) on each.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+                    const std::function<void(std::size_t, std::size_t)>& fn)
+      LDLA_EXCLUDES(mutex_);
 
  private:
   // One fork-join batch. `remaining` and `first_error` are guarded by `m`;
   // the caller waits on `done` (notified under `m` so the set can live on
   // the caller's stack).
   struct TaskSet {
+    TaskSet(const std::function<void(std::size_t)>& f, std::size_t tasks)
+        : fn(&f), remaining(tasks) {}
     const std::function<void(std::size_t)>* fn = nullptr;
-    std::mutex m;
-    std::condition_variable done;
-    std::size_t remaining = 0;
-    std::exception_ptr first_error;
+    Mutex m;
+    CondVar done;
+    std::size_t remaining LDLA_GUARDED_BY(m) = 0;
+    std::exception_ptr first_error LDLA_GUARDED_BY(m);
   };
 
   // One deque cell: which set, which task index, and the enqueue stamp for
@@ -98,19 +106,19 @@ class ThreadPool {
     WorkStealDeque<TaskNode*> deque;
   };
 
-  void worker_loop(unsigned worker_index);
+  void worker_loop(unsigned worker_index) LDLA_EXCLUDES(mutex_);
   TaskNode* try_steal_any() noexcept;
   static void run_node(TaskNode* node);
 
   std::vector<std::thread> workers_;
   // Fixed registry: enough submission deques for heavily concurrent callers;
-  // exhaustion (or a full deque) degrades to inline execution, never blocks.
+  // exhaustion degrades to inline execution, never blocks.
   std::vector<Submission> submissions_;
-  std::mutex mutex_;
-  std::condition_variable cv_work_;
+  Mutex mutex_;
+  CondVar cv_work_;
   std::atomic<std::size_t> pending_{0};  ///< task nodes resident in deques
-  bool stop_ = false;
-  bool pin_workers_ = false;
+  bool stop_ LDLA_GUARDED_BY(mutex_) = false;
+  bool pin_workers_ = false;  ///< written once in the ctor, then read-only
 };
 
 /// Process-wide pool sized to the machine; created on first use.

@@ -15,9 +15,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
+#include "util/annotations.hpp"
 #include "util/contract.hpp"
+#include "util/sync.hpp"
 #include "util/cpu_info.hpp"
 #include "util/peak.hpp"
 #include "util/perf_counters.hpp"
@@ -152,11 +153,8 @@ std::atomic<std::uint64_t> g_epoch{0};
 std::atomic<std::uint64_t> g_session_t0{0};
 
 // Guards session start/stop/name; never taken on the hot path.
-std::mutex g_session_mutex;
-std::string& session_name() {
-  static std::string name;
-  return name;
-}
+Mutex g_session_mutex;
+std::string g_session_name LDLA_GUARDED_BY(g_session_mutex);
 
 thread_local Slot* t_slot = nullptr;
 
@@ -204,7 +202,7 @@ void append_event(Slot* s, Phase phase, std::uint64_t t0, std::uint64_t dur) {
 
 // Gather all event buffers belonging to the current epoch. Caller holds
 // g_session_mutex and the quiescence contract.
-std::vector<TraceEvent> gather_events() {
+std::vector<TraceEvent> gather_events() LDLA_REQUIRES(g_session_mutex) {
   std::vector<TraceEvent> out;
   const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
   const std::uint32_t n =
@@ -218,7 +216,7 @@ std::vector<TraceEvent> gather_events() {
   return out;
 }
 
-std::uint64_t gather_dropped() {
+std::uint64_t gather_dropped() LDLA_REQUIRES(g_session_mutex) {
   std::uint64_t dropped = 0;
   const std::uint64_t epoch = g_epoch.load(std::memory_order_relaxed);
   const std::uint32_t n =
@@ -263,7 +261,8 @@ std::string sanitize_for_filename(const std::string& name) {
 /// Write the Chrome-trace report. Caller holds g_session_mutex; the session
 /// flag is already cleared so no new events race the buffers.
 /// Returns the path, or "" on any write failure.
-std::string write_report(const std::string& run_name) {
+std::string write_report(const std::string& run_name)
+    LDLA_REQUIRES(g_session_mutex) {
   const char* dir = std::getenv("LDLA_TRACE_DIR");
   std::string path = (dir != nullptr && *dir != '\0') ? dir : ".";
   path += "/trace_" + sanitize_for_filename(run_name) + ".json";
@@ -558,8 +557,8 @@ void start_session(const std::string& run_name) {
   LDLA_EXPECT(!run_name.empty(), "trace run name must be non-empty");
   LDLA_EXPECT(run_name.find('\n') == std::string::npos,
               "trace run name must be a single line");
-  const std::lock_guard<std::mutex> lock(g_session_mutex);
-  session_name() = run_name;
+  const MutexLock lock(g_session_mutex);
+  g_session_name = run_name;
   g_epoch.fetch_add(1, std::memory_order_relaxed);  // invalidate old buffers
   g_session_perf.store(perf_counters_available(), std::memory_order_relaxed);
   g_session_t0.store(now_ns(), std::memory_order_relaxed);
@@ -571,20 +570,20 @@ void start_session(const std::string& run_name) {
 bool session_active() { return g_session.load(std::memory_order_acquire); }
 
 std::string stop_session_and_write() {
-  const std::lock_guard<std::mutex> lock(g_session_mutex);
+  const MutexLock lock(g_session_mutex);
   if (!g_session.load(std::memory_order_acquire)) return "";
   g_session.store(false, std::memory_order_release);
-  return write_report(session_name());
+  return write_report(g_session_name);
 }
 
 void cancel_session() {
-  const std::lock_guard<std::mutex> lock(g_session_mutex);
+  const MutexLock lock(g_session_mutex);
   g_session.store(false, std::memory_order_release);
   g_epoch.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<TraceEvent> session_events() {
-  const std::lock_guard<std::mutex> lock(g_session_mutex);
+  const MutexLock lock(g_session_mutex);
   return gather_events();
 }
 

@@ -1,24 +1,52 @@
-// Chase–Lev work-stealing deque (fixed capacity, sequentially-consistent
-// formulation).
+// Chase–Lev work-stealing deque, weak-memory formulation (Lê, Pop, Cohen,
+// Nardelli, "Correct and Efficient Work-Stealing for Weak Memory Models",
+// PPoPP 2013), with the growing circular buffer of the original Chase & Lev
+// SPAA 2005 protocol.
 //
 // One thread — the owner — pushes and pops at the bottom (LIFO); any other
-// thread steals from the top (FIFO). This is the original Chase & Lev
-// "Dynamic Circular Work-Stealing Deque" (SPAA 2005) protocol expressed
-// with seq_cst atomics on the two indices and atomic cells for the buffer.
-// The fence-optimized weak-memory variant (Lê et al., PPoPP 2013) relies on
-// atomic_thread_fence, which ThreadSanitizer cannot model (-Wtsan); the
-// seq_cst version is TSan-exact, and index operations are nowhere near the
-// hot path at our chunk granularity (one index op per macro-tile chunk).
+// thread steals from the top (FIFO). Each operation carries exactly the
+// memory ordering the PPoPP '13 proof requires, expressed fence-free so
+// ThreadSanitizer (which does not model atomic_thread_fence) sees the same
+// synchronization the hardware does:
 //
-// Capacity is fixed at construction (rounded up to a power of two): push()
-// reports failure instead of growing, and the caller runs the item inline.
-// That keeps the deque allocation-free on the hot path and sidesteps the
-// buffer-reclamation problem of the growing variant.
+//   push   bottom.store(release)         — publishes the cell (and all owner
+//                                          writes before push) to thieves
+//                                          that acquire-read bottom. On x86
+//                                          this is a plain store instead of
+//                                          the seq_cst xchg; on ARM a stlr
+//                                          with no trailing dmb.
+//   take   bottom.store(seq_cst) then    — the protocol's one unavoidable
+//          top.load(seq_cst)               store→load ordering point: the
+//                                          owner's claim of the last item
+//                                          must be globally ordered against
+//                                          a thief's CAS on top.
+//   steal  top.load(acquire),            — acquire on top orders the bottom
+//          bottom.load(seq_cst),           read after it; seq_cst on bottom
+//          top CAS(seq_cst/relaxed)        pairs with take's store so the
+//                                          single-item race serializes.
+//   cells  relaxed atomic loads/stores   — publication rides entirely on
+//                                          bottom/ring_; the cells only need
+//                                          to be race-free.
+//
+// Growth: when the ring is full, push copies the live window [top, bottom)
+// into a ring of twice the capacity and publishes it with a release store
+// to `ring_`. A thief that still holds the old ring pointer is safe: the
+// live window of a retired ring is never overwritten (the owner writes only
+// to the current ring), and retired rings stay allocated until the deque is
+// destroyed, so a stalled thief can always complete its read. Memory cost
+// of that reclamation rule is geometric (all retired rings together are
+// smaller than the current one).
+//
+// The protocol's logical interleavings are exhaustively checked at
+// operation granularity, and the memory orderings stress-checked under
+// TSan, by tests/litmus (the litmus gate guarding any change to the
+// orderings above).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace ldla {
@@ -26,48 +54,62 @@ namespace ldla {
 template <typename T>
 class WorkStealDeque {
  public:
-  /// `capacity` is rounded up to the next power of two (minimum 2).
-  explicit WorkStealDeque(std::size_t capacity = 1024)
-      : buffer_(round_up_pow2(capacity)), mask_(buffer_.size() - 1) {}
+  /// `capacity` is rounded up to the next power of two (minimum 2); the
+  /// deque grows by doubling whenever a push finds it full.
+  explicit WorkStealDeque(std::size_t capacity = 1024) {
+    rings_.push_back(std::make_unique<Ring>(round_up_pow2(capacity)));
+    ring_.store(rings_.back().get(), std::memory_order_relaxed);
+  }
 
   WorkStealDeque(const WorkStealDeque&) = delete;
   WorkStealDeque& operator=(const WorkStealDeque&) = delete;
 
-  [[nodiscard]] std::size_t capacity() const noexcept { return buffer_.size(); }
+  /// Current ring capacity (owner-exact; a racy hint elsewhere).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.load(std::memory_order_acquire)->mask + 1;
+  }
 
-  /// Owner only. Returns false when the deque is full (caller keeps the item).
-  bool push(T item) noexcept {
+  /// Owner only. Publishes `item` at the bottom, growing the ring when
+  /// full. Growth is the only allocation the deque ever performs.
+  void push(T item) {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
-    const std::int64_t t = top_.load(std::memory_order_seq_cst);
-    if (b - t >= static_cast<std::int64_t>(buffer_.size())) return false;
-    buffer_[static_cast<std::size_t>(b) & mask_].store(
-        item, std::memory_order_relaxed);
-    // seq_cst (⊇ release) publishes the cell — and anything the owner wrote
-    // before push() — to thieves that acquire-read this bottom value.
-    bottom_.store(b + 1, std::memory_order_seq_cst);
-    return true;
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* a = ring_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(a->mask + 1)) {
+      a = grow(a, t, b);
+    }
+    a->at(b).store(item, std::memory_order_relaxed);
+    // Release publishes the cell — and anything the owner wrote before
+    // push(), including a freshly grown ring — to thieves that
+    // acquire-read this bottom value.
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   /// Owner only. LIFO: returns the most recently pushed item.
   bool pop(T& out) noexcept {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* a = ring_.load(std::memory_order_relaxed);
+    // seq_cst store→load: the owner's provisional claim of slot b must be
+    // globally ordered against concurrent steal()s' reads of bottom, or
+    // both sides could take the same last item.
     bottom_.store(b, std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_seq_cst);
     if (t > b) {
       // Deque was already empty; restore bottom.
-      bottom_.store(b + 1, std::memory_order_seq_cst);
+      bottom_.store(b + 1, std::memory_order_relaxed);
       return false;
     }
-    out = buffer_[static_cast<std::size_t>(b) & mask_].load(
-        std::memory_order_relaxed);
+    out = a->at(b).load(std::memory_order_relaxed);
     if (t == b) {
-      // Last item: race against thieves for it via top.
+      // Last item: race against thieves for it via top. Success is seq_cst
+      // so the winning side is ordered against the loser's index reads;
+      // failure needs no ordering (the loser backs off).
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
-                                        std::memory_order_seq_cst)) {
-        bottom_.store(b + 1, std::memory_order_seq_cst);
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
         return false;
       }
-      bottom_.store(b + 1, std::memory_order_seq_cst);
+      bottom_.store(b + 1, std::memory_order_relaxed);
     }
     return true;
   }
@@ -75,13 +117,21 @@ class WorkStealDeque {
   /// Any thread. FIFO: returns the oldest item, or false when empty or when
   /// the CAS race against the owner / another thief is lost.
   bool steal(T& out) noexcept {
-    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    // seq_cst pairs with pop()'s seq_cst bottom store: if the owner already
+    // claimed the last item, this load is guaranteed to observe the
+    // decremented bottom (or lose the CAS below). It also carries the
+    // acquire that synchronizes with push()'s release, making the cell —
+    // and any grown ring — visible before the reads below.
     const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return false;
-    out = buffer_[static_cast<std::size_t>(t) & mask_].load(
-        std::memory_order_relaxed);
+    // Loaded after bottom: any ring this yields (current or retired) holds
+    // a valid copy of slot t, because the live window is never overwritten
+    // in place and retired rings outlive every outstanding steal.
+    Ring* a = ring_.load(std::memory_order_acquire);
+    out = a->at(t).load(std::memory_order_relaxed);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
-                                      std::memory_order_seq_cst)) {
+                                      std::memory_order_relaxed)) {
       return false;
     }
     return true;
@@ -94,14 +144,41 @@ class WorkStealDeque {
   }
 
  private:
+  struct Ring {
+    explicit Ring(std::size_t cap) : mask(cap - 1), cells(cap) {}
+    std::size_t mask;
+    std::vector<std::atomic<T>> cells;
+    std::atomic<T>& at(std::int64_t i) noexcept {
+      return cells[static_cast<std::size_t>(i) & mask];
+    }
+  };
+
+  /// Owner only (called from push with the ring full). Copies the live
+  /// window into a ring of twice the capacity and publishes it; the old
+  /// ring is retired but kept allocated for stalled thieves.
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    rings_.push_back(std::make_unique<Ring>(2 * (old->mask + 1)));
+    Ring* bigger = rings_.back().get();
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->at(i).store(old->at(i).load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+    // Release so a thief that acquires this pointer sees the copied cells;
+    // push()'s release store to bottom covers thieves that never reload it.
+    ring_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
   static std::size_t round_up_pow2(std::size_t n) noexcept {
     std::size_t p = 2;
     while (p < n) p <<= 1;
     return p;
   }
 
-  std::vector<std::atomic<T>> buffer_;
-  std::size_t mask_;
+  std::atomic<Ring*> ring_{nullptr};
+  // Every ring ever allocated, current one last. Mutated by the owner only
+  // (grow); destroyed only with the deque, when no thief can be in flight.
+  std::vector<std::unique_ptr<Ring>> rings_;
   alignas(64) std::atomic<std::int64_t> top_{0};
   alignas(64) std::atomic<std::int64_t> bottom_{0};
 };

@@ -1,0 +1,362 @@
+// Litmus gate for the weak-memory Chase–Lev deque (util/work_steal.hpp).
+//
+// Two complementary layers:
+//
+//  1. Exhaustive bounded-schedule interleaving at *operation* granularity:
+//     every merge of an owner script (push/pop) with thief scripts (steal)
+//     is replayed on a fresh deque and checked for the protocol invariants
+//     (exactly-once delivery, FIFO steal order, no loss through growth).
+//     This proves the index arithmetic and the growth/copy logic over the
+//     full schedule space, including every bottom == top boundary the
+//     scripts can reach. It deliberately does not model intra-operation
+//     interleavings, so it says nothing about the memory orderings.
+//
+//  2. Racing-thread stress that exists to run under ThreadSanitizer (the
+//     tsan preset builds this binary too): 16 stealers race the owner
+//     through repeated capacity doublings and through the single-item
+//     pop-vs-steal CAS. TSan models the C++11 memory orderings exactly
+//     (which is why the deque is written fence-free), so a too-weak
+//     ordering shows up here as a data-race report.
+//
+// Any change to the orderings in work_steal.hpp must keep this suite green
+// under both the release and tsan presets.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/work_steal.hpp"
+
+namespace ldla {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Layer 1: exhaustive operation-granularity interleaving.
+// ---------------------------------------------------------------------------
+
+enum class Op { kPush, kPop, kSteal };
+
+// Thread scripts: index 0 is the owner (push/pop only), the rest are
+// thieves (steal only).
+using Scripts = std::vector<std::vector<Op>>;
+
+struct Outcome {
+  std::vector<std::int64_t> taken;   ///< all successful pops+steals, in order
+  std::vector<std::int64_t> steals;  ///< successful steals only, in order
+  std::size_t final_capacity = 0;
+};
+
+std::string describe(const std::vector<std::size_t>& schedule) {
+  std::ostringstream os;
+  os << "schedule:";
+  for (std::size_t who : schedule) os << ' ' << who;
+  return os.str();
+}
+
+// Replay one complete interleaving on a fresh deque, then drain what is
+// left from the owner side so the exactly-once check covers every value.
+Outcome replay(const Scripts& scripts,
+               const std::vector<std::size_t>& schedule,
+               std::size_t initial_capacity) {
+  WorkStealDeque<std::int64_t> deque(initial_capacity);
+  std::vector<std::size_t> pc(scripts.size(), 0);
+  Outcome out;
+  std::int64_t next_push = 0;
+  for (std::size_t who : schedule) {
+    const Op op = scripts[who][pc[who]++];
+    std::int64_t v = -1;
+    switch (op) {
+      case Op::kPush:
+        deque.push(next_push++);
+        break;
+      case Op::kPop:
+        if (deque.pop(v)) out.taken.push_back(v);
+        break;
+      case Op::kSteal:
+        if (deque.steal(v)) {
+          out.taken.push_back(v);
+          out.steals.push_back(v);
+        }
+        break;
+    }
+  }
+  std::int64_t v = -1;
+  while (deque.pop(v)) out.taken.push_back(v);
+  out.final_capacity = deque.capacity();
+  return out;
+}
+
+// Validate one schedule; returns an empty string on success so the
+// enumerator can report the first failing schedule and stop.
+std::string check_schedule(const Scripts& scripts,
+                           const std::vector<std::size_t>& schedule,
+                           std::size_t initial_capacity,
+                           std::size_t pushes) {
+  const Outcome out = replay(scripts, schedule, initial_capacity);
+  if (out.taken.size() != pushes) {
+    return describe(schedule) + ": took " + std::to_string(out.taken.size()) +
+           " values, pushed " + std::to_string(pushes);
+  }
+  // Exactly-once: the taken multiset is a permutation of [0, pushes).
+  std::vector<std::int64_t> sorted = out.taken;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != static_cast<std::int64_t>(i)) {
+      return describe(schedule) + ": value " + std::to_string(i) +
+             " lost or duplicated";
+    }
+  }
+  // At op granularity top advances monotonically, so successful steals must
+  // observe values in strictly increasing (FIFO) order across all thieves.
+  for (std::size_t i = 1; i < out.steals.size(); ++i) {
+    if (out.steals[i] <= out.steals[i - 1]) {
+      return describe(schedule) + ": steals out of FIFO order";
+    }
+  }
+  return {};
+}
+
+// Depth-first enumeration of every merge of the scripts. Stops at the first
+// failing schedule (its description comes back through `error`).
+void enumerate(const Scripts& scripts, std::size_t initial_capacity,
+               std::size_t pushes, std::vector<std::size_t>& pc,
+               std::vector<std::size_t>& schedule, std::size_t& count,
+               std::string& error) {
+  if (!error.empty()) return;
+  bool leaf = true;
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    if (pc[i] < scripts[i].size()) {
+      leaf = false;
+      ++pc[i];
+      schedule.push_back(i);
+      enumerate(scripts, initial_capacity, pushes, pc, schedule, count, error);
+      schedule.pop_back();
+      --pc[i];
+      if (!error.empty()) return;
+    }
+  }
+  if (leaf) {
+    ++count;
+    error = check_schedule(scripts, schedule, initial_capacity, pushes);
+  }
+}
+
+// Run the exhaustive sweep for one script set and report the first failure.
+void exhaustive(const Scripts& scripts, std::size_t initial_capacity) {
+  std::size_t pushes = 0;
+  for (Op op : scripts[0]) pushes += op == Op::kPush ? 1 : 0;
+  std::vector<std::size_t> pc(scripts.size(), 0);
+  std::vector<std::size_t> schedule;
+  std::size_t count = 0;
+  std::string error;
+  enumerate(scripts, initial_capacity, pushes, pc, schedule, count, error);
+  EXPECT_TRUE(error.empty()) << error;
+  // Sanity: the sweep really enumerated a non-trivial schedule space.
+  EXPECT_GT(count, 100u);
+}
+
+constexpr Op P = Op::kPush;
+constexpr Op O = Op::kPop;
+constexpr Op S = Op::kSteal;
+
+TEST(LitmusDequeExhaustive, MixedPushPopWithTwoThieves) {
+  // 12!/(8!·2!·2!) = 2970 schedules; push/pop interleaved so the
+  // bottom == top single-item race point is crossed many times.
+  exhaustive({{P, P, O, P, O, O, P, O}, {S, S}, {S, S}}, 8);
+}
+
+TEST(LitmusDequeExhaustive, ThreeThievesOutnumberItems) {
+  // 6 steal attempts against 3 pushes: most schedules hit empty/raced
+  // steals; 12!/(6!·2!·2!·2!) = 83160 schedules.
+  exhaustive({{P, O, P, O, P, O}, {S, S}, {S, S}, {S, S}}, 8);
+}
+
+TEST(LitmusDequeExhaustive, GrowthUnderInterleavedSteals) {
+  // Initial capacity 2, six pushes: every schedule crosses at least one
+  // doubling (2 -> 4 -> 8 depending on how many steals land first), so the
+  // grow-copy window is checked against every steal interleaving.
+  exhaustive({{P, P, P, P, P, P, O, O}, {S, S}, {S, S}}, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic single-thread boundary cases (bottom == top paths).
+// ---------------------------------------------------------------------------
+
+TEST(LitmusDequeBoundary, PopOnEmptyRestoresBottom) {
+  WorkStealDeque<std::int64_t> deque(4);
+  std::int64_t v = -1;
+  EXPECT_FALSE(deque.pop(v));
+  // The failed pop decremented and restored bottom; the deque must still
+  // accept and return items.
+  deque.push(7);
+  ASSERT_TRUE(deque.pop(v));
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(deque.pop(v));
+}
+
+TEST(LitmusDequeBoundary, LastItemPopWinsCasAgainstNobody) {
+  // bottom == top + 1: pop takes the CAS branch even with no thief racing;
+  // the item must come back exactly once and the deque end empty.
+  WorkStealDeque<std::int64_t> deque(4);
+  deque.push(42);
+  std::int64_t v = -1;
+  ASSERT_TRUE(deque.pop(v));
+  EXPECT_EQ(v, 42);
+  EXPECT_FALSE(deque.steal(v));
+  EXPECT_FALSE(deque.pop(v));
+  EXPECT_TRUE(deque.empty_hint());
+}
+
+TEST(LitmusDequeBoundary, StealToEmptyThenReuse) {
+  WorkStealDeque<std::int64_t> deque(4);
+  deque.push(1);
+  std::int64_t v = -1;
+  ASSERT_TRUE(deque.steal(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(deque.pop(v));
+  EXPECT_FALSE(deque.steal(v));
+  deque.push(2);
+  ASSERT_TRUE(deque.pop(v));
+  EXPECT_EQ(v, 2);
+}
+
+TEST(LitmusDequeBoundary, LifoPopFifoStealAcrossGrowth) {
+  WorkStealDeque<std::int64_t> deque(2);
+  for (std::int64_t i = 0; i < 9; ++i) deque.push(i);
+  EXPECT_EQ(deque.capacity(), 16u);  // 2 -> 4 -> 8 -> 16
+  std::int64_t v = -1;
+  ASSERT_TRUE(deque.steal(v));
+  EXPECT_EQ(v, 0);  // FIFO from the top
+  ASSERT_TRUE(deque.pop(v));
+  EXPECT_EQ(v, 8);  // LIFO from the bottom
+  for (std::int64_t expect = 7; expect >= 1; --expect) {
+    ASSERT_TRUE(deque.pop(v));
+    EXPECT_EQ(v, expect);
+  }
+  EXPECT_FALSE(deque.pop(v));
+}
+
+TEST(LitmusDequeBoundary, IndexWraparound) {
+  // Push/pop far past the capacity so bottom/top wrap the ring mask many
+  // times while the live window stays small.
+  WorkStealDeque<std::int64_t> deque(4);
+  std::int64_t v = -1;
+  for (std::int64_t i = 0; i < 64; ++i) {
+    deque.push(i);
+    deque.push(i + 1000);
+    ASSERT_TRUE(deque.steal(v));
+    EXPECT_EQ(v, i);
+    ASSERT_TRUE(deque.pop(v));
+    EXPECT_EQ(v, i + 1000);
+  }
+  EXPECT_FALSE(deque.pop(v));
+  EXPECT_EQ(deque.capacity(), 4u);  // never grew
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: racing-thread stress (the TSan target).
+// ---------------------------------------------------------------------------
+
+TEST(LitmusDequeStress, SixteenStealersThroughRepeatedGrowth) {
+  constexpr int kStealers = 16;
+  constexpr std::int64_t kItems = 20000;
+  // Start at the minimum capacity so the first pushes already double it
+  // while the thieves below are live: growth happens mid-steal, not in a
+  // quiet single-threaded warm-up.
+  WorkStealDeque<std::int64_t> deque(2);
+  std::atomic<bool> done{false};
+  std::vector<std::vector<std::int64_t>> stolen(kStealers);
+  std::vector<std::thread> thieves;
+  thieves.reserve(kStealers);
+  for (int s = 0; s < kStealers; ++s) {
+    thieves.emplace_back([&deque, &done, &stolen, s] {
+      std::int64_t v = -1;
+      while (!done.load(std::memory_order_acquire)) {
+        if (deque.steal(v)) stolen[static_cast<std::size_t>(s)].push_back(v);
+      }
+      while (deque.steal(v)) stolen[static_cast<std::size_t>(s)].push_back(v);
+    });
+  }
+
+  std::vector<std::int64_t> popped;
+  std::int64_t next = 0;
+  while (next < kItems) {
+    // Bursts much larger than the current capacity force doublings while
+    // the 16 thieves are actively stealing from the ring being retired.
+    const std::int64_t burst = std::min<std::int64_t>(
+        kItems - next, static_cast<std::int64_t>(2 * deque.capacity() + 17));
+    for (std::int64_t i = 0; i < burst; ++i) deque.push(next++);
+    std::int64_t v = -1;
+    if (deque.pop(v)) popped.push_back(v);
+  }
+  std::int64_t v = -1;
+  while (deque.pop(v)) popped.push_back(v);
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : thieves) t.join();
+
+  // The owner pushes in tight loops, so the live window outruns any
+  // realistic steal rate at least once and the ring must have doubled.
+  EXPECT_GT(deque.capacity(), 2u);
+
+  // Exactly-once across owner and all 16 thieves.
+  std::vector<std::int64_t> all = popped;
+  for (const auto& s : stolen) all.insert(all.end(), s.begin(), s.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kItems));
+  std::sort(all.begin(), all.end());
+  for (std::int64_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(all[static_cast<std::size_t>(i)], i) << "value lost or duplicated";
+  }
+  // Each thief's private view must also be FIFO (top is monotonic).
+  for (const auto& s : stolen) {
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  }
+}
+
+TEST(LitmusDequeStress, SingleItemPopVersusSteal) {
+  // The bottom == top race: one item at a time, owner pop racing thief
+  // steals. Every item must be taken exactly once, by exactly one side.
+  constexpr int kThieves = 4;
+  constexpr std::int64_t kRounds = 20000;
+  WorkStealDeque<std::int64_t> deque(2);
+  std::atomic<bool> done{false};
+  std::vector<std::int64_t> counts(kThieves, 0);
+  std::vector<std::vector<std::int64_t>> stolen(kThieves);
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int s = 0; s < kThieves; ++s) {
+    thieves.emplace_back([&deque, &done, &stolen, s] {
+      std::int64_t v = -1;
+      while (!done.load(std::memory_order_acquire)) {
+        if (deque.steal(v)) stolen[static_cast<std::size_t>(s)].push_back(v);
+      }
+      while (deque.steal(v)) stolen[static_cast<std::size_t>(s)].push_back(v);
+    });
+  }
+
+  std::vector<std::int64_t> popped;
+  for (std::int64_t i = 0; i < kRounds; ++i) {
+    deque.push(i);
+    std::int64_t v = -1;
+    if (deque.pop(v)) popped.push_back(v);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : thieves) t.join();
+
+  std::vector<std::int64_t> all = popped;
+  for (const auto& s : stolen) all.insert(all.end(), s.begin(), s.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kRounds));
+  std::sort(all.begin(), all.end());
+  for (std::int64_t i = 0; i < kRounds; ++i) {
+    ASSERT_EQ(all[static_cast<std::size_t>(i)], i) << "double-take at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ldla
