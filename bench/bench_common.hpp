@@ -166,7 +166,9 @@ class BenchJson {
                  "\"tiles_emitted\": %llu, \"epilogue_rows\": %llu, "
                  "\"task_runs\": %llu, \"steals\": %llu, "
                  "\"failed_steals\": %llu, \"parks\": %llu, "
-                 "\"barrier_waits\": %llu}",
+                 "\"barrier_waits\": %llu, \"sparse_ll_tiles\": %llu, "
+                 "\"sparse_ld_tiles\": %llu, \"list_intersections\": %llu, "
+                 "\"dense_fallback_tiles\": %llu}",
                  static_cast<unsigned long long>(c.bytes_packed),
                  static_cast<unsigned long long>(c.slivers_packed),
                  static_cast<unsigned long long>(c.slivers_reused),
@@ -178,7 +180,11 @@ class BenchJson {
                  static_cast<unsigned long long>(c.steals),
                  static_cast<unsigned long long>(c.failed_steals),
                  static_cast<unsigned long long>(c.parks),
-                 static_cast<unsigned long long>(c.barrier_waits));
+                 static_cast<unsigned long long>(c.barrier_waits),
+                 static_cast<unsigned long long>(c.sparse_ll_tiles),
+                 static_cast<unsigned long long>(c.sparse_ld_tiles),
+                 static_cast<unsigned long long>(c.list_intersections),
+                 static_cast<unsigned long long>(c.dense_fallback_tiles));
   }
 
   static double nan_value() {

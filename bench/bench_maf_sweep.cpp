@@ -1,0 +1,189 @@
+// MAF-adaptive sparse dispatch ablation: all-pairs r² across a grid of
+// allele-frequency spectra, dense-only control vs hybrid auto-threshold.
+//
+// The dense popcount-GEMM is data-oblivious — its cost per pair is
+// words-per-SNP regardless of content. Real resequencing panels are
+// dominated by rare variants (the neutral SFS is ∝ 1/x), so most columns
+// carry a handful of set bits and the index-list kernels replace the
+// O(words) AND+POPCNT stream with O(allele count) merges. This bench
+// measures exactly that crossover:
+//
+//   - workload grid: rare_fraction in {0, 0.5, 0.8, 0.95} at rare MAF
+//     <= 1% (the paper-scale "80% rare" point is the headline row);
+//   - arms: sparse_threshold = 0 (dense-only control) vs auto (pack-time
+//     crossover threshold = words per SNP);
+//   - the all-common control doubles as the regression guard: hybrid
+//     dispatch must price at <= a few % there, because pack-time
+//     classification finds nothing sparse and every tile takes the
+//     unchanged dense path.
+//
+// Both arms run pack-once: the operand is packed ahead of the timed scan
+// and supplied via LdOptions::packed, which is the PackedBitMatrix
+// operating mode (pack once per dataset, amortized across every windowed /
+// repeated call — DESIGN.md §4.5). Pack times for both arms are printed
+// alongside so the one-time classification + sample-major-transpose cost
+// of the hybrid arm stays visible rather than hidden.
+//
+// Dense and hybrid arms are bit-identical by contract (integer counts,
+// same tile stream, same epilogue); the checksum comparison is exact
+// equality, not a tolerance, and a mismatch fails the bench.
+#include "bench_common.hpp"
+
+using namespace ldla;
+using namespace ldla::bench;
+
+namespace {
+
+struct ArmResult {
+  double seconds = 0.0;
+  double checksum = 0.0;
+  trace::TraceSnapshot phases;  ///< counter/phase delta over the timed run
+};
+
+// Best-of-N trials (1 vCPU noise); each trial's checksum must agree.
+template <typename Fn>
+ArmResult best_of(int trials, Fn&& fn) {
+  ArmResult best;
+  for (int t = 0; t < trials; ++t) {
+    const ArmResult r = fn();
+    if (t == 0 || r.seconds < best.seconds) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  maybe_start_trace(argc, argv, "maf_sweep");
+  print_header("MAF sweep — sparse/hybrid dispatch vs dense-only control",
+               "perf tentpole: index-list kernels exploit the rare-variant "
+               "excess of real site-frequency spectra");
+
+  const int trials = smoke_mode() ? 1 : 3;
+  BenchJson json("maf_sweep");
+  Table table(
+      {"workload", "sparse cols", "dense s", "hybrid s", "speedup"});
+  int rc = 0;
+
+  // Large sample counts make the dense words-per-SNP cost heavy enough for
+  // the sparse crossover to show — this is the cohort-scale regime the
+  // sparse dispatch targets (the 1/x spectrum keeps rare allele COUNTS
+  // near-constant as samples grow, so list cost stays flat while dense
+  // cost grows linearly). SNP counts keep total runtime bounded.
+  const std::size_t n = full_mode() ? 2048 : smoke_mode() ? 192 : 1024;
+  const std::size_t k = full_mode() ? 65536 : smoke_mode() ? 1024 : 32768;
+
+  const double rare_grid[] = {0.0, 0.5, 0.8, 0.95};
+  double common_speedup = 0.0;
+  double rare80_speedup = 0.0;
+
+  for (const double rare_fraction : rare_grid) {
+    MafSpectrumParams p;
+    p.n_snps = n;
+    p.n_samples = k;
+    p.rare_fraction = rare_fraction;
+    p.rare_max_maf = 0.01;
+    // The all-common control floors the spectrum at 5% MAF so NOTHING
+    // classifies sparse — the neutral 1/x spectrum is otherwise itself
+    // rare-dominated and would dilute the regression guard.
+    if (rare_fraction == 0.0) p.min_maf = 0.05;
+    p.seed = 6000 + static_cast<std::uint64_t>(rare_fraction * 100.0);
+    const BitMatrix g = simulate_maf_spectrum(p);
+
+    // Report how the pack-time classifier actually sees this panel.
+    const GemmPlan plan = gemm_plan_for(g.view());
+    const SparseColumns sc =
+        build_sparse_columns(g.view(), plan.sparse_threshold);
+    const double sparse_pct =
+        100.0 * static_cast<double>(sc.sparse_count) / static_cast<double>(n);
+    std::printf(
+        "panel rare_fraction=%.2f: %zu x %zu, auto threshold %zu set bits, "
+        "%zu/%zu columns sparse (%.1f%%)\n",
+        rare_fraction, n, k, plan.sparse_threshold, sc.sparse_count, n,
+        sparse_pct);
+
+    // Pack once per arm, outside the timed region (the PackedBitMatrix
+    // operating mode); the pack cost — including the hybrid arm's
+    // classification and sample-major transpose — is timed and printed on
+    // its own so nothing is hidden.
+    const auto pack_arm = [&](std::size_t threshold, double* pack_seconds) {
+      GemmConfig pcfg;
+      pcfg.sparse_threshold = threshold;
+      Timer timer;
+      PackedBitMatrix pk = PackedBitMatrix::pack(g.view(), pcfg);
+      *pack_seconds = timer.seconds();
+      return pk;
+    };
+    double dense_pack_s = 0.0;
+    double hybrid_pack_s = 0.0;
+    const PackedBitMatrix dense_pack = pack_arm(0, &dense_pack_s);
+    const PackedBitMatrix hybrid_pack =
+        pack_arm(kSparseThresholdAuto, &hybrid_pack_s);
+    std::printf("  pack: dense %.3fs, hybrid %.3fs (classify + transpose)\n",
+                dense_pack_s, hybrid_pack_s);
+
+    const auto run = [&](std::size_t threshold, const PackedBitMatrix* pk) {
+      LdOptions opts;
+      opts.stat = LdStatistic::kRSquared;
+      opts.gemm.sparse_threshold = threshold;
+      opts.packed = pk;
+      double sum = 0.0;
+      const trace::TraceSnapshot before = trace::snapshot();
+      Timer timer;
+      // Streaming scan: O(mc·nc) residency, so full-mode n never allocates
+      // an n² output and the timing isolates the count engine + epilogue.
+      ld_stat_scan(g, [&](const LdTile& tile) {
+        for (std::size_t i = 0; i < tile.rows; ++i) {
+          for (std::size_t j = 0; j < tile.cols; ++j) {
+            const double v = tile.at(i, j);
+            if (v == v) sum += v;  // finite (NaN != NaN)
+          }
+        }
+      }, opts);
+      return ArmResult{timer.seconds(), sum, trace::snapshot().since(before)};
+    };
+
+    const ArmResult dense = best_of(trials, [&] { return run(0, &dense_pack); });
+    const ArmResult hybrid = best_of(
+        trials, [&] { return run(kSparseThresholdAuto, &hybrid_pack); });
+    // Same tile stream, same summation order, integer counts: the sums
+    // must agree to the last bit.
+    if (dense.checksum != hybrid.checksum) {
+      std::printf("MAF-SWEEP CHECKSUM MISMATCH (rare_fraction=%.2f)\n",
+                  rare_fraction);
+      rc = 1;
+    }
+
+    const double pairs = static_cast<double>(ld_pair_count(n));
+    const double speedup = dense.seconds / hybrid.seconds;
+    char label[64];
+    std::snprintf(label, sizeof label, "rare%02d",
+                  static_cast<int>(rare_fraction * 100.0));
+    json.add(std::string("maf-") + label + "-dense", "auto", n, k,
+             dense.seconds, pairs / dense.seconds, -1.0, dense.phases);
+    json.add(std::string("maf-") + label + "-hybrid", "auto", n, k,
+             hybrid.seconds, pairs / hybrid.seconds, -1.0, hybrid.phases);
+    json.set_last_speedup(speedup);
+    table.add_row({std::string("rare_fraction ") + fmt_fixed(rare_fraction, 2),
+                   fmt_fixed(sparse_pct, 1) + "%", fmt_fixed(dense.seconds, 3),
+                   fmt_fixed(hybrid.seconds, 3),
+                   fmt_fixed(speedup, 2) + "x"});
+    if (rare_fraction == 0.0) common_speedup = speedup;
+    if (rare_fraction == 0.8) rare80_speedup = speedup;
+  }
+
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nexpected shape: speedup grows with the rare fraction — all-common\n"
+      "panels classify nothing sparse (hybrid == dense path, <= noise), a\n"
+      "rare-dominated panel replaces most register tiles with index-list\n"
+      "merges whose cost tracks allele counts, not sample width. The\n"
+      "counters rows attribute the work: sparse_ll/ld_tiles vs\n"
+      "dense_fallback_tiles shows how many tiles actually left the dense\n"
+      "path at each grid point.\n");
+  std::printf("headline: rare80 speedup %.2fx; all-common control %.2fx\n",
+              rare80_speedup, common_speedup);
+  const bool json_ok = json.flush();
+  const bool trace_ok = finish_trace();
+  return (json_ok && trace_ok) ? rc : 1;
+}

@@ -39,7 +39,9 @@ CPU_KEYS = {"brand", "logical_cores", "l1d", "l2", "l3", "line"}
 COUNTER_KEYS = {"bytes_packed", "slivers_packed", "slivers_reused",
                 "kernel_calls", "kernel_words", "tiles_emitted",
                 "epilogue_rows", "task_runs", "steals", "failed_steals",
-                "parks", "barrier_waits"}
+                "parks", "barrier_waits", "sparse_ll_tiles",
+                "sparse_ld_tiles", "list_intersections",
+                "dense_fallback_tiles"}
 EVENT_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
 
 

@@ -133,6 +133,15 @@ GemmPlan resolve_plan(const GemmConfig& cfg, std::size_t k_words) {
   }
   plan.nc = (plan.nc + plan.nr - 1) / plan.nr * plan.nr;
 
+  // Sparse-column threshold: auto resolves to the crossover allele count.
+  // A dense register-tile row pair costs ~k_words AND+POPCNT word ops per
+  // panel sweep; a list×dense pair costs one gather+test per list entry, so
+  // lists shorter than the row's word count win. The complement trick uses
+  // the same bound on the zero count.
+  plan.sparse_threshold = cfg.sparse_threshold == kSparseThresholdAuto
+                              ? k_words
+                              : cfg.sparse_threshold;
+
   if (!cfg.blocking) {
     // Ablation: single unblocked pass — kc spans all of k, one giant block.
     plan.kc_words = std::max<std::size_t>(

@@ -35,6 +35,11 @@ enum class ParallelMode {
 
 std::string parallel_mode_name(ParallelMode m);
 
+/// Sentinel for GemmConfig::sparse_threshold: resolve the threshold from
+/// the crossover model at pack time (see resolve_plan).
+inline constexpr std::size_t kSparseThresholdAuto =
+    static_cast<std::size_t>(-1);
+
 struct GemmConfig {
   KernelArch arch = KernelArch::kAuto;
 
@@ -55,6 +60,21 @@ struct GemmConfig {
   /// buffers inside the 5-loop nest), kept as the bench_pack_reuse
   /// ablation control.
   bool pack_once = true;
+
+  /// MAF-adaptive sparse columns (DESIGN.md §4.6). Columns (SNP rows) whose
+  /// allele count — or zero count, for the near-all-ones complement trick —
+  /// is <= this threshold are additionally stored as sorted sample-index
+  /// lists at pack time, and the fused drivers dispatch register tiles made
+  /// entirely of such columns to list×list / list×dense kernels instead of
+  /// the dense micro-kernel. Counts are integers, so results stay
+  /// bit-identical to the dense path regardless of dispatch.
+  /// kSparseThresholdAuto resolves to the list-vs-dense crossover
+  /// (= words per SNP: a list shorter than the row's word count does
+  /// strictly less work than the dense AND+POPCNT row walk); 0 disables
+  /// the sparse representation entirely (the dense-only control).
+  /// Reaches every driver through the GemmConfig member of LdOptions,
+  /// BandOptions, and SweepScanParams.
+  std::size_t sparse_threshold = kSparseThresholdAuto;
 };
 
 /// Fully-resolved blocking plan for a concrete problem.
@@ -67,6 +87,8 @@ struct GemmPlan {
   std::size_t mc = 64;
   std::size_t nc = 4096;
   bool packing = true;
+  /// Resolved allele-count threshold for sparse columns (0 = disabled).
+  std::size_t sparse_threshold = 0;
 };
 
 /// Resolve `cfg` against the machine (kernel availability, cache sizes) and

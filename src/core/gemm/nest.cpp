@@ -23,7 +23,12 @@ namespace {
 /// q-column slice of one jc panel. Boundaries are register-tile aligned
 /// (c0/c1 absolute multiples of nr or the padded range end; ic/ic_end the
 /// same for mr/mc), so chunks compose the identical register-tile grid the
-/// sequential fused drivers sweep.
+/// sequential fused drivers sweep. The MAF-adaptive sparse dispatch lives
+/// inside the shared fused tile bodies, so sparse macro-tile chunks
+/// schedule on these same deques with no extra chunk kinds: a stolen chunk
+/// decides list-vs-dense per register tile exactly like the sequential
+/// nest would, and dispatch depends only on the (sliver, sliver) pair —
+/// never on chunk geometry — keeping counters chunking-invariant.
 struct TileChunk {
   std::size_t ic = 0;
   std::size_t ic_end = 0;

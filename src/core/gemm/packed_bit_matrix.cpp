@@ -1,7 +1,9 @@
 #include "core/gemm/packed_bit_matrix.hpp"
 
 #include <algorithm>
+#include <array>
 
+#include "core/bit_transpose.hpp"
 #include "util/contract.hpp"
 #include "util/partition.hpp"
 #include "util/thread_pool.hpp"
@@ -41,6 +43,82 @@ PackedBitMatrix::PackedBitMatrix(const BitMatrixView& m, const GemmPlan& plan,
       pack_side(m, b_, plan.nr, threads);
     }
   }
+
+  // MAF-adaptive sparse columns: classify every row from the same matrix
+  // the slivers were packed from. Rides the pack phase for attribution.
+  {
+    LDLA_TRACE_SPAN(kPackA);
+    sparse_ = build_sparse_columns(m, plan.sparse_threshold);
+  }
+  if (sparse_.sparse_count != 0) {
+    if (a_.r != 0) {
+      a_sliver_sparse_ = sliver_flags(plan.mr);
+    }
+    if (b_.r != 0) {
+      b_sliver_sparse_ = sliver_flags(plan.nr);
+    }
+    const auto any = [](const std::vector<std::uint8_t>& v) {
+      return std::find(v.begin(), v.end(), std::uint8_t{1}) != v.end();
+    };
+    hybrid_ = any(a_sliver_sparse_) || any(b_sliver_sparse_);
+    // Any sparse column may become the list side of a gather — even from a
+    // partner pack in a cross-matrix call — so the transpose is built
+    // whenever classification found anything. Dense packs skip it.
+    build_sample_major(m);
+  }
+}
+
+void PackedBitMatrix::build_sample_major(const BitMatrixView& m) {
+  LDLA_TRACE_SPAN(kPackA);
+  sm_stride_ = (n_snps_ + 63) / 64;
+  sample_major_ = AlignedBuffer<std::uint64_t>(n_samples_ * sm_stride_);
+  // 64×64 block transpose straight off the view (transpose_bits wants an
+  // owning BitMatrix). Every word of every real sample row is written:
+  // input rows past n_snps_ read as zero, input padding bits past
+  // n_samples_ land in output rows that are never emitted.
+  // Sample blocks outer: each cb iteration writes one contiguous 64-row
+  // output region (hot across all rb), and the reads walk the source rows
+  // at a constant stride the hardware prefetcher tracks.
+  std::array<std::uint64_t, 64> block;
+  for (std::size_t cb = 0; cb < m.n_words; ++cb) {
+    const std::size_t out_rows =
+        std::min<std::size_t>(64, n_samples_ - cb * 64);
+    for (std::size_t rb = 0; rb < sm_stride_; ++rb) {
+      const std::size_t rows = std::min<std::size_t>(64, n_snps_ - rb * 64);
+      for (std::size_t i = 0; i < 64; ++i) {
+        block[i] = i < rows ? m.row(rb * 64 + i)[cb] : 0;
+      }
+      transpose_64x64(block);
+      for (std::size_t i = 0; i < out_rows; ++i) {
+        sample_major_[(cb * 64 + i) * sm_stride_ + rb] = block[i];
+      }
+    }
+  }
+  // Prescale the index lists once: the gather's address chain is
+  // entry-load → scale → word-load, and baking sample × stride in here
+  // removes the multiply latency from every gathered address (the lists
+  // are read orders of magnitude more often than they are built).
+  LDLA_EXPECT(n_samples_ * sm_stride_ <= UINT32_MAX,
+              "sample-major transpose exceeds 32-bit word addressing");
+  const std::uint32_t stride32 = static_cast<std::uint32_t>(sm_stride_);
+  scaled_index_ = AlignedBuffer<std::uint32_t>(sparse_.index.size());
+  for (std::size_t i = 0; i < sparse_.index.size(); ++i) {
+    scaled_index_[i] = sparse_.index[i] * stride32;
+  }
+}
+
+std::vector<std::uint8_t> PackedBitMatrix::sliver_flags(std::size_t r) const {
+  std::vector<std::uint8_t> flags((n_snps_ + r - 1) / r, std::uint8_t{1});
+  for (std::size_t s = 0; s < flags.size(); ++s) {
+    const std::size_t end = std::min(n_snps_, (s + 1) * r);
+    for (std::size_t i = s * r; i < end; ++i) {
+      if (sparse_.kind[i] == ColumnKind::kDense) {
+        flags[s] = 0;
+        break;
+      }
+    }
+  }
+  return flags;
 }
 
 PackedBitMatrix PackedBitMatrix::pack(const BitMatrixView& m,

@@ -27,6 +27,7 @@
 #include "core/bit_matrix.hpp"
 #include "core/gemm/config.hpp"
 #include "core/gemm/packing.hpp"
+#include "core/gemm/sparse.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/contract.hpp"
 
@@ -102,6 +103,61 @@ class PackedBitMatrix {
   [[nodiscard]] PackedPanelView b_panel(std::size_t p, std::size_t sliver_begin,
                                         std::size_t slivers) const;
 
+  /// Per-column popcounts (always recorded) plus the sorted index lists the
+  /// plan's sparse_threshold classified at pack time (DESIGN.md §4.6).
+  [[nodiscard]] const SparseColumns& sparse_columns() const noexcept {
+    return sparse_;
+  }
+
+  /// True when any sliver on any materialized side is all-sparse — the
+  /// fused tile bodies take the hybrid dispatch path iff this holds, so
+  /// fully dense packs keep the exact original kernel loop.
+  [[nodiscard]] bool hybrid_dispatch() const noexcept { return hybrid_; }
+
+  /// A sliver group is "sparse" when every real row in it is list- or
+  /// complement-classified; register tiles whose sides are both sparse (or
+  /// one sparse, one dense) dispatch to the list kernels. Padding rows in
+  /// the last group are all-zero and never consulted, so a partial group
+  /// is classified by its real rows alone. Returns false for sliver grids
+  /// the pack did not materialize or when the threshold is 0.
+  [[nodiscard]] bool a_sliver_sparse(std::size_t s) const noexcept {
+    return s < a_sliver_sparse_.size() && a_sliver_sparse_[s] != 0;
+  }
+  [[nodiscard]] bool b_sliver_sparse(std::size_t s) const noexcept {
+    const std::vector<std::uint8_t>& v =
+        b_shares_a_ ? a_sliver_sparse_ : b_sliver_sparse_;
+    return s < v.size() && v[s] != 0;
+  }
+
+  /// Sample-major transpose of the source matrix — one row per sample,
+  /// ceil(snps/64) words per row — built at pack time whenever any column
+  /// classified sparse. The list kernels gather against it: one word load
+  /// per list entry tests that sample against ALL nr rows of a register
+  /// tile at once, where the ku-interleaved slivers would cost nr strided
+  /// loads spanning nr cache lines. Fully dense packs never build it
+  /// (stride 0), so the dense path pays nothing.
+  [[nodiscard]] bool has_sample_major() const noexcept {
+    return sm_stride_ != 0;
+  }
+  [[nodiscard]] const std::uint64_t* sample_major() const noexcept {
+    return sample_major_.data();
+  }
+  /// Words per sample-major row (0 when the transpose was not built).
+  [[nodiscard]] std::size_t sample_major_stride() const noexcept {
+    return sm_stride_;
+  }
+
+  /// The sparse columns' index lists with every entry pre-multiplied by
+  /// sample_major_stride() (same CSR offsets as sparse_columns().offset).
+  /// The gather's critical path is entry-load → scale → word-load; baking
+  /// the scale in at pack time takes the multiply latency off every
+  /// address. Valid against THIS pack's transpose stride only — the tile
+  /// dispatcher falls back to the unscaled lists for cross-matrix partners
+  /// of a different stride. Null when the transpose was not built.
+  [[nodiscard]] const std::uint32_t* scaled_index() const noexcept {
+    return scaled_index_.data();
+  }
+
  private:
   struct Side {
     std::size_t r = 0;        ///< register blocking (0 = side not packed)
@@ -112,6 +168,8 @@ class PackedBitMatrix {
 
   void pack_side(const BitMatrixView& m, Side& side, std::size_t r,
                  unsigned threads);
+  void build_sample_major(const BitMatrixView& m);
+  [[nodiscard]] std::vector<std::uint8_t> sliver_flags(std::size_t r) const;
   [[nodiscard]] PackedPanelView side_panel(const Side& side, std::size_t p,
                                            std::size_t sliver_begin,
                                            std::size_t slivers) const;
@@ -125,6 +183,13 @@ class PackedBitMatrix {
   bool b_shares_a_ = false;
   Side a_;
   Side b_;
+  SparseColumns sparse_;
+  std::vector<std::uint8_t> a_sliver_sparse_;  ///< mr-grid, empty when none
+  std::vector<std::uint8_t> b_sliver_sparse_;  ///< nr-grid (A's when shared)
+  bool hybrid_ = false;
+  AlignedBuffer<std::uint64_t> sample_major_;  ///< samples × sm_stride_ words
+  std::size_t sm_stride_ = 0;                  ///< 0 = transpose not built
+  AlignedBuffer<std::uint32_t> scaled_index_;  ///< index × sm_stride_
 };
 
 /// Guard helper for drivers accepting a caller-supplied packed operand:

@@ -1,0 +1,69 @@
+#include "core/gemm/sparse.hpp"
+
+#include <bit>
+#include <span>
+
+#include "core/popcount.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+/// Append the indices of the set bits of `w` (offset by `base`) to `out`,
+/// ascending — clearing the lowest set bit walks the word in order.
+void extract_set_bits(std::uint64_t w, std::uint32_t base,
+                      std::vector<std::uint32_t>& out) {
+  while (w != 0) {
+    out.push_back(base + static_cast<std::uint32_t>(std::countr_zero(w)));
+    w &= w - 1;
+  }
+}
+
+}  // namespace
+
+SparseColumns build_sparse_columns(const BitMatrixView& m,
+                                   std::size_t threshold) {
+  SparseColumns sc;
+  sc.threshold = threshold;
+  sc.n_samples = m.n_samples;
+  const std::size_t n = m.n_snps;
+  sc.popcount.resize(n);
+  sc.kind.assign(n, ColumnKind::kDense);
+  sc.offset.assign(n + 1, 0);
+  if (n == 0 || m.n_words == 0) {
+    return sc;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t* row = m.row(i);
+    const std::uint64_t pc =
+        popcount_words(std::span<const std::uint64_t>(row, m.n_words));
+    LDLA_EXPECT(pc <= m.n_samples,
+                "column popcount exceeds n_samples (dirty row padding?)");
+    sc.popcount[i] = static_cast<std::uint32_t>(pc);
+    if (threshold != 0) {
+      if (pc <= threshold) {
+        sc.kind[i] = ColumnKind::kList;
+      } else if (m.n_samples - pc <= threshold) {
+        sc.kind[i] = ColumnKind::kComplement;
+      }
+    }
+    if (sc.kind[i] != ColumnKind::kDense) {
+      ++sc.sparse_count;
+      const bool comp = sc.kind[i] == ColumnKind::kComplement;
+      for (std::size_t w = 0; w < m.n_words; ++w) {
+        std::uint64_t bits = comp ? ~row[w] : row[w];
+        if (comp) {
+          const std::size_t remaining = m.n_samples - w * 64;
+          if (remaining < 64) {
+            bits &= (std::uint64_t{1} << remaining) - 1;
+          }
+        }
+        extract_set_bits(bits, static_cast<std::uint32_t>(w * 64), sc.index);
+      }
+    }
+    sc.offset[i + 1] = sc.index.size();
+  }
+  return sc;
+}
+
+}  // namespace ldla

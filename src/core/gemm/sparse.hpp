@@ -1,0 +1,66 @@
+// MAF-adaptive sparse columns: pack-time classification of SNP rows into
+// dense / index-list / complement-list representations (DESIGN.md §4.6).
+//
+// Real cohorts are dominated by rare variants, so most rows of the bit
+// matrix are nearly all-zero and the dense popcount-GEMM spends almost
+// every AND+POPCNT on zero words. Following the low-allele-count dispatch
+// proven in tomahawk and PLINK 2, the packer records every column's set-bit
+// count (it already touches every word) and, for columns whose allele
+// count — or zero count, for the near-all-ones complement trick — falls
+// within GemmConfig::sparse_threshold, extracts a sorted sample-index list.
+// The dense slivers are always kept alongside the lists: the lists are a
+// faster *route* to the same integer counts, never a replacement
+// representation, so every windowed/ablation path can fall back freely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/bit_matrix.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+
+/// Pack-time classification of one SNP row (a "column" of the cohort).
+enum class ColumnKind : std::uint8_t {
+  kDense = 0,       ///< dense sliver only (allele count above threshold)
+  kList = 1,        ///< sorted indices of the SET bits (rare allele)
+  kComplement = 2,  ///< sorted indices of the ZERO bits (near-fixed allele)
+};
+
+/// Per-column popcounts plus sorted index lists for the columns the
+/// threshold classifies as sparse. Popcounts are recorded for every column
+/// unconditionally — the complement algebra of the mixed list×dense kernel
+/// needs the dense side's allele count too. Lists are CSR-concatenated:
+/// column i owns index[offset[i], offset[i+1]).
+struct SparseColumns {
+  std::size_t threshold = 0;  ///< resolved allele-count threshold (0 = off)
+  std::size_t n_samples = 0;
+  std::vector<std::uint32_t> popcount;  ///< set bits per column (always)
+  std::vector<ColumnKind> kind;         ///< per-column representation
+  std::vector<std::uint64_t> offset;    ///< CSR offsets into `index`
+  std::vector<std::uint32_t> index;     ///< concatenated sorted lists
+  std::size_t sparse_count = 0;         ///< columns not kDense
+
+  [[nodiscard]] bool enabled() const noexcept { return threshold != 0; }
+  [[nodiscard]] const std::uint32_t* list(std::size_t i) const {
+    LDLA_BOUNDS_CHECK(i + 1 < offset.size(), "sparse column out of range");
+    return index.data() + offset[i];
+  }
+  [[nodiscard]] std::size_t list_size(std::size_t i) const {
+    LDLA_BOUNDS_CHECK(i + 1 < offset.size(), "sparse column out of range");
+    return static_cast<std::size_t>(offset[i + 1] - offset[i]);
+  }
+};
+
+/// One pass over `m`: record every column's popcount and extract sorted
+/// set-bit (kList) or zero-bit (kComplement) index lists for columns within
+/// `threshold`. A column qualifying both ways (threshold >= n_samples/2)
+/// is stored as kList. Complement extraction relies on BitMatrix's
+/// clean-padding invariant — bits beyond n_samples in the last word are
+/// zero — and masks the tail word so padding never enters a list.
+SparseColumns build_sparse_columns(const BitMatrixView& m,
+                                   std::size_t threshold);
+
+}  // namespace ldla

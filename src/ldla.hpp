@@ -39,5 +39,6 @@
 #include "io/ldm_binary.hpp"        // binary matrix snapshots
 #include "io/matrix_writer.hpp"     // CSV / report writers
 #include "sim/wright_fisher.hpp"    // dataset simulator
+#include "sim/maf_spectrum.hpp"     // SFS-controlled rare-variant panels
 #include "sim/sweep_sim.hpp"        // sweep simulator
 #include "sim/fingerprint_sim.hpp"  // fingerprint simulator

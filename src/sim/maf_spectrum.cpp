@@ -1,0 +1,76 @@
+#include "sim/maf_spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+/// Draw from density ∝ 1/x on [lo, hi] (log-uniform): the neutral SFS.
+double sample_one_over_x(Rng& rng, double lo, double hi) {
+  return lo * std::pow(hi / lo, rng.next_double());
+}
+
+void validate(const MafSpectrumParams& p) {
+  LDLA_EXPECT(p.n_snps > 0 && p.n_samples > 0,
+              "dataset dimensions must be positive");
+  LDLA_EXPECT(p.rare_fraction >= 0.0 && p.rare_fraction <= 1.0,
+              "rare_fraction is a probability");
+  LDLA_EXPECT(p.min_maf >= 0.0 && p.max_maf <= 0.5 && p.min_maf <= p.max_maf,
+              "MAF support must satisfy 0 <= min_maf <= max_maf <= 0.5");
+  LDLA_EXPECT(p.rare_max_maf > 0.0 && p.rare_max_maf <= p.max_maf,
+              "rare_max_maf must be in (0, max_maf]");
+}
+
+}  // namespace
+
+std::vector<double> sample_maf_spectrum(const MafSpectrumParams& params) {
+  validate(params);
+  Rng rng(params.seed);
+  // Clamp the support floor to one carrier so every site is polymorphic.
+  const double lo = std::max(params.min_maf,
+                             1.0 / static_cast<double>(params.n_samples));
+  const double hi = std::max(params.max_maf, lo);
+  const double rare_hi = std::min(std::max(params.rare_max_maf, lo), hi);
+  std::vector<double> maf(params.n_snps);
+  for (double& x : maf) {
+    const bool rare = params.rare_fraction > 0.0 &&
+                      rng.next_bool(params.rare_fraction);
+    x = rare ? sample_one_over_x(rng, lo, rare_hi)
+             : sample_one_over_x(rng, lo, hi);
+  }
+  return maf;
+}
+
+BitMatrix simulate_maf_spectrum(const MafSpectrumParams& params) {
+  validate(params);
+  const std::vector<double> maf = sample_maf_spectrum(params);
+  const std::size_t n = params.n_samples;
+  BitMatrix out(params.n_snps, n);
+  // Reuse the spectrum stream's seed space without re-drawing it: carriers
+  // come from an independent stream so the spectrum stays pinned for tests.
+  Rng rng(params.seed ^ 0x9e3779b97f4a7c15ull);
+  for (std::size_t s = 0; s < params.n_snps; ++s) {
+    const auto ac = static_cast<std::size_t>(std::clamp<double>(
+        std::round(maf[s] * static_cast<double>(n)), 1.0,
+        static_cast<double>(n - 1 > 0 ? n - 1 : 1)));
+    // Floyd's uniform-subset sampling, using the row's own bits as the
+    // membership set: O(allele count) per site, no scratch allocation.
+    for (std::size_t j = n - ac; j < n; ++j) {
+      const std::size_t t =
+          static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(j) + 1));
+      if (out.get(s, t)) {
+        out.set(s, j, true);
+      } else {
+        out.set(s, t, true);
+      }
+    }
+  }
+  LDLA_ASSERT(out.padding_is_clean());
+  return out;
+}
+
+}  // namespace ldla

@@ -1,0 +1,50 @@
+// MAF-spectrum panel generator: site frequencies drawn from a configurable
+// site-frequency spectrum instead of the uniform-ish frequencies of the
+// haplotype-copying simulator.
+//
+// Real cohorts are dominated by rare variants — the neutral SFS puts mass
+// ∝ 1/x on derived-allele frequency x, and sequencing panels show an
+// additional rare-variant excess on top. The sparse/hybrid LD kernels
+// (DESIGN.md §4.6) exist precisely for that regime, so benches and tests
+// need panels whose column popcounts follow a controllable spectrum:
+// `rare_fraction = 0` gives the neutral 1/x spectrum over
+// [min_maf, max_maf]; raising it mixes in a second 1/x component truncated
+// at `rare_max_maf`, concentrating columns below the sparse threshold.
+//
+// Sites are independent (no linkage): LD kernels are data-oblivious in
+// runtime except for the popcount-dependent sparse dispatch, which is what
+// these panels exercise; correctness against linked data is covered by the
+// Wright-Fisher simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bit_matrix.hpp"
+
+namespace ldla {
+
+struct MafSpectrumParams {
+  std::size_t n_snps = 1000;
+  std::size_t n_samples = 1000;
+  /// Fraction of sites drawn from the rare-variant excess component
+  /// (1/x truncated to [min_maf, rare_max_maf]); the rest draw from the
+  /// neutral 1/x spectrum over [min_maf, max_maf].
+  double rare_fraction = 0.0;
+  double rare_max_maf = 0.01;
+  /// Spectrum support. min_maf is clamped up to 1/n_samples so every site
+  /// is polymorphic (allele count >= 1).
+  double min_maf = 0.0;
+  double max_maf = 0.5;
+  std::uint64_t seed = 42;
+};
+
+/// Per-site target minor-allele frequencies sampled from the spectrum
+/// (exposed separately so tests can pin the spectrum itself).
+std::vector<double> sample_maf_spectrum(const MafSpectrumParams& params);
+
+/// Generate a panel: each site's allele count is round(maf * n_samples)
+/// (clamped to [1, n_samples - 1]) carriers placed uniformly at random.
+BitMatrix simulate_maf_spectrum(const MafSpectrumParams& params);
+
+}  // namespace ldla

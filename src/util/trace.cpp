@@ -70,6 +70,14 @@ TraceSnapshot TraceSnapshot::since(const TraceSnapshot& earlier) const {
   d.counters.parks = counters.parks - earlier.counters.parks;
   d.counters.barrier_waits =
       counters.barrier_waits - earlier.counters.barrier_waits;
+  d.counters.sparse_ll_tiles =
+      counters.sparse_ll_tiles - earlier.counters.sparse_ll_tiles;
+  d.counters.sparse_ld_tiles =
+      counters.sparse_ld_tiles - earlier.counters.sparse_ld_tiles;
+  d.counters.list_intersections =
+      counters.list_intersections - earlier.counters.list_intersections;
+  d.counters.dense_fallback_tiles =
+      counters.dense_fallback_tiles - earlier.counters.dense_fallback_tiles;
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
     d.phase_self_ns[i] = phase_self_ns[i] - earlier.phase_self_ns[i];
     d.phase_perf[i].cycles = phase_perf[i].cycles - earlier.phase_perf[i].cycles;
@@ -106,6 +114,10 @@ enum CounterIndex : std::size_t {
   kCFailedSteals,
   kCParks,
   kCBarrierWaits,
+  kCSparseLlTiles,
+  kCSparseLdTiles,
+  kCListIntersections,
+  kCDenseFallbackTiles,
   kNumCounters,
 };
 
@@ -321,7 +333,9 @@ std::string write_report(const std::string& run_name)
       "\"slivers_reused\": %llu, \"kernel_calls\": %llu, "
       "\"kernel_words\": %llu, \"tiles_emitted\": %llu, "
       "\"epilogue_rows\": %llu, \"task_runs\": %llu, \"steals\": %llu, "
-      "\"failed_steals\": %llu, \"parks\": %llu, \"barrier_waits\": %llu},\n",
+      "\"failed_steals\": %llu, \"parks\": %llu, \"barrier_waits\": %llu, "
+      "\"sparse_ll_tiles\": %llu, \"sparse_ld_tiles\": %llu, "
+      "\"list_intersections\": %llu, \"dense_fallback_tiles\": %llu},\n",
       static_cast<unsigned long long>(snap.counters.bytes_packed),
       static_cast<unsigned long long>(snap.counters.slivers_packed),
       static_cast<unsigned long long>(snap.counters.slivers_reused),
@@ -333,7 +347,11 @@ std::string write_report(const std::string& run_name)
       static_cast<unsigned long long>(snap.counters.steals),
       static_cast<unsigned long long>(snap.counters.failed_steals),
       static_cast<unsigned long long>(snap.counters.parks),
-      static_cast<unsigned long long>(snap.counters.barrier_waits));
+      static_cast<unsigned long long>(snap.counters.barrier_waits),
+      static_cast<unsigned long long>(snap.counters.sparse_ll_tiles),
+      static_cast<unsigned long long>(snap.counters.sparse_ld_tiles),
+      static_cast<unsigned long long>(snap.counters.list_intersections),
+      static_cast<unsigned long long>(snap.counters.dense_fallback_tiles));
 
   // Per-phase roofline table: self time, perf deltas, and the derived
   // words/cycle + %-of-scalar-peak for the kernel phase (the paper's
@@ -439,6 +457,17 @@ void add_park() { add_counter(kCParks, 1); }
 
 void add_barrier_wait() { add_counter(kCBarrierWaits, 1); }
 
+void add_sparse(std::uint64_t ll_tiles, std::uint64_t ld_tiles,
+                std::uint64_t intersections, std::uint64_t fallback_tiles) {
+  Slot* s = slot();
+  s->counters[kCSparseLlTiles].fetch_add(ll_tiles, std::memory_order_relaxed);
+  s->counters[kCSparseLdTiles].fetch_add(ld_tiles, std::memory_order_relaxed);
+  s->counters[kCListIntersections].fetch_add(intersections,
+                                             std::memory_order_relaxed);
+  s->counters[kCDenseFallbackTiles].fetch_add(fallback_tiles,
+                                              std::memory_order_relaxed);
+}
+
 std::uint64_t queue_stamp() {
   return g_timing.load(std::memory_order_relaxed) ? now_ns() : 0;
 }
@@ -538,6 +567,10 @@ TraceSnapshot snapshot() {
     out.counters.failed_steals += c(kCFailedSteals);
     out.counters.parks += c(kCParks);
     out.counters.barrier_waits += c(kCBarrierWaits);
+    out.counters.sparse_ll_tiles += c(kCSparseLlTiles);
+    out.counters.sparse_ld_tiles += c(kCSparseLdTiles);
+    out.counters.list_intersections += c(kCListIntersections);
+    out.counters.dense_fallback_tiles += c(kCDenseFallbackTiles);
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
       out.phase_self_ns[p] += s.phase_ns[p].load(std::memory_order_relaxed);
       out.phase_perf[p].cycles +=

@@ -69,6 +69,10 @@ struct PhaseCounters {
   std::uint64_t failed_steals = 0;   ///< steal probes that found nothing / lost the race
   std::uint64_t parks = 0;           ///< worker blocks on the idle condition variable
   std::uint64_t barrier_waits = 0;   ///< fork-join caller barriers (pooled run_tasks joins)
+  std::uint64_t sparse_ll_tiles = 0;       ///< list×list register-tile kernel calls
+  std::uint64_t sparse_ld_tiles = 0;       ///< list×dense register-tile kernel calls
+  std::uint64_t list_intersections = 0;    ///< sparse row-pair intersections computed
+  std::uint64_t dense_fallback_tiles = 0;  ///< register tiles kept dense inside hybrid tiles
 };
 
 /// Per-phase perf-event totals (all zero when perf attribution was off).
@@ -154,6 +158,8 @@ void add_steal();
 void add_failed_steal();
 void add_park();
 void add_barrier_wait();
+void add_sparse(std::uint64_t ll_tiles, std::uint64_t ld_tiles,
+                std::uint64_t intersections, std::uint64_t fallback_tiles);
 
 // Thread-pool queue-wait measurement: stamp at enqueue (0 when timing is
 // off), account the wait at dequeue.
@@ -209,6 +215,8 @@ class Span {
 #define LDLA_TRACE_ADD_FAILED_STEAL() ::ldla::trace::detail::add_failed_steal()
 #define LDLA_TRACE_ADD_PARK() ::ldla::trace::detail::add_park()
 #define LDLA_TRACE_ADD_BARRIER_WAIT() ::ldla::trace::detail::add_barrier_wait()
+#define LDLA_TRACE_ADD_SPARSE(ll, ld, inters, fallback) \
+  ::ldla::trace::detail::add_sparse((ll), (ld), (inters), (fallback))
 #define LDLA_TRACE_QUEUE_STAMP() ::ldla::trace::detail::queue_stamp()
 #define LDLA_TRACE_TASK_DEQUEUED(enqueue_ns) \
   ::ldla::trace::detail::task_dequeued((enqueue_ns))
@@ -227,6 +235,8 @@ class Span {
 #define LDLA_TRACE_ADD_FAILED_STEAL() ((void)0)
 #define LDLA_TRACE_ADD_PARK() ((void)0)
 #define LDLA_TRACE_ADD_BARRIER_WAIT() ((void)0)
+#define LDLA_TRACE_ADD_SPARSE(ll, ld, inters, fallback) \
+  ((void)(ll), (void)(ld), (void)(inters), (void)(fallback))
 #define LDLA_TRACE_QUEUE_STAMP() (std::uint64_t{0})
 #define LDLA_TRACE_TASK_DEQUEUED(enqueue_ns) ((void)(enqueue_ns))
 

@@ -225,6 +225,7 @@ PUBLIC_API = {
         ("syrk_count_fused", "expect"),
     ],
     "src/core/gemm/packing.cpp": [("pack_panel", "expect")],
+    "src/core/gemm/sparse.cpp": [("build_sparse_columns", "expect")],
     "src/core/gemm/packed_bit_matrix.cpp": [
         ("PackedBitMatrix::PackedBitMatrix", "expect"),
         ("expect_packed_matches", "expect"),
@@ -256,6 +257,10 @@ PUBLIC_API = {
     ],
     "src/util/thread_pool.cpp": [("ThreadPool::parallel_for", "expect")],
     "src/util/trace.cpp": [("start_session", "expect")],
+    "src/sim/maf_spectrum.cpp": [
+        ("sample_maf_spectrum", "expect"),
+        ("simulate_maf_spectrum", "expect"),
+    ],
     "src/io/ms_format.cpp": [("parse_ms", "parse")],
     "src/io/vcf_lite.cpp": [("parse_vcf", "parse")],
     "src/io/ldm_binary.cpp": [("read_ldm", "parse")],
