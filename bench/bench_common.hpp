@@ -168,7 +168,9 @@ class BenchJson {
                  "\"failed_steals\": %llu, \"parks\": %llu, "
                  "\"barrier_waits\": %llu, \"sparse_ll_tiles\": %llu, "
                  "\"sparse_ld_tiles\": %llu, \"list_intersections\": %llu, "
-                 "\"dense_fallback_tiles\": %llu}",
+                 "\"dense_fallback_tiles\": %llu, \"io_bytes_read\": %llu, "
+                 "\"prefetch_issued\": %llu, \"prefetch_hits\": %llu, "
+                 "\"prefetch_stalls\": %llu}",
                  static_cast<unsigned long long>(c.bytes_packed),
                  static_cast<unsigned long long>(c.slivers_packed),
                  static_cast<unsigned long long>(c.slivers_reused),
@@ -184,7 +186,11 @@ class BenchJson {
                  static_cast<unsigned long long>(c.sparse_ll_tiles),
                  static_cast<unsigned long long>(c.sparse_ld_tiles),
                  static_cast<unsigned long long>(c.list_intersections),
-                 static_cast<unsigned long long>(c.dense_fallback_tiles));
+                 static_cast<unsigned long long>(c.dense_fallback_tiles),
+                 static_cast<unsigned long long>(c.io_bytes_read),
+                 static_cast<unsigned long long>(c.prefetch_issued),
+                 static_cast<unsigned long long>(c.prefetch_hits),
+                 static_cast<unsigned long long>(c.prefetch_stalls));
   }
 
   static double nan_value() {

@@ -1,0 +1,196 @@
+// Out-of-core streaming engine (DESIGN.md §4.7): ingest -> mmap'd shard
+// store -> ld_matrix_stream under a residency budget, against the
+// all-in-RAM fused ld_stat_scan of the same panel.
+//
+// Three claims, measured:
+//   (1) residency: the stream's shard residency never exceeds the budget
+//       (sampled at every emitted tile; a violation FAILS the bench) while
+//       the store is >= 4x the budget — the out-of-core contract;
+//   (2) wall: the overlapped prefetch keeps the streamed wall within ~1.25x
+//       of the in-RAM scan (asserted in full mode, reported otherwise —
+//       smoke/quick hosts are too noisy to gate on);
+//   (3) io overlap: traced io self-time stays a small fraction of wall
+//       (< 30% with prefetch on), because compute of pair k hides the
+//       fetch of pair k+1.
+//
+// Results are XOR-checksummed over the value bit patterns: both drivers
+// emit every canonical pair exactly once and are bit-identical by
+// contract, and XOR is order-independent, so the checksums must match
+// EXACTLY despite different tile geometry.
+#include "bench_common.hpp"
+
+#include <cstring>
+
+using namespace ldla;
+using namespace ldla::bench;
+
+namespace {
+
+struct ArmResult {
+  double seconds = 0.0;
+  std::uint64_t checksum = 0;
+  std::size_t peak_resident = 0;
+  trace::TraceSnapshot phases;
+};
+
+template <typename Fn>
+ArmResult best_of(int trials, Fn&& fn) {
+  ArmResult best;
+  for (int t = 0; t < trials; ++t) {
+    const ArmResult r = fn();
+    if (t == 0 || r.seconds < best.seconds) best = r;
+  }
+  return best;
+}
+
+std::uint64_t xor_tile(const LdTile& t) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < t.rows; ++i) {
+    for (std::size_t j = 0; j < t.cols; ++j) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &t.values[i * t.ld + j], 8);
+      acc ^= bits + 0x9e3779b97f4a7c15ULL * (t.row_begin + i) +
+             0xc2b2ae3d27d4eb4fULL * (t.col_begin + j);
+    }
+  }
+  return acc;
+}
+
+std::string mib(double bytes) {
+  return fmt_fixed(bytes / (1024.0 * 1024.0), 1) + " MiB";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  maybe_start_trace(argc, argv, "stream");
+  print_header("Out-of-core streaming vs in-RAM fused scan",
+               "chromosome-scale panels: mmap'd sliver shards, double-"
+               "buffered prefetch, O(budget) residency");
+
+  const int trials = smoke_mode() ? 1 : 3;
+  const std::size_t n = full_mode() ? 16384 : smoke_mode() ? 384 : 4096;
+  const std::size_t k = full_mode() ? 1024 : smoke_mode() ? 130 : 320;
+  const std::size_t rows_per_shard = (n + 15) / 16;  // 16 shards
+  BenchJson json("stream");
+  Table table({"arm", "wall s", "peak resident", "io self s"});
+  int rc = 0;
+
+  const BitMatrix g = random_bits(n, k, 424242);
+  GemmConfig cfg;  // kAuto
+
+  // ---- ingest (once; the pack cost the store amortizes) ----------------
+  const std::string store_path =
+      std::string(std::getenv("TMPDIR") != nullptr ? std::getenv("TMPDIR")
+                                                   : "/tmp") +
+      "/bench_stream.ldshard";
+  Timer ingest_timer;
+  write_shard_store(store_path, g.view(), cfg, rows_per_shard);
+  const double ingest_seconds = ingest_timer.seconds();
+  ShardStore store = ShardStore::open(store_path);
+  json.add("ingest", "auto", n, k, ingest_seconds,
+           static_cast<double>(n) / ingest_seconds);
+
+  // Budget: a quarter of the store, floored at the walker's minimum.
+  const std::size_t budget =
+      std::max(4 * store.max_shard_bytes(), store.total_payload_bytes() / 4);
+  std::printf("store: %zu shards, %s payload; budget %s (%.1fx store)\n",
+              store.shards(),
+              mib(static_cast<double>(store.total_payload_bytes())).c_str(),
+              mib(static_cast<double>(budget)).c_str(),
+              static_cast<double>(store.total_payload_bytes()) /
+                  static_cast<double>(budget));
+
+  LdOptions opts;
+  opts.gemm = cfg;
+
+  // ---- arm 1: all-in-RAM fused scan ------------------------------------
+  const ArmResult in_ram = best_of(trials, [&] {
+    ArmResult r;
+    const trace::TraceSnapshot before = trace::snapshot();
+    Timer timer;
+    ld_stat_scan(g, [&](const LdTile& t) { r.checksum ^= xor_tile(t); },
+                 opts);
+    r.seconds = timer.seconds();
+    r.phases = trace::snapshot().since(before);
+    return r;
+  });
+
+  // ---- arm 2: streamed under the budget --------------------------------
+  const ArmResult streamed = best_of(trials, [&] {
+    ArmResult r;
+    StreamOptions sopts;
+    sopts.cache_bytes = budget;
+    const trace::TraceSnapshot before = trace::snapshot();
+    Timer timer;
+    ld_matrix_stream(store,
+                     [&](const LdTile& t) {
+                       r.checksum ^= xor_tile(t);
+                       r.peak_resident =
+                           std::max(r.peak_resident, store.resident_bytes());
+                     },
+                     sopts);
+    r.seconds = timer.seconds();
+    r.phases = trace::snapshot().since(before);
+    return r;
+  });
+
+  // ---- the three claims -------------------------------------------------
+  if (streamed.checksum != in_ram.checksum) {
+    std::printf("STREAM CHECKSUM MISMATCH (stream %016llx vs scan %016llx)\n",
+                static_cast<unsigned long long>(streamed.checksum),
+                static_cast<unsigned long long>(in_ram.checksum));
+    rc = 1;
+  }
+  if (streamed.peak_resident > budget) {
+    std::printf("RESIDENCY BUDGET VIOLATED (%s peak vs %s budget)\n",
+                mib(static_cast<double>(streamed.peak_resident)).c_str(),
+                mib(static_cast<double>(budget)).c_str());
+    rc = 1;
+  }
+  const double ratio = streamed.seconds / in_ram.seconds;
+  const double io_self =
+      static_cast<double>(
+          streamed.phases
+              .phase_self_ns[static_cast<std::size_t>(trace::Phase::kIo)]) /
+      1e9;
+  const double io_frac = io_self / streamed.seconds;
+  if (full_mode() && ratio > 1.25) {
+    std::printf("STREAM OVERHEAD TOO HIGH (%.2fx in-RAM wall)\n", ratio);
+    rc = 1;
+  }
+  if (full_mode() && trace::compiled() && io_frac > 0.30) {
+    std::printf("IO NOT OVERLAPPED (%.0f%% of wall)\n", 100.0 * io_frac);
+    rc = 1;
+  }
+
+  const double pairs = static_cast<double>(ld_pair_count(n));
+  json.add("in-ram-scan", "auto", n, k, in_ram.seconds,
+           pairs / in_ram.seconds, -1.0, in_ram.phases);
+  json.add("stream-budget", "auto", n, k, streamed.seconds,
+           pairs / streamed.seconds, -1.0, streamed.phases);
+  table.add_row({"in-RAM ld_stat_scan", fmt_fixed(in_ram.seconds, 3), "-",
+                 "-"});
+  table.add_row({"ld_matrix_stream",
+                 fmt_fixed(streamed.seconds, 3),
+                 mib(static_cast<double>(streamed.peak_resident)),
+                 fmt_fixed(io_self, 3)});
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nstream/in-RAM wall: %.2fx (budget %s, io %.1f%% of wall, "
+      "%llu issued / %llu hits / %llu stalls)\n"
+      "expected shape: ~1x wall at a quarter-store budget — prefetch of\n"
+      "pair k+1 hides under compute of pair k, so the stream pays only\n"
+      "the pack-adoption and eviction bookkeeping; residency stays under\n"
+      "the budget by construction (make_room reserves before it loads).\n",
+      ratio, mib(static_cast<double>(budget)).c_str(), 100.0 * io_frac,
+      static_cast<unsigned long long>(
+          streamed.phases.counters.prefetch_issued),
+      static_cast<unsigned long long>(streamed.phases.counters.prefetch_hits),
+      static_cast<unsigned long long>(
+          streamed.phases.counters.prefetch_stalls));
+  std::remove(store_path.c_str());
+  const bool json_ok = json.flush();
+  const bool trace_ok = finish_trace();
+  return (json_ok && trace_ok) ? rc : 1;
+}

@@ -28,6 +28,12 @@ import json
 import os
 import sys
 
+# Streaming-engine counters diffed alongside the phase times: a wall-time
+# regression in an out-of-core run is usually explained by one of these
+# (more bytes faulted, prefetches no longer landing ahead of compute).
+IO_COUNTERS = ["io_bytes_read", "prefetch_issued", "prefetch_hits",
+               "prefetch_stalls"]
+
 
 def load_rows(directory):
     """Map (bench, workload, kernel, snps, samples) -> row dict."""
@@ -71,6 +77,16 @@ def phase_diff_lines(base_row, cand_row):
             continue
         delta = f" ({cs / bs:.2f}x)" if bs > 0 else ""
         lines.append(f"      {phase}: {bs:.4g}s -> {cs:.4g}s{delta}")
+    bc = base_row.get("counters")
+    cc = cand_row.get("counters")
+    if isinstance(bc, dict) and isinstance(cc, dict):
+        for name in IO_COUNTERS:
+            bv = bc.get(name, 0) or 0
+            cv = cc.get(name, 0) or 0
+            if bv == 0 and cv == 0:
+                continue
+            delta = f" ({cv / bv:.2f}x)" if bv > 0 else ""
+            lines.append(f"      {name}: {bv} -> {cv}{delta}")
     return lines
 
 

@@ -41,7 +41,8 @@ COUNTER_KEYS = {"bytes_packed", "slivers_packed", "slivers_reused",
                 "epilogue_rows", "task_runs", "steals", "failed_steals",
                 "parks", "barrier_waits", "sparse_ll_tiles",
                 "sparse_ld_tiles", "list_intersections",
-                "dense_fallback_tiles"}
+                "dense_fallback_tiles", "io_bytes_read", "prefetch_issued",
+                "prefetch_hits", "prefetch_stalls"}
 EVENT_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
 
 

@@ -43,6 +43,27 @@ inline StatTables make_stat_tables(const BitMatrix& g) {
   return t;
 }
 
+/// Same tables from already-known per-SNP derived counts (the shard store
+/// persists pack-time popcounts, so the streaming driver never touches the
+/// bit matrix). Arithmetic is identical operation-for-operation to
+/// make_stat_tables, which is what keeps streamed statistics bit-identical
+/// to the in-memory drivers.
+inline StatTables make_stat_tables_from_counts(
+    const std::vector<std::uint64_t>& counts, std::uint64_t nseq) {
+  StatTables t;
+  t.nseq = nseq;
+  t.n = static_cast<double>(nseq);
+  t.p.resize(counts.size());
+  t.inv.resize(counts.size());
+  t.c = counts;
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    const double p = static_cast<double>(counts[s]) / t.n;
+    t.p[s] = p;
+    t.inv[s] = 1.0 / (p * (1.0 - p));
+  }
+  return t;
+}
+
 /// out[j] = statistic(SNP i, SNP col_begin + j) for j in [0, cols), given
 /// this row's pair counts: counts[j] = POPCNT(s_i & s_{col_begin+j}).
 inline void stat_row_shifted(LdStatistic stat, const StatTables& t,

@@ -105,6 +105,8 @@ void PackedBitMatrix::build_sample_major(const BitMatrixView& m) {
   for (std::size_t i = 0; i < sparse_.index.size(); ++i) {
     scaled_index_[i] = sparse_.index[i] * stride32;
   }
+  sm_ptr_ = sample_major_.data();
+  scaled_ptr_ = scaled_index_.data();
 }
 
 std::vector<std::uint8_t> PackedBitMatrix::sliver_flags(std::size_t r) const {
@@ -127,8 +129,87 @@ PackedBitMatrix PackedBitMatrix::pack(const BitMatrixView& m,
   return PackedBitMatrix(m, resolve_plan(cfg, m.n_words), sides, threads);
 }
 
-void PackedBitMatrix::pack_side(const BitMatrixView& m, Side& side,
-                                std::size_t r, unsigned threads) {
+namespace {
+
+void expect_payload_aligned(const void* p, const char* what) {
+  LDLA_EXPECT(reinterpret_cast<std::uintptr_t>(p) % 64 == 0, what);
+}
+
+}  // namespace
+
+PackedBitMatrix PackedBitMatrix::from_external(ExternalPack ext) {
+  LDLA_EXPECT(ext.plan.packing,
+              "external pack requires a plan with packing enabled");
+  LDLA_EXPECT(ext.plan.mr != 0 && ext.plan.nr != 0 && ext.plan.ku != 0 &&
+                  ext.plan.kc_words != 0,
+              "external pack requires a fully resolved plan");
+  LDLA_EXPECT(ext.n_snps != 0 && ext.n_words != 0 && ext.n_samples != 0,
+              "external pack must describe a non-empty matrix");
+  LDLA_EXPECT(ext.a_data != nullptr, "external pack must carry an A payload");
+  expect_payload_aligned(ext.a_data, "external A payload must be 64B aligned");
+
+  PackedBitMatrix out;
+  out.plan_ = ext.plan;
+  out.n_snps_ = ext.n_snps;
+  out.n_words_ = ext.n_words;
+  out.n_samples_ = ext.n_samples;
+  const std::size_t k_padded =
+      (ext.n_words + ext.plan.ku - 1) / ext.plan.ku * ext.plan.ku;
+  out.kc_ = ext.plan.kc_words < k_padded ? ext.plan.kc_words : k_padded;
+  out.panels_ = (ext.n_words + out.kc_ - 1) / out.kc_;
+
+  out.init_side_layout(out.a_, ext.plan.mr);
+  out.a_.ptr = ext.a_data;
+  if (ext.b_data != nullptr) {
+    expect_payload_aligned(ext.b_data,
+                           "external B payload must be 64B aligned");
+    out.init_side_layout(out.b_, ext.plan.nr);
+    out.b_.ptr = ext.b_data;
+  } else {
+    LDLA_EXPECT(ext.plan.nr == ext.plan.mr,
+                "external pack without a B payload requires mr == nr");
+    out.b_shares_a_ = true;
+  }
+
+  LDLA_EXPECT(ext.sparse.popcount.size() == ext.n_snps &&
+                  ext.sparse.kind.size() == ext.n_snps,
+              "external sparse metadata does not cover every column");
+  LDLA_EXPECT(ext.sparse.offset.empty() ||
+                  (ext.sparse.offset.size() == ext.n_snps + 1 &&
+                   ext.sparse.offset.back() == ext.sparse.index.size()),
+              "external sparse CSR offsets are inconsistent");
+  out.sparse_ = std::move(ext.sparse);
+
+  const auto check_flags = [](const std::vector<std::uint8_t>& v,
+                              std::size_t slivers) {
+    LDLA_EXPECT(v.empty() || v.size() == slivers,
+                "external sliver-sparse flags do not match the sliver grid");
+  };
+  check_flags(ext.a_sliver_sparse, out.a_.slivers);
+  check_flags(ext.b_sliver_sparse,
+              out.b_shares_a_ ? out.a_.slivers : out.b_.slivers);
+  out.a_sliver_sparse_ = std::move(ext.a_sliver_sparse);
+  out.b_sliver_sparse_ = std::move(ext.b_sliver_sparse);
+  const auto any = [](const std::vector<std::uint8_t>& v) {
+    return std::find(v.begin(), v.end(), std::uint8_t{1}) != v.end();
+  };
+  out.hybrid_ = any(out.a_sliver_sparse_) || any(out.b_sliver_sparse_);
+
+  if (ext.sample_major != nullptr) {
+    expect_payload_aligned(ext.sample_major,
+                           "external sample-major payload must be aligned");
+    LDLA_EXPECT(ext.sm_stride == (ext.n_snps + 63) / 64,
+                "external sample-major stride does not match the SNP count");
+    LDLA_EXPECT(ext.scaled_index != nullptr || out.sparse_.index.empty(),
+                "external pack with a transpose must carry prescaled lists");
+    out.sm_stride_ = ext.sm_stride;
+    out.sm_ptr_ = ext.sample_major;
+    out.scaled_ptr_ = ext.scaled_index;
+  }
+  return out;
+}
+
+std::size_t PackedBitMatrix::init_side_layout(Side& side, std::size_t r) const {
   side.r = r;
   side.slivers = (n_snps_ + r - 1) / r;
   side.panel_offset.resize(panels_ + 1);
@@ -138,7 +219,15 @@ void PackedBitMatrix::pack_side(const BitMatrixView& m, Side& side,
     words += side.slivers * r * panel_kc_padded(p);
   }
   side.panel_offset[panels_] = words;
+  side.words = words;
+  return words;
+}
+
+void PackedBitMatrix::pack_side(const BitMatrixView& m, Side& side,
+                                std::size_t r, unsigned threads) {
+  const std::size_t words = init_side_layout(side, r);
   side.data = AlignedBuffer<std::uint64_t>(words);
+  side.ptr = side.data.data();
   const std::size_t team = std::max<std::size_t>(
       1, std::min<std::size_t>(threads, side.slivers));
   if (team <= 1) {
@@ -182,7 +271,7 @@ PackedPanelView PackedBitMatrix::side_panel(const Side& side, std::size_t p,
   const std::size_t kcp = panel_kc_padded(p);
   LDLA_TRACE_ADD_REUSE(static_cast<std::uint64_t>(slivers));
   return PackedPanelView{
-      side.data.data() + side.panel_offset[p] + sliver_begin * side.r * kcp,
+      side.ptr + side.panel_offset[p] + sliver_begin * side.r * kcp,
       slivers, side.r, kcp};
 }
 

@@ -17,6 +17,14 @@
 // buffer with zero copying. When mr == nr one copy serves both operand
 // sides. Memory cost: ceil(n_snps/r)*r * ceil(k/ku)*ku words per side
 // (~ the bit matrix itself per side).
+//
+// Storage can be owned (packed here from a BitMatrixView) or adopted from
+// caller-managed memory via from_external(): the shard store (io/
+// shard_store.hpp) persists exactly this layout on disk and memory-maps it
+// back, so a mapped shard is consumed by every packed/fused/nest driver
+// with zero copy. The large payloads (slivers, sample-major transpose,
+// prescaled index lists) alias the external memory; the small sparse
+// metadata (CSR offsets, kinds, popcounts, sliver flags) is copied in.
 #pragma once
 
 #include <cstddef>
@@ -37,6 +45,25 @@ namespace ldla {
 /// share storage when mr == nr); cross-matrix drivers pack A-only / B-only.
 enum class PackSides { kBoth, kA, kB };
 
+/// Descriptor for adopting an externally materialized pack (the mmap'd
+/// shard store). Payload pointers must be 64-byte aligned, immutable, and
+/// outlive the PackedBitMatrix; metadata members are moved in. A null
+/// b_data with mr == nr shares the A payload between both operand sides.
+struct ExternalPack {
+  GemmPlan plan;
+  std::size_t n_snps = 0;
+  std::size_t n_words = 0;
+  std::size_t n_samples = 0;
+  const std::uint64_t* a_data = nullptr;
+  const std::uint64_t* b_data = nullptr;
+  SparseColumns sparse;
+  std::vector<std::uint8_t> a_sliver_sparse;
+  std::vector<std::uint8_t> b_sliver_sparse;
+  const std::uint64_t* sample_major = nullptr;  ///< null = transpose absent
+  std::size_t sm_stride = 0;
+  const std::uint32_t* scaled_index = nullptr;  ///< null = transpose absent
+};
+
 class PackedBitMatrix {
  public:
   PackedBitMatrix() = default;
@@ -55,6 +82,13 @@ class PackedBitMatrix {
                               const GemmConfig& cfg = {},
                               PackSides sides = PackSides::kBoth,
                               unsigned threads = 1);
+
+  /// Adopt a pack whose payloads live in caller-managed memory (see
+  /// ExternalPack). Byte-for-byte the layout an owning pack of the same
+  /// matrix and plan would hold, so the drivers cannot tell the difference.
+  /// Contract-checks plan resolution, payload alignment, and that the
+  /// metadata sizes are consistent with the plan-implied sliver geometry.
+  static PackedBitMatrix from_external(ExternalPack ext);
 
   PackedBitMatrix(PackedBitMatrix&&) noexcept = default;
   PackedBitMatrix& operator=(PackedBitMatrix&&) noexcept = default;
@@ -89,9 +123,26 @@ class PackedBitMatrix {
     return (panel_kc(p) + ku - 1) / ku * ku;
   }
 
-  /// Total words held across both sides (memory footprint).
+  /// Total words held across both sides (memory footprint; external
+  /// payloads count the words they alias).
   [[nodiscard]] std::size_t packed_words() const noexcept {
-    return a_.data.size() + b_.data.size();
+    return a_.words + b_.words;
+  }
+
+  // Raw payload access for the shard-store writer (io/shard_store.cpp):
+  // the serialized sections are exactly these spans. b_data() is null when
+  // the B side shares A's storage or was not materialized.
+  [[nodiscard]] const std::uint64_t* a_data() const noexcept { return a_.ptr; }
+  [[nodiscard]] std::size_t a_data_words() const noexcept { return a_.words; }
+  [[nodiscard]] const std::uint64_t* b_data() const noexcept { return b_.ptr; }
+  [[nodiscard]] std::size_t b_data_words() const noexcept { return b_.words; }
+  [[nodiscard]] const std::vector<std::uint8_t>& a_sliver_flags()
+      const noexcept {
+    return a_sliver_sparse_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& b_sliver_flags()
+      const noexcept {
+    return b_sliver_sparse_;
   }
 
   /// View of `slivers` consecutive A-side (r = mr) groups of k-panel `p`,
@@ -140,7 +191,7 @@ class PackedBitMatrix {
     return sm_stride_ != 0;
   }
   [[nodiscard]] const std::uint64_t* sample_major() const noexcept {
-    return sample_major_.data();
+    return sm_ptr_;
   }
   /// Words per sample-major row (0 when the transpose was not built).
   [[nodiscard]] std::size_t sample_major_stride() const noexcept {
@@ -155,7 +206,7 @@ class PackedBitMatrix {
   /// dispatcher falls back to the unscaled lists for cross-matrix partners
   /// of a different stride. Null when the transpose was not built.
   [[nodiscard]] const std::uint32_t* scaled_index() const noexcept {
-    return scaled_index_.data();
+    return scaled_ptr_;
   }
 
  private:
@@ -163,11 +214,16 @@ class PackedBitMatrix {
     std::size_t r = 0;        ///< register blocking (0 = side not packed)
     std::size_t slivers = 0;  ///< ceil(n_snps / r)
     std::vector<std::size_t> panel_offset;  ///< word offset of each k panel
-    AlignedBuffer<std::uint64_t> data;
+    AlignedBuffer<std::uint64_t> data;      ///< empty for external payloads
+    const std::uint64_t* ptr = nullptr;     ///< payload (owned or external)
+    std::size_t words = 0;                  ///< payload extent in words
   };
 
   void pack_side(const BitMatrixView& m, Side& side, std::size_t r,
                  unsigned threads);
+  /// Fill the plan-implied sliver/panel geometry of a side; returns the
+  /// total payload words (identical for owned and external storage).
+  std::size_t init_side_layout(Side& side, std::size_t r) const;
   void build_sample_major(const BitMatrixView& m);
   [[nodiscard]] std::vector<std::uint8_t> sliver_flags(std::size_t r) const;
   [[nodiscard]] PackedPanelView side_panel(const Side& side, std::size_t p,
@@ -190,6 +246,8 @@ class PackedBitMatrix {
   AlignedBuffer<std::uint64_t> sample_major_;  ///< samples × sm_stride_ words
   std::size_t sm_stride_ = 0;                  ///< 0 = transpose not built
   AlignedBuffer<std::uint32_t> scaled_index_;  ///< index × sm_stride_
+  const std::uint64_t* sm_ptr_ = nullptr;      ///< transpose (owned/external)
+  const std::uint32_t* scaled_ptr_ = nullptr;  ///< prescaled lists (ditto)
 };
 
 /// Guard helper for drivers accepting a caller-supplied packed operand:

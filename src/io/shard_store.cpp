@@ -1,0 +1,758 @@
+// Shard store implementation. This is the ONLY translation unit allowed to
+// issue mmap/munmap/madvise/mincore (lint rule 8): every other layer sees
+// shards as PackedBitMatrix references and residency as byte counts.
+
+#include "io/shard_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "util/trace.hpp"
+
+namespace ldla {
+namespace {
+
+// "LDLASH01": LDLA SHard store, format version 01.
+constexpr unsigned char kMagic[8] = {'L', 'D', 'L', 'A', 'S', 'H', '0', '1'};
+constexpr std::size_t kHeaderU64s = 14;
+constexpr std::size_t kHeaderBytes = sizeof(kMagic) + kHeaderU64s * 8;
+constexpr std::size_t kRecordU64s = 16;
+constexpr std::size_t kRecordBytes = kRecordU64s * 8;
+constexpr std::size_t kAlign = 64;  ///< every section offset (payload pointers
+                                    ///< must satisfy AlignedBuffer alignment)
+
+[[noreturn]] void bad(const std::string& what) {
+  throw ParseError("shard store: " + what);
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// a * b, or ParseError when the product overflows (forged counts).
+std::uint64_t mul_checked(std::uint64_t a, std::uint64_t b) {
+  const __uint128_t wide = static_cast<__uint128_t>(a) * b;
+  if (wide > std::numeric_limits<std::uint64_t>::max()) {
+    bad("section size overflows (absurd element count)");
+  }
+  return static_cast<std::uint64_t>(wide);
+}
+
+/// The pack geometry a shard of `rows` SNPs must have under `plan`: the
+/// exact words-per-side formula of PackedBitMatrix::init_side_layout, in
+/// closed form (every panel but the last holds kc words, so the padded
+/// panel sum needs no per-panel walk — forged headers cannot make this
+/// slow). Any recorded sliver extent differing from this is forged.
+std::uint64_t expected_side_words(const GemmPlan& plan, std::uint64_t rows,
+                                  std::uint64_t n_words, std::uint64_t r) {
+  const std::uint64_t k_padded = (n_words + plan.ku - 1) / plan.ku * plan.ku;
+  const std::uint64_t kc = plan.kc_words < k_padded ? plan.kc_words : k_padded;
+  const std::uint64_t panels = (n_words + kc - 1) / kc;
+  const std::uint64_t slivers = (rows + r - 1) / r;
+  const std::uint64_t kcp_full = (kc + plan.ku - 1) / plan.ku * plan.ku;
+  const std::uint64_t last_kc = n_words - (panels - 1) * kc;
+  const std::uint64_t kcp_last = (last_kc + plan.ku - 1) / plan.ku * plan.ku;
+  const __uint128_t kcp_sum =
+      static_cast<__uint128_t>(panels - 1) * kcp_full + kcp_last;
+  const __uint128_t words = static_cast<__uint128_t>(slivers) * r * kcp_sum;
+  if (words > std::numeric_limits<std::uint64_t>::max()) {
+    bad("side payload size overflows (absurd geometry)");
+  }
+  return static_cast<std::uint64_t>(words);
+}
+
+std::uint64_t slivers_for(std::uint64_t rows, std::uint64_t r) {
+  return (rows + r - 1) / r;
+}
+
+/// Validate one recorded extent and remember it for the overlap check.
+/// `off` == 0 is the absent marker and must pair with `bytes` == 0.
+void check_extent(std::uint64_t off, std::uint64_t bytes,
+                  std::uint64_t file_bytes, const char* what,
+                  std::vector<std::pair<std::uint64_t, std::uint64_t>>* spans) {
+  if (off == 0) {
+    if (bytes != 0) bad(std::string(what) + " has bytes but no offset");
+    return;
+  }
+  if (bytes == 0) bad(std::string(what) + " has an offset but zero bytes");
+  if (off % kAlign != 0) bad(std::string(what) + " offset is not 64B aligned");
+  if (off < kHeaderBytes) bad(std::string(what) + " overlaps the header");
+  if (off > file_bytes || bytes > file_bytes - off) {
+    bad(std::string(what) + " extends past the end of the file");
+  }
+  spans->emplace_back(off, bytes);
+}
+
+}  // namespace
+
+ShardIndex parse_shard_index(const std::uint8_t* data, std::size_t size) {
+  LDLA_EXPECT(data != nullptr || size == 0,
+              "parse_shard_index requires a valid byte span");
+  if (size < kHeaderBytes) bad("truncated header");
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) bad("bad magic");
+
+  std::uint64_t h[kHeaderU64s];
+  for (std::size_t i = 0; i < kHeaderU64s; ++i) {
+    h[i] = read_u64(data + sizeof(kMagic) + i * 8);
+  }
+  ShardIndex out;
+  out.n_snps = h[0];
+  out.n_words = h[1];
+  out.n_samples = h[2];
+  const std::uint64_t arch = h[3];
+  out.plan.mr = h[4];
+  out.plan.nr = h[5];
+  out.plan.ku = h[6];
+  out.plan.kc_words = h[7];
+  out.plan.mc = h[8];
+  out.plan.nc = h[9];
+  out.plan.sparse_threshold = h[10];
+  out.plan.packing = true;  // the store persists the packed layout only
+  const std::uint64_t shard_count = h[11];
+  out.file_bytes = h[12];
+  const std::uint64_t dir_off = h[13];
+
+  if (out.n_snps == 0 || out.n_words == 0 || out.n_samples == 0) {
+    bad("empty matrix dimensions");
+  }
+  if (out.n_snps > (std::uint64_t{1} << 48)) bad("absurd SNP count");
+  if (out.n_samples >= (std::uint64_t{1} << 32)) bad("absurd sample count");
+  if (out.n_words != words_for_bits(out.n_samples)) {
+    bad("word count inconsistent with sample count");
+  }
+  // Plans come from resolve_plan, whose outputs are machine-bounded; a
+  // header claiming parameters outside these ranges is forged, and the
+  // bounds keep every later geometry product overflow-free.
+  if (arch == 0 || arch > static_cast<std::uint64_t>(KernelArch::kAvx512Wide)) {
+    bad("unknown or unresolved kernel arch");
+  }
+  out.plan.arch = static_cast<KernelArch>(arch);
+  if (out.plan.mr == 0 || out.plan.mr > 64 || out.plan.nr == 0 ||
+      out.plan.nr > 64 || out.plan.ku == 0 || out.plan.ku > 64) {
+    bad("absurd register blocking");
+  }
+  if (out.plan.kc_words == 0 || out.plan.kc_words > (std::uint64_t{1} << 28) ||
+      out.plan.mc == 0 || out.plan.mc > (std::uint64_t{1} << 28) ||
+      out.plan.nc == 0 || out.plan.nc > (std::uint64_t{1} << 28)) {
+    bad("absurd cache blocking");
+  }
+  if (out.plan.sparse_threshold > out.n_samples) {
+    bad("sparse threshold exceeds the sample count");
+  }
+  if (out.file_bytes != size) bad("recorded file size does not match");
+  if (shard_count == 0 || shard_count > out.n_snps) bad("absurd shard count");
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+  const std::uint64_t dir_bytes = mul_checked(shard_count, kRecordBytes);
+  check_extent(dir_off, dir_bytes, out.file_bytes, "directory", &spans);
+  if (dir_off == 0) bad("missing directory");
+
+  out.shards.resize(shard_count);
+  for (std::uint64_t s = 0; s < shard_count; ++s) {
+    std::uint64_t r[kRecordU64s];
+    for (std::size_t i = 0; i < kRecordU64s; ++i) {
+      r[i] = read_u64(data + dir_off + s * kRecordBytes + i * 8);
+    }
+    ShardRecord& rec = out.shards[s];
+    rec.row_begin = r[0];
+    rec.row_end = r[1];
+    rec.a_off = r[2];
+    rec.a_words = r[3];
+    rec.b_off = r[4];
+    rec.b_words = r[5];
+    rec.pop_off = r[6];
+    rec.kind_off = r[7];
+    rec.csr_off = r[8];
+    rec.index_off = r[9];
+    rec.index_count = r[10];
+    rec.scaled_off = r[11];
+    rec.sm_off = r[12];
+    rec.sm_stride = r[13];
+    rec.aflags_off = r[14];
+    rec.bflags_off = r[15];
+
+    // Shards must partition [0, n_snps) contiguously in order.
+    const std::uint64_t expect_begin = s == 0 ? 0 : out.shards[s - 1].row_end;
+    if (rec.row_begin != expect_begin || rec.row_end <= rec.row_begin ||
+        rec.row_end > out.n_snps) {
+      bad("shard rows do not partition the matrix");
+    }
+    if (s == shard_count - 1 && rec.row_end != out.n_snps) {
+      bad("shards do not cover every SNP row");
+    }
+    const std::uint64_t rows = rec.rows();
+
+    // Sliver payloads must have EXACTLY the plan-implied size — this is
+    // the "absurd sliver count" defense: a forged a_words cannot smuggle
+    // an oversized (or undersized) panel past the drivers.
+    if (rec.a_words !=
+        expected_side_words(out.plan, rows, out.n_words, out.plan.mr)) {
+      bad("A-side extent inconsistent with the plan geometry");
+    }
+    check_extent(rec.a_off, mul_checked(rec.a_words, 8), out.file_bytes,
+                 "A slivers", &spans);
+    if (rec.a_off == 0) bad("shard lacks an A payload");
+    if (rec.b_off == 0) {
+      if (rec.b_words != 0) bad("shared B side must record zero words");
+      if (out.plan.mr != out.plan.nr) {
+        bad("B side absent but register tile is not square");
+      }
+    } else {
+      if (rec.b_words !=
+          expected_side_words(out.plan, rows, out.n_words, out.plan.nr)) {
+        bad("B-side extent inconsistent with the plan geometry");
+      }
+      check_extent(rec.b_off, mul_checked(rec.b_words, 8), out.file_bytes,
+                   "B slivers", &spans);
+    }
+
+    check_extent(rec.pop_off, mul_checked(rows, 4), out.file_bytes,
+                 "popcounts", &spans);
+    check_extent(rec.kind_off, rows, out.file_bytes, "column kinds", &spans);
+    check_extent(rec.csr_off, mul_checked(rows + 1, 8), out.file_bytes,
+                 "CSR offsets", &spans);
+    if (rec.pop_off == 0 || rec.kind_off == 0 || rec.csr_off == 0) {
+      bad("shard lacks sparse metadata sections");
+    }
+    if (rec.index_count > mul_checked(rows, out.n_samples)) {
+      bad("absurd index-list count");
+    }
+    if ((rec.index_off != 0) != (rec.index_count != 0)) {
+      bad("index list presence inconsistent with its count");
+    }
+    check_extent(rec.index_off, mul_checked(rec.index_count, 4),
+                 out.file_bytes, "index lists", &spans);
+
+    if (rec.sm_off != 0) {
+      if (rec.sm_stride != words_for_bits(rows)) {
+        bad("sample-major stride inconsistent with the shard rows");
+      }
+      const std::uint64_t sm_words = mul_checked(out.n_samples, rec.sm_stride);
+      if (sm_words > std::numeric_limits<std::uint32_t>::max()) {
+        bad("sample-major transpose too large for prescaled 32-bit lists");
+      }
+      check_extent(rec.sm_off, mul_checked(sm_words, 8), out.file_bytes,
+                   "sample-major transpose", &spans);
+    } else if (rec.sm_stride != 0) {
+      bad("sample-major stride recorded without a transpose");
+    }
+    // Prescaled lists exist exactly when there are lists to scale AND a
+    // transpose to scale against.
+    if ((rec.scaled_off != 0) !=
+        (rec.index_count != 0 && rec.sm_off != 0)) {
+      bad("prescaled list presence inconsistent with transpose/lists");
+    }
+    check_extent(rec.scaled_off,
+                 rec.scaled_off != 0 ? mul_checked(rec.index_count, 4) : 0,
+                 out.file_bytes, "prescaled lists", &spans);
+
+    // Sliver flags are optional (absent when no sliver classified sparse).
+    check_extent(rec.aflags_off,
+                 rec.aflags_off != 0 ? slivers_for(rows, out.plan.mr) : 0,
+                 out.file_bytes, "A sliver flags", &spans);
+    if (rec.b_off == 0 && rec.bflags_off != 0) {
+      bad("B sliver flags recorded for a shared B side");
+    }
+    check_extent(rec.bflags_off,
+                 rec.bflags_off != 0 ? slivers_for(rows, out.plan.nr) : 0,
+                 out.file_bytes, "B sliver flags", &spans);
+  }
+
+  // No two recorded extents may overlap (a forged directory aliasing the
+  // same bytes into two shards, or a payload into the directory).
+  std::sort(spans.begin(), spans.end());
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i - 1].first + spans[i - 1].second > spans[i].first) {
+      bad("overlapping extents");
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+namespace {
+
+void put_u64(std::ofstream& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out.write(buf, sizeof(buf));
+}
+
+/// Pad to the 64-byte alignment boundary, write `bytes` of `data`, and
+/// return the section's file offset.
+std::uint64_t put_section(std::ofstream& out, const void* data,
+                          std::uint64_t bytes) {
+  static const char zeros[kAlign] = {};
+  std::uint64_t pos = static_cast<std::uint64_t>(out.tellp());
+  if (pos % kAlign != 0) {
+    out.write(zeros, static_cast<std::streamsize>(kAlign - pos % kAlign));
+    pos += kAlign - pos % kAlign;
+  }
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  return pos;
+}
+
+void put_header(std::ofstream& out, const ShardIndex& idx,
+                std::uint64_t shard_count, std::uint64_t dir_off) {
+  out.write(reinterpret_cast<const char*>(kMagic), sizeof(kMagic));
+  put_u64(out, idx.n_snps);
+  put_u64(out, idx.n_words);
+  put_u64(out, idx.n_samples);
+  put_u64(out, static_cast<std::uint64_t>(idx.plan.arch));
+  put_u64(out, idx.plan.mr);
+  put_u64(out, idx.plan.nr);
+  put_u64(out, idx.plan.ku);
+  put_u64(out, idx.plan.kc_words);
+  put_u64(out, idx.plan.mc);
+  put_u64(out, idx.plan.nc);
+  put_u64(out, idx.plan.sparse_threshold);
+  put_u64(out, shard_count);
+  put_u64(out, idx.file_bytes);
+  put_u64(out, dir_off);
+}
+
+}  // namespace
+
+void write_shard_store(const std::string& path, const BitMatrixView& m,
+                       const GemmConfig& cfg, std::size_t rows_per_shard,
+                       unsigned threads) {
+  LDLA_EXPECT(!m.empty() && m.n_samples != 0,
+              "write_shard_store requires a non-empty matrix");
+  LDLA_EXPECT(rows_per_shard != 0, "rows_per_shard must be positive");
+  LDLA_EXPECT(cfg.packing,
+              "the shard store persists the packed layout; packing must be "
+              "enabled in the config");
+
+  ShardIndex idx;
+  idx.n_snps = m.n_snps;
+  idx.n_words = m.n_words;
+  idx.n_samples = m.n_samples;
+  idx.plan = resolve_plan(cfg, m.n_words);
+  // A threshold beyond the sample count classifies columns identically to
+  // one at the count; persist the clamp so the header bound stays checkable.
+  idx.plan.sparse_threshold =
+      std::min(idx.plan.sparse_threshold, m.n_samples);
+  const std::size_t shard_count =
+      (m.n_snps + rows_per_shard - 1) / rows_per_shard;
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("shard store: cannot create " + path);
+  put_header(out, idx, shard_count, 0);  // placeholder: backpatched below
+
+  // Pack and serialize shard-at-a-time: one pack alive at once, so ingest
+  // memory stays O(rows_per_shard) however large the matrix is.
+  std::vector<ShardRecord> records(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t r0 = s * rows_per_shard;
+    const std::size_t r1 = std::min(m.n_snps, r0 + rows_per_shard);
+    const BitMatrixView sub{m.row(r0), r1 - r0, m.n_words, m.stride_words,
+                            m.n_samples};
+    const PackedBitMatrix pk(sub, idx.plan, PackSides::kBoth, threads);
+    const SparseColumns& sp = pk.sparse_columns();
+    ShardRecord& rec = records[s];
+    rec.row_begin = r0;
+    rec.row_end = r1;
+    rec.a_words = pk.a_data_words();
+    rec.a_off = put_section(out, pk.a_data(), rec.a_words * 8);
+    if (pk.b_data() != nullptr) {  // mr != nr: distinct B payload
+      rec.b_words = pk.b_data_words();
+      rec.b_off = put_section(out, pk.b_data(), rec.b_words * 8);
+    }
+    rec.pop_off = put_section(out, sp.popcount.data(), sub.n_snps * 4);
+    rec.kind_off = put_section(out, sp.kind.data(), sub.n_snps);
+    rec.csr_off = put_section(out, sp.offset.data(), (sub.n_snps + 1) * 8);
+    rec.index_count = sp.index.size();
+    if (rec.index_count != 0) {
+      rec.index_off = put_section(out, sp.index.data(), rec.index_count * 4);
+    }
+    if (pk.has_sample_major()) {
+      rec.sm_stride = pk.sample_major_stride();
+      rec.sm_off = put_section(out, pk.sample_major(),
+                               m.n_samples * rec.sm_stride * 8);
+      if (rec.index_count != 0) {
+        rec.scaled_off =
+            put_section(out, pk.scaled_index(), rec.index_count * 4);
+      }
+    }
+    if (!pk.a_sliver_flags().empty()) {
+      rec.aflags_off = put_section(out, pk.a_sliver_flags().data(),
+                                   pk.a_sliver_flags().size());
+    }
+    if (!pk.b_sliver_flags().empty() && pk.b_data() != nullptr) {
+      rec.bflags_off = put_section(out, pk.b_sliver_flags().data(),
+                                   pk.b_sliver_flags().size());
+    }
+  }
+
+  // Directory, then the backpatched header.
+  std::vector<std::uint64_t> dir;
+  dir.reserve(shard_count * kRecordU64s);
+  for (const ShardRecord& rec : records) {
+    const std::uint64_t fields[kRecordU64s] = {
+        rec.row_begin, rec.row_end,   rec.a_off,       rec.a_words,
+        rec.b_off,     rec.b_words,   rec.pop_off,     rec.kind_off,
+        rec.csr_off,   rec.index_off, rec.index_count, rec.scaled_off,
+        rec.sm_off,    rec.sm_stride, rec.aflags_off,  rec.bflags_off};
+    dir.insert(dir.end(), fields, fields + kRecordU64s);
+  }
+  const std::uint64_t dir_off =
+      put_section(out, dir.data(), dir.size() * 8);
+  idx.file_bytes = static_cast<std::uint64_t>(out.tellp());
+  out.seekp(0);
+  put_header(out, idx, shard_count, dir_off);
+  out.flush();
+  if (!out) throw Error("shard store: write failed for " + path);
+}
+
+// ---------------------------------------------------------------------------
+// ShardStore
+
+ShardStore::~ShardStore() { unmap(); }
+
+ShardStore::ShardStore(ShardStore&& other) noexcept { *this = std::move(other); }
+
+ShardStore& ShardStore::operator=(ShardStore&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    map_ = std::exchange(other.map_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+    index_ = std::move(other.index_);
+    shard_bytes_ = std::move(other.shard_bytes_);
+    total_payload_bytes_ = std::exchange(other.total_payload_bytes_, 0);
+    max_shard_bytes_ = std::exchange(other.max_shard_bytes_, 0);
+    // Moving a store with concurrent users is outside the contract; both
+    // locks are taken only to keep the guarded accesses analyzable.
+    MutexLock lock(mu_);
+    MutexLock other_lock(other.mu_);
+    wrappers_ = std::move(other.wrappers_);
+    resident_ = std::exchange(other.resident_, 0);
+  }
+  return *this;
+}
+
+void ShardStore::unmap() noexcept {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_size_);
+    map_ = nullptr;
+    map_size_ = 0;
+  }
+}
+
+ShardStore ShardStore::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw Error("shard store: cannot open " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    throw Error("shard store: cannot stat " + path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  // MAP_PRIVATE + PROT_READ: the store is immutable at compute time, and
+  // MADV_DONTNEED on a private file mapping drops this process's pages
+  // (re-faulting from the page cache / disk on the next touch).
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) throw Error("shard store: mmap failed for " + path);
+
+  ShardStore s;
+  s.map_ = static_cast<const std::uint8_t*>(p);
+  s.map_size_ = size;
+  s.index_ = parse_shard_index(s.map_, size);  // unmaps via dtor on throw
+  LDLA_EXPECT(kernel_available(s.index_.plan.arch),
+              "shard store was packed for a kernel this machine cannot run; "
+              "re-ingest with a portable arch");
+
+  s.shard_bytes_.reserve(s.index_.shards.size());
+  for (const ShardRecord& rec : s.index_.shards) {
+    const std::uint64_t rows = rec.rows();
+    std::uint64_t bytes = rec.a_words * 8 + rec.b_words * 8 + rows * 4 +
+                          rows + (rows + 1) * 8 + rec.index_count * 4;
+    if (rec.scaled_off != 0) bytes += rec.index_count * 4;
+    if (rec.sm_off != 0) bytes += s.index_.n_samples * rec.sm_stride * 8;
+    if (rec.aflags_off != 0) bytes += slivers_for(rows, s.index_.plan.mr);
+    if (rec.bflags_off != 0) bytes += slivers_for(rows, s.index_.plan.nr);
+    s.shard_bytes_.push_back(static_cast<std::size_t>(bytes));
+    s.total_payload_bytes_ += bytes;
+    s.max_shard_bytes_ = std::max<std::size_t>(s.max_shard_bytes_, bytes);
+  }
+  {
+    MutexLock lock(s.mu_);
+    s.wrappers_.resize(s.index_.shards.size());
+  }
+  return s;
+}
+
+const ShardRecord& ShardStore::record(std::size_t i) const {
+  LDLA_EXPECT(i < index_.shards.size(), "shard index out of range");
+  return index_.shards[i];
+}
+
+std::size_t ShardStore::shard_bytes(std::size_t i) const {
+  LDLA_EXPECT(i < shard_bytes_.size(), "shard index out of range");
+  return shard_bytes_[i];
+}
+
+std::vector<std::uint64_t> ShardStore::allele_counts() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(index_.n_snps);
+  for (const ShardRecord& rec : index_.shards) {
+    const auto* pop =
+        reinterpret_cast<const std::uint32_t*>(map_ + rec.pop_off);
+    counts.insert(counts.end(), pop, pop + rec.rows());
+  }
+  return counts;
+}
+
+void ShardStore::prefetch(std::size_t i) const {
+  const ShardRecord& rec = record(i);
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::uint64_t mask = ~static_cast<std::uint64_t>(page - 1);
+  auto advise = [&](std::uint64_t off, std::uint64_t bytes) {
+    if (off == 0 || bytes == 0) return;
+    const std::uint64_t begin = off & mask;
+    const std::uint64_t end = off + bytes;
+    ::madvise(const_cast<std::uint8_t*>(map_ + begin),
+              static_cast<std::size_t>(end - begin), MADV_WILLNEED);
+  };
+  const std::uint64_t rows = rec.rows();
+  advise(rec.a_off, rec.a_words * 8);
+  advise(rec.b_off, rec.b_words * 8);
+  advise(rec.pop_off, rows * 4);
+  advise(rec.kind_off, rows);
+  advise(rec.csr_off, (rows + 1) * 8);
+  advise(rec.index_off, rec.index_count * 4);
+  advise(rec.scaled_off, rec.scaled_off != 0 ? rec.index_count * 4 : 0);
+  advise(rec.sm_off, index_.n_samples * rec.sm_stride * 8);
+  advise(rec.aflags_off,
+         rec.aflags_off != 0 ? slivers_for(rows, index_.plan.mr) : 0);
+  advise(rec.bflags_off,
+         rec.bflags_off != 0 ? slivers_for(rows, index_.plan.nr) : 0);
+}
+
+void ShardStore::touch_extent(std::uint64_t off, std::uint64_t bytes) const {
+  if (off == 0 || bytes == 0) return;
+  // One volatile load per page faults the extent in; the compiler cannot
+  // elide the walk, so io_bytes_read reflects real page traffic.
+  const std::uint64_t kPage = 4096;
+  const volatile std::uint8_t* p = map_ + off;
+  for (std::uint64_t b = 0; b < bytes; b += kPage) {
+    (void)p[b];
+  }
+  (void)p[bytes - 1];
+}
+
+std::unique_ptr<PackedBitMatrix> ShardStore::materialize(std::size_t i) const {
+  const ShardRecord& rec = record(i);
+  const std::uint64_t rows = rec.rows();
+  const std::size_t count = static_cast<std::size_t>(rec.index_count);
+
+  // The index parse bounded every extent; here the *contents* get their
+  // one-time semantic validation, so the kernels can gather unchecked.
+  SparseColumns sp;
+  sp.threshold = index_.plan.sparse_threshold;
+  sp.n_samples = index_.n_samples;
+  const auto* pop = reinterpret_cast<const std::uint32_t*>(map_ + rec.pop_off);
+  sp.popcount.assign(pop, pop + rows);
+  for (std::uint64_t c = 0; c < rows; ++c) {
+    if (sp.popcount[c] > index_.n_samples) {
+      bad("popcount exceeds the sample count");
+    }
+  }
+  const std::uint8_t* kind = map_ + rec.kind_off;
+  sp.kind.resize(rows);
+  for (std::uint64_t c = 0; c < rows; ++c) {
+    if (kind[c] > static_cast<std::uint8_t>(ColumnKind::kComplement)) {
+      bad("unknown column kind");
+    }
+    sp.kind[c] = static_cast<ColumnKind>(kind[c]);
+    if (sp.kind[c] != ColumnKind::kDense) ++sp.sparse_count;
+  }
+  const auto* csr = reinterpret_cast<const std::uint64_t*>(map_ + rec.csr_off);
+  sp.offset.assign(csr, csr + rows + 1);
+  if (sp.offset.front() != 0 || sp.offset.back() != rec.index_count) {
+    bad("CSR offsets do not span the index lists");
+  }
+  for (std::uint64_t c = 0; c < rows; ++c) {
+    if (sp.offset[c] > sp.offset[c + 1]) bad("CSR offsets not monotone");
+  }
+  if (count != 0) {
+    const auto* idx =
+        reinterpret_cast<const std::uint32_t*>(map_ + rec.index_off);
+    sp.index.assign(idx, idx + count);
+    for (std::size_t j = 0; j < count; ++j) {
+      if (sp.index[j] >= index_.n_samples) bad("index entry out of range");
+    }
+  }
+  const auto* scaled =
+      rec.scaled_off != 0
+          ? reinterpret_cast<const std::uint32_t*>(map_ + rec.scaled_off)
+          : nullptr;
+  if (scaled != nullptr) {
+    // The prescaled entries are the gather's unchecked addresses: each must
+    // be exactly index*stride, which also bounds it inside the transpose.
+    for (std::size_t j = 0; j < count; ++j) {
+      if (scaled[j] != sp.index[j] * rec.sm_stride) {
+        bad("prescaled list entry does not match its index");
+      }
+    }
+  }
+
+  auto read_flags = [&](std::uint64_t off, std::uint64_t r) {
+    std::vector<std::uint8_t> flags;
+    if (off != 0) {
+      const std::uint8_t* f = map_ + off;
+      flags.assign(f, f + slivers_for(rows, r));
+      // A flag may only claim a sliver sparse when every real row in the
+      // group is list/complement classified (the dispatch precondition the
+      // list kernels rely on).
+      for (std::size_t s = 0; s < flags.size(); ++s) {
+        if (flags[s] == 0) continue;
+        const std::uint64_t lo = s * r;
+        const std::uint64_t hi = std::min<std::uint64_t>(rows, lo + r);
+        for (std::uint64_t c = lo; c < hi; ++c) {
+          if (sp.kind[c] == ColumnKind::kDense) {
+            bad("sliver flagged sparse over a dense column");
+          }
+        }
+      }
+    }
+    return flags;
+  };
+
+  ExternalPack ext;
+  ext.plan = index_.plan;
+  ext.n_snps = rows;
+  ext.n_words = index_.n_words;
+  ext.n_samples = index_.n_samples;
+  ext.a_data = reinterpret_cast<const std::uint64_t*>(map_ + rec.a_off);
+  ext.b_data = rec.b_off != 0 ? reinterpret_cast<const std::uint64_t*>(
+                                    map_ + rec.b_off)
+                              : nullptr;
+  ext.a_sliver_sparse = read_flags(rec.aflags_off, index_.plan.mr);
+  ext.b_sliver_sparse = read_flags(rec.bflags_off, index_.plan.nr);
+  if (rec.sm_off != 0) {
+    ext.sample_major =
+        reinterpret_cast<const std::uint64_t*>(map_ + rec.sm_off);
+    ext.sm_stride = rec.sm_stride;
+    ext.scaled_index = scaled;
+  } else if (sp.sparse_count != 0) {
+    bad("sparse columns recorded without a sample-major transpose");
+  }
+  ext.sparse = std::move(sp);
+  return std::make_unique<PackedBitMatrix>(
+      PackedBitMatrix::from_external(std::move(ext)));
+}
+
+const PackedBitMatrix& ShardStore::shard(std::size_t i) {
+  {
+    MutexLock lock(mu_);
+    LDLA_EXPECT(i < wrappers_.size(), "shard index out of range");
+    if (wrappers_[i]) return *wrappers_[i];
+  }
+  // Build outside the lock: the prefetch task materializes one shard while
+  // the caller thread serves lookups of already-resident ones. The stream
+  // driver never materializes the same shard from two threads at once
+  // (current-pair shards are acquired before the next-pair task launches),
+  // so the double-checked insert below is a correctness backstop, not a
+  // dedup path.
+  std::unique_ptr<PackedBitMatrix> built = materialize(i);
+  {
+    // materialize() faulted the metadata sections by copying/validating
+    // them; what remains cold are the zero-copy payloads the kernels will
+    // alias (slivers and the transpose). Fault them here, off the compute
+    // path when called from the prefetch task, and account the whole
+    // shard's payload to io_bytes_read.
+    LDLA_TRACE_SPAN(kIo);
+    const ShardRecord& rec = record(i);
+    touch_extent(rec.a_off, rec.a_words * 8);
+    touch_extent(rec.b_off, rec.b_words * 8);
+    touch_extent(rec.sm_off, index_.n_samples * rec.sm_stride * 8);
+    LDLA_TRACE_ADD_IO_READ(shard_bytes_[i]);
+  }
+  MutexLock lock(mu_);
+  if (!wrappers_[i]) {
+    wrappers_[i] = std::move(built);
+    resident_ += shard_bytes_[i];
+  }
+  return *wrappers_[i];
+}
+
+bool ShardStore::is_materialized(std::size_t i) const {
+  MutexLock lock(mu_);
+  LDLA_EXPECT(i < wrappers_.size(), "shard index out of range");
+  return wrappers_[i] != nullptr;
+}
+
+void ShardStore::release(std::size_t i) {
+  {
+    MutexLock lock(mu_);
+    LDLA_EXPECT(i < wrappers_.size(), "shard index out of range");
+    if (!wrappers_[i]) return;
+    wrappers_[i].reset();
+    resident_ -= shard_bytes_[i];
+  }
+  // Hand the pages back: page-align each extent inward-safely (WILLNEED in
+  // prefetch() aligns outward; DONTNEED must not clip a neighboring
+  // still-resident extent, so only fully-owned pages are dropped).
+  const ShardRecord& rec = record(i);
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::uint64_t p = static_cast<std::uint64_t>(page);
+  auto drop = [&](std::uint64_t off, std::uint64_t bytes) {
+    if (off == 0 || bytes == 0) return;
+    const std::uint64_t begin = (off + p - 1) / p * p;
+    const std::uint64_t end = (off + bytes) / p * p;
+    if (end <= begin) return;
+    ::madvise(const_cast<std::uint8_t*>(map_ + begin),
+              static_cast<std::size_t>(end - begin), MADV_DONTNEED);
+  };
+  const std::uint64_t rows = rec.rows();
+  drop(rec.a_off, rec.a_words * 8);
+  drop(rec.b_off, rec.b_words * 8);
+  drop(rec.pop_off, rows * 4);
+  drop(rec.kind_off, rows);
+  drop(rec.csr_off, (rows + 1) * 8);
+  drop(rec.index_off, rec.index_count * 4);
+  drop(rec.scaled_off, rec.scaled_off != 0 ? rec.index_count * 4 : 0);
+  drop(rec.sm_off, index_.n_samples * rec.sm_stride * 8);
+}
+
+std::size_t ShardStore::resident_bytes() const {
+  MutexLock lock(mu_);
+  return resident_;
+}
+
+std::size_t ShardStore::probe_resident_bytes() const {
+  const long page = ::sysconf(_SC_PAGESIZE);
+  const std::size_t pages =
+      (map_size_ + static_cast<std::size_t>(page) - 1) /
+      static_cast<std::size_t>(page);
+  std::vector<unsigned char> vec(pages);
+  if (::mincore(const_cast<std::uint8_t*>(map_), map_size_, vec.data()) != 0) {
+    return 0;  // probe unavailable (informational API; never throws)
+  }
+  std::size_t resident = 0;
+  for (unsigned char v : vec) {
+    resident += (v & 1U) != 0 ? static_cast<std::size_t>(page) : 0;
+  }
+  return resident;
+}
+
+ShardStore open_shard_store(const std::string& path) {
+  LDLA_EXPECT(!path.empty(), "open_shard_store needs a file path");
+  return ShardStore::open(path);
+}
+
+}  // namespace ldla

@@ -1,0 +1,197 @@
+// On-disk shard store: PackedBitMatrix shards persisted in the exact
+// micro-panel sliver layout and memory-mapped back for zero-copy compute.
+//
+// Every driver consumes packed slivers through PackedBitMatrix, so packing
+// is the natural persistence boundary: write_shard_store() splits the SNP
+// rows into shards, packs each one with a single resolved GemmPlan, and
+// serializes the payloads byte-for-byte (slivers, sparse index lists,
+// sample-major transpose blocks, prescaled gather lists — everything
+// DESIGN.md §4.6 builds at pack time). Packing cost is paid once per
+// dataset, at ingest (tools/ldla_ingest.cpp); at compute time the store is
+// mmap'd read-only and each shard is adopted into a PackedBitMatrix via
+// from_external(), aliasing the mapping with zero copy — the packed /
+// fused / nest drivers cannot tell a mapped shard from an owned pack.
+//
+// Residency model: the store is the only layer allowed to issue
+// mmap/madvise/mincore syscalls (lint-enforced). A shard becomes resident
+// when materialize()d — the payload pages are explicitly faulted in under
+// the traced io phase (io_bytes_read counts exactly the payload bytes) —
+// and leaves residency on release() (MADV_DONTNEED drops the pages from
+// this process). resident_bytes() is the store's own accounting of
+// materialized payload bytes — the deterministic quantity the streaming
+// driver budgets against; probe_resident_bytes() asks the kernel (mincore)
+// for the actual page residency of the mapping as a cross-check.
+//
+// Format hardening: the header/index parser is exposed over a raw byte
+// span (parse_shard_index) so the fuzz harness drives it directly, and it
+// rejects forged inputs the way io/ldm_binary.cpp does — bad magic,
+// truncated maps, extents outside the file, overlapping extents, sliver
+// geometry inconsistent with the plan, absurd counts — all via ParseError.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bit_matrix.hpp"
+#include "core/gemm/config.hpp"
+#include "core/gemm/packed_bit_matrix.hpp"
+#include "util/annotations.hpp"
+#include "util/sync.hpp"
+
+namespace ldla {
+
+/// Directory record of one shard: byte offsets (from file start, 64-byte
+/// aligned) and element counts of every serialized section. Offset 0 marks
+/// an absent optional section.
+struct ShardRecord {
+  std::uint64_t row_begin = 0;  ///< first SNP row (global index)
+  std::uint64_t row_end = 0;    ///< one past the last SNP row
+  std::uint64_t a_off = 0;      ///< A-side slivers (u64 × a_words)
+  std::uint64_t a_words = 0;
+  std::uint64_t b_off = 0;      ///< B-side slivers; absent when shared (mr==nr)
+  std::uint64_t b_words = 0;
+  std::uint64_t pop_off = 0;    ///< per-column popcounts (u32 × rows)
+  std::uint64_t kind_off = 0;   ///< per-column ColumnKind (u8 × rows)
+  std::uint64_t csr_off = 0;    ///< CSR offsets (u64 × (rows+1))
+  std::uint64_t index_off = 0;  ///< concatenated index lists (u32 × count)
+  std::uint64_t index_count = 0;
+  std::uint64_t scaled_off = 0;  ///< prescaled lists (u32 × count)
+  std::uint64_t sm_off = 0;      ///< sample-major transpose (u64 × samples·stride)
+  std::uint64_t sm_stride = 0;   ///< words per transpose row (0 = absent)
+  std::uint64_t aflags_off = 0;  ///< mr-sliver sparse flags (u8 × slivers)
+  std::uint64_t bflags_off = 0;  ///< nr-sliver sparse flags (absent when shared)
+
+  [[nodiscard]] std::uint64_t rows() const noexcept {
+    return row_end - row_begin;
+  }
+};
+
+/// Validated index of a shard store file.
+struct ShardIndex {
+  std::uint64_t n_snps = 0;
+  std::uint64_t n_words = 0;
+  std::uint64_t n_samples = 0;
+  GemmPlan plan;
+  std::uint64_t file_bytes = 0;
+  std::vector<ShardRecord> shards;
+};
+
+/// Parse and validate a shard-store header + directory from a byte span
+/// (the mmap'd file, or fuzzer-supplied bytes). Throws ParseError on any
+/// malformed input; on success every recorded extent is in-bounds,
+/// 64-byte aligned, non-overlapping, and consistent with the plan-implied
+/// sliver geometry. Payload *contents* are validated lazily at shard
+/// materialization (ShardStore::shard).
+ShardIndex parse_shard_index(const std::uint8_t* data, std::size_t size);
+
+/// Split `m` into shards of `rows_per_shard` SNP rows, pack each with the
+/// plan `cfg` resolves to, and write the store to `path`. Packing runs
+/// shard-at-a-time, so ingest memory is O(one shard), independent of the
+/// matrix size. `threads` > 1 team-packs each shard on global_pool().
+void write_shard_store(const std::string& path, const BitMatrixView& m,
+                       const GemmConfig& cfg, std::size_t rows_per_shard,
+                       unsigned threads = 1);
+
+/// Memory-mapped, lazily materialized shard store (see file comment for
+/// the residency model). Thread-safety: materialize/shard/release/
+/// resident_bytes may be called concurrently (the streaming driver's
+/// prefetch task materializes shards while compute runs); each shard's
+/// PackedBitMatrix address is stable from materialization until its
+/// release, and the caller must not release a shard another thread is
+/// still computing from.
+class ShardStore {
+ public:
+  ShardStore() = default;
+  ~ShardStore();
+  ShardStore(ShardStore&& other) noexcept;
+  ShardStore& operator=(ShardStore&& other) noexcept;
+  ShardStore(const ShardStore&) = delete;
+  ShardStore& operator=(const ShardStore&) = delete;
+
+  /// mmap `path` read-only and validate its index. Throws Error on I/O
+  /// failure, ParseError on a malformed file, and rejects stores whose
+  /// plan names a kernel this machine cannot run.
+  static ShardStore open(const std::string& path);
+
+  [[nodiscard]] std::size_t shards() const noexcept {
+    return index_.shards.size();
+  }
+  [[nodiscard]] std::size_t snps() const noexcept { return index_.n_snps; }
+  [[nodiscard]] std::size_t samples() const noexcept {
+    return index_.n_samples;
+  }
+  [[nodiscard]] std::size_t words_per_snp() const noexcept {
+    return index_.n_words;
+  }
+  [[nodiscard]] const GemmPlan& plan() const noexcept { return index_.plan; }
+  [[nodiscard]] const ShardRecord& record(std::size_t i) const;
+  [[nodiscard]] std::size_t shard_row_begin(std::size_t i) const {
+    return record(i).row_begin;
+  }
+  [[nodiscard]] std::size_t shard_rows(std::size_t i) const {
+    return record(i).rows();
+  }
+
+  /// Payload bytes of shard `i` (what materialization makes resident).
+  [[nodiscard]] std::size_t shard_bytes(std::size_t i) const;
+  [[nodiscard]] std::size_t total_payload_bytes() const noexcept {
+    return total_payload_bytes_;
+  }
+  [[nodiscard]] std::size_t max_shard_bytes() const noexcept {
+    return max_shard_bytes_;
+  }
+
+  /// Global per-SNP derived-allele counts, concatenated from the shards'
+  /// persisted popcounts — the streaming driver builds its StatTables from
+  /// these without ever holding the bit matrix.
+  [[nodiscard]] std::vector<std::uint64_t> allele_counts() const;
+
+  /// Hint the kernel to read shard `i`'s pages ahead (MADV_WILLNEED).
+  /// Asynchronous; does not materialize and touches no counters.
+  void prefetch(std::size_t i) const;
+
+  /// Materialize shard `i`: adopt the mapped payloads into a
+  /// PackedBitMatrix (validating payload invariants; throws ParseError on
+  /// corrupt contents) and explicitly fault its pages in under the io
+  /// phase (counted in io_bytes_read). Idempotent; returns the shard.
+  const PackedBitMatrix& shard(std::size_t i);
+
+  /// Was shard `i` materialized (and not yet released)?
+  [[nodiscard]] bool is_materialized(std::size_t i) const;
+
+  /// Drop shard `i`'s wrapper and advise the kernel to reclaim its pages
+  /// (MADV_DONTNEED). No-op when not materialized.
+  void release(std::size_t i);
+
+  /// Store-accounted residency: total payload bytes of currently
+  /// materialized shards (deterministic; what the stream budget bounds).
+  [[nodiscard]] std::size_t resident_bytes() const;
+
+  /// Kernel-reported residency of the mapping (mincore), in bytes.
+  [[nodiscard]] std::size_t probe_resident_bytes() const;
+
+ private:
+  void unmap() noexcept;
+  void touch_extent(std::uint64_t off, std::uint64_t bytes) const;
+  [[nodiscard]] std::unique_ptr<PackedBitMatrix> materialize(
+      std::size_t i) const;
+
+  const std::uint8_t* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  ShardIndex index_;
+  std::vector<std::size_t> shard_bytes_;
+  std::size_t total_payload_bytes_ = 0;
+  std::size_t max_shard_bytes_ = 0;
+
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<PackedBitMatrix>> wrappers_ LDLA_GUARDED_BY(mu_);
+  std::size_t resident_ LDLA_GUARDED_BY(mu_) = 0;
+};
+
+/// Convenience: ShardStore::open (the PUBLIC_API manifest entry point).
+ShardStore open_shard_store(const std::string& path);
+
+}  // namespace ldla

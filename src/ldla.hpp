@@ -21,6 +21,7 @@
 #include "core/gemm/packed_bit_matrix.hpp"  // persistent packed operand
 #include "core/gemm/syrk.hpp"       // symmetric count driver
 #include "core/ld.hpp"              // D / D' / r^2 statistics and drivers
+#include "core/ld_stream.hpp"       // out-of-core streaming drivers
 #include "core/band.hpp"            // banded scans and LD-decay profiles
 #include "core/ld_blocks.hpp"       // haplotype-block partitioning
 #include "core/genotype_ld.hpp"     // genotype-dosage LD at GEMM speed
@@ -38,6 +39,8 @@
 #include "io/vcf_lite.hpp"          // minimal VCF reader
 #include "io/ldm_binary.hpp"        // binary matrix snapshots
 #include "io/matrix_writer.hpp"     // CSV / report writers
+#include "io/shard_store.hpp"       // mmap'd out-of-core shard store
+#include "io/tile_store.hpp"        // indexed compressed stat-tile store
 #include "sim/wright_fisher.hpp"    // dataset simulator
 #include "sim/maf_spectrum.hpp"     // SFS-controlled rare-variant panels
 #include "sim/sweep_sim.hpp"        // sweep simulator

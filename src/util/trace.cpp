@@ -78,6 +78,14 @@ TraceSnapshot TraceSnapshot::since(const TraceSnapshot& earlier) const {
       counters.list_intersections - earlier.counters.list_intersections;
   d.counters.dense_fallback_tiles =
       counters.dense_fallback_tiles - earlier.counters.dense_fallback_tiles;
+  d.counters.io_bytes_read =
+      counters.io_bytes_read - earlier.counters.io_bytes_read;
+  d.counters.prefetch_issued =
+      counters.prefetch_issued - earlier.counters.prefetch_issued;
+  d.counters.prefetch_hits =
+      counters.prefetch_hits - earlier.counters.prefetch_hits;
+  d.counters.prefetch_stalls =
+      counters.prefetch_stalls - earlier.counters.prefetch_stalls;
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
     d.phase_self_ns[i] = phase_self_ns[i] - earlier.phase_self_ns[i];
     d.phase_perf[i].cycles = phase_perf[i].cycles - earlier.phase_perf[i].cycles;
@@ -118,6 +126,10 @@ enum CounterIndex : std::size_t {
   kCSparseLdTiles,
   kCListIntersections,
   kCDenseFallbackTiles,
+  kCIoBytesRead,
+  kCPrefetchIssued,
+  kCPrefetchHits,
+  kCPrefetchStalls,
   kNumCounters,
 };
 
@@ -335,7 +347,9 @@ std::string write_report(const std::string& run_name)
       "\"epilogue_rows\": %llu, \"task_runs\": %llu, \"steals\": %llu, "
       "\"failed_steals\": %llu, \"parks\": %llu, \"barrier_waits\": %llu, "
       "\"sparse_ll_tiles\": %llu, \"sparse_ld_tiles\": %llu, "
-      "\"list_intersections\": %llu, \"dense_fallback_tiles\": %llu},\n",
+      "\"list_intersections\": %llu, \"dense_fallback_tiles\": %llu, "
+      "\"io_bytes_read\": %llu, \"prefetch_issued\": %llu, "
+      "\"prefetch_hits\": %llu, \"prefetch_stalls\": %llu},\n",
       static_cast<unsigned long long>(snap.counters.bytes_packed),
       static_cast<unsigned long long>(snap.counters.slivers_packed),
       static_cast<unsigned long long>(snap.counters.slivers_reused),
@@ -351,7 +365,11 @@ std::string write_report(const std::string& run_name)
       static_cast<unsigned long long>(snap.counters.sparse_ll_tiles),
       static_cast<unsigned long long>(snap.counters.sparse_ld_tiles),
       static_cast<unsigned long long>(snap.counters.list_intersections),
-      static_cast<unsigned long long>(snap.counters.dense_fallback_tiles));
+      static_cast<unsigned long long>(snap.counters.dense_fallback_tiles),
+      static_cast<unsigned long long>(snap.counters.io_bytes_read),
+      static_cast<unsigned long long>(snap.counters.prefetch_issued),
+      static_cast<unsigned long long>(snap.counters.prefetch_hits),
+      static_cast<unsigned long long>(snap.counters.prefetch_stalls));
 
   // Per-phase roofline table: self time, perf deltas, and the derived
   // words/cycle + %-of-scalar-peak for the kernel phase (the paper's
@@ -468,6 +486,14 @@ void add_sparse(std::uint64_t ll_tiles, std::uint64_t ld_tiles,
                                               std::memory_order_relaxed);
 }
 
+void add_io_read(std::uint64_t bytes) { add_counter(kCIoBytesRead, bytes); }
+
+void add_prefetch_issued() { add_counter(kCPrefetchIssued, 1); }
+
+void add_prefetch_hit() { add_counter(kCPrefetchHits, 1); }
+
+void add_prefetch_stall() { add_counter(kCPrefetchStalls, 1); }
+
 std::uint64_t queue_stamp() {
   return g_timing.load(std::memory_order_relaxed) ? now_ns() : 0;
 }
@@ -571,6 +597,10 @@ TraceSnapshot snapshot() {
     out.counters.sparse_ld_tiles += c(kCSparseLdTiles);
     out.counters.list_intersections += c(kCListIntersections);
     out.counters.dense_fallback_tiles += c(kCDenseFallbackTiles);
+    out.counters.io_bytes_read += c(kCIoBytesRead);
+    out.counters.prefetch_issued += c(kCPrefetchIssued);
+    out.counters.prefetch_hits += c(kCPrefetchHits);
+    out.counters.prefetch_stalls += c(kCPrefetchStalls);
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
       out.phase_self_ns[p] += s.phase_ns[p].load(std::memory_order_relaxed);
       out.phase_perf[p].cycles +=

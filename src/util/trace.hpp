@@ -73,6 +73,10 @@ struct PhaseCounters {
   std::uint64_t sparse_ld_tiles = 0;       ///< list×dense register-tile kernel calls
   std::uint64_t list_intersections = 0;    ///< sparse row-pair intersections computed
   std::uint64_t dense_fallback_tiles = 0;  ///< register tiles kept dense inside hybrid tiles
+  std::uint64_t io_bytes_read = 0;     ///< bytes explicitly faulted/read by the shard store
+  std::uint64_t prefetch_issued = 0;   ///< shard prefetches initiated ahead of need
+  std::uint64_t prefetch_hits = 0;     ///< shard acquisitions served already-materialized
+  std::uint64_t prefetch_stalls = 0;   ///< shard acquisitions materialized on the critical path
 };
 
 /// Per-phase perf-event totals (all zero when perf attribution was off).
@@ -160,6 +164,10 @@ void add_park();
 void add_barrier_wait();
 void add_sparse(std::uint64_t ll_tiles, std::uint64_t ld_tiles,
                 std::uint64_t intersections, std::uint64_t fallback_tiles);
+void add_io_read(std::uint64_t bytes);
+void add_prefetch_issued();
+void add_prefetch_hit();
+void add_prefetch_stall();
 
 // Thread-pool queue-wait measurement: stamp at enqueue (0 when timing is
 // off), account the wait at dequeue.
@@ -217,6 +225,13 @@ class Span {
 #define LDLA_TRACE_ADD_BARRIER_WAIT() ::ldla::trace::detail::add_barrier_wait()
 #define LDLA_TRACE_ADD_SPARSE(ll, ld, inters, fallback) \
   ::ldla::trace::detail::add_sparse((ll), (ld), (inters), (fallback))
+#define LDLA_TRACE_ADD_IO_READ(bytes) \
+  ::ldla::trace::detail::add_io_read((bytes))
+#define LDLA_TRACE_ADD_PREFETCH_ISSUED() \
+  ::ldla::trace::detail::add_prefetch_issued()
+#define LDLA_TRACE_ADD_PREFETCH_HIT() ::ldla::trace::detail::add_prefetch_hit()
+#define LDLA_TRACE_ADD_PREFETCH_STALL() \
+  ::ldla::trace::detail::add_prefetch_stall()
 #define LDLA_TRACE_QUEUE_STAMP() ::ldla::trace::detail::queue_stamp()
 #define LDLA_TRACE_TASK_DEQUEUED(enqueue_ns) \
   ::ldla::trace::detail::task_dequeued((enqueue_ns))
@@ -237,6 +252,10 @@ class Span {
 #define LDLA_TRACE_ADD_BARRIER_WAIT() ((void)0)
 #define LDLA_TRACE_ADD_SPARSE(ll, ld, inters, fallback) \
   ((void)(ll), (void)(ld), (void)(inters), (void)(fallback))
+#define LDLA_TRACE_ADD_IO_READ(bytes) ((void)(bytes))
+#define LDLA_TRACE_ADD_PREFETCH_ISSUED() ((void)0)
+#define LDLA_TRACE_ADD_PREFETCH_HIT() ((void)0)
+#define LDLA_TRACE_ADD_PREFETCH_STALL() ((void)0)
 #define LDLA_TRACE_QUEUE_STAMP() (std::uint64_t{0})
 #define LDLA_TRACE_TASK_DEQUEUED(enqueue_ns) ((void)(enqueue_ns))
 

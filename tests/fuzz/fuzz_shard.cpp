@@ -1,0 +1,84 @@
+// Fuzz harness for the shard-store header/directory parser.
+//
+// parse_shard_index consumes an attacker-controlled byte span (the mmap'd
+// file) and its output drives pointer arithmetic into the mapping, so the
+// invariants checked here on ACCEPTED inputs are exactly the ones the
+// ShardStore relies on for memory safety: every extent in-bounds and
+// aligned, extents pairwise disjoint, the row partition contiguous over
+// [0, n_snps), and the sliver word counts equal to what the plan implies.
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/bit_matrix.hpp"
+#include "fuzz_target.hpp"
+#include "io/shard_store.hpp"
+#include "util/contract.hpp"
+
+namespace {
+
+void check_extent(std::vector<std::pair<std::uint64_t, std::uint64_t>>& spans,
+                  std::uint64_t off, std::uint64_t bytes,
+                  std::uint64_t file_bytes) {
+  if (off == 0) {
+    ldla::fuzz::require(bytes == 0, "shard: absent section with bytes");
+    return;
+  }
+  ldla::fuzz::require(off % 64 == 0, "shard: misaligned extent");
+  ldla::fuzz::require(off <= file_bytes && bytes <= file_bytes - off,
+                      "shard: extent outside the file");
+  spans.emplace_back(off, bytes);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  try {
+    const ldla::ShardIndex idx = ldla::parse_shard_index(data, size);
+
+    ldla::fuzz::require(idx.file_bytes == size, "shard: file size mismatch");
+    ldla::fuzz::require(!idx.shards.empty(), "shard: accepted empty store");
+    ldla::fuzz::require(idx.n_words == ldla::words_for_bits(idx.n_samples),
+                        "shard: words inconsistent with samples");
+
+    std::uint64_t next_row = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+    for (const ldla::ShardRecord& rec : idx.shards) {
+      ldla::fuzz::require(rec.row_begin == next_row && rec.row_end > next_row,
+                          "shard: broken row partition");
+      next_row = rec.row_end;
+      check_extent(spans, rec.a_off, rec.a_words * 8, idx.file_bytes);
+      check_extent(spans, rec.b_off, rec.b_words * 8, idx.file_bytes);
+      check_extent(spans, rec.pop_off, rec.rows() * 4, idx.file_bytes);
+      check_extent(spans, rec.kind_off, rec.rows(), idx.file_bytes);
+      check_extent(spans, rec.csr_off, (rec.rows() + 1) * 8, idx.file_bytes);
+      check_extent(spans, rec.index_off, rec.index_count * 4, idx.file_bytes);
+      check_extent(spans, rec.scaled_off,
+                   rec.scaled_off != 0 ? rec.index_count * 4 : 0,
+                   idx.file_bytes);
+      check_extent(spans, rec.sm_off, idx.n_samples * rec.sm_stride * 8,
+                   idx.file_bytes);
+      ldla::fuzz::require(rec.pop_off != 0 && rec.kind_off != 0 &&
+                              rec.csr_off != 0,
+                          "shard: mandatory section missing");
+      ldla::fuzz::require(rec.a_off != 0 && rec.a_words != 0,
+                          "shard: A slivers missing");
+      if (rec.b_off == 0) {
+        ldla::fuzz::require(idx.plan.mr == idx.plan.nr && rec.b_words == 0,
+                            "shard: shared B on asymmetric tile");
+      }
+    }
+    ldla::fuzz::require(next_row == idx.n_snps,
+                        "shard: partition does not cover the matrix");
+
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      ldla::fuzz::require(spans[i - 1].first + spans[i - 1].second <=
+                              spans[i].first,
+                          "shard: overlapping extents");
+    }
+  } catch (const ldla::Error&) {
+  }
+  return 0;
+}

@@ -1,0 +1,444 @@
+// Shard-store round-trip, residency accounting and forged-input rejection,
+// plus the tile-store codec round trip.
+//
+// The store's contract is byte-exactness: a shard mmap'd back must alias
+// payloads bit-identical to what an in-memory pack of the same row window
+// under the same plan produces — slivers, sparse metadata, transpose and
+// prescaled gather lists alike. The forgery tests drive parse_shard_index
+// directly (the same entry point the fuzzer owns) with targeted single-field
+// corruptions of a genuine file, so every validation branch is known to be
+// reachable from real bytes.
+#include "io/shard_store.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gemm/packed_bit_matrix.hpp"
+#include "io/tile_store.hpp"
+#include "sim/rng.hpp"
+#include "util/contract.hpp"
+
+namespace ldla {
+namespace {
+
+BitMatrix random_matrix(std::size_t snps, std::size_t samples,
+                        std::uint64_t seed, double density = 0.4) {
+  Rng rng(seed);
+  BitMatrix m(snps, samples);
+  for (std::size_t s = 0; s < snps; ++s) {
+    for (std::size_t b = 0; b < samples; ++b) {
+      if (rng.next_bool(density)) m.set(s, b, true);
+    }
+  }
+  return m;
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// Header layout: 8-byte magic then u64 fields (see shard_store.cpp).
+constexpr std::size_t kHdr = 8;
+enum HeaderField : std::size_t {
+  kFSnps = 0, kFWords, kFSamples, kFArch, kFMr, kFNr, kFKu, kFKc, kFMc, kFNc,
+  kFSparse, kFShardCount, kFFileBytes, kFDirOff,
+};
+constexpr std::size_t kRecordU64s = 16;
+
+std::uint64_t get_field(const std::vector<std::uint8_t>& f, std::size_t i) {
+  std::uint64_t v;
+  std::memcpy(&v, f.data() + kHdr + i * 8, 8);
+  return v;
+}
+
+void set_field(std::vector<std::uint8_t>& f, std::size_t i, std::uint64_t v) {
+  std::memcpy(f.data() + kHdr + i * 8, &v, 8);
+}
+
+std::uint64_t get_rec(const std::vector<std::uint8_t>& f, std::size_t shard,
+                      std::size_t field) {
+  const std::size_t off =
+      get_field(f, kFDirOff) + (shard * kRecordU64s + field) * 8;
+  std::uint64_t v;
+  std::memcpy(&v, f.data() + off, 8);
+  return v;
+}
+
+void set_rec(std::vector<std::uint8_t>& f, std::size_t shard,
+             std::size_t field, std::uint64_t v) {
+  const std::size_t off =
+      get_field(f, kFDirOff) + (shard * kRecordU64s + field) * 8;
+  std::memcpy(f.data() + off, &v, 8);
+}
+
+// ShardRecord field indices within a directory record.
+enum RecField : std::size_t {
+  kRRowBegin = 0, kRRowEnd, kRAOff, kRAWords, kRBOff, kRBWords, kRPopOff,
+  kRKindOff, kRCsrOff, kRIndexOff, kRIndexCount, kRScaledOff, kRSmOff,
+  kRSmStride, kRAFlagsOff, kRBFlagsOff,
+};
+
+TEST(ShardStore, RoundTripAliasesPackIdenticalPayloads) {
+  // Sparse threshold forced on so index lists, transpose and prescaled
+  // sections are all exercised; ragged shard split (3 shards of 40/40/23).
+  const BitMatrix g = random_matrix(103, 530, 99, 0.05);
+  GemmConfig cfg;
+  cfg.arch = KernelArch::kScalar;
+  cfg.kc_words = 4;
+
+  const std::string path = temp_path("roundtrip.ldshard");
+  write_shard_store(path, g.view(), cfg, /*rows_per_shard=*/40);
+  ShardStore store = ShardStore::open(path);
+  ASSERT_EQ(store.shards(), 3u);
+  ASSERT_EQ(store.snps(), g.snps());
+  ASSERT_EQ(store.samples(), g.samples());
+  ASSERT_EQ(store.words_per_snp(), g.words_per_snp());
+
+  for (std::size_t i = 0; i < store.shards(); ++i) {
+    const std::size_t r0 = store.shard_row_begin(i);
+    const std::size_t rows = store.shard_rows(i);
+    const BitMatrixView sub{g.row_data(r0), rows, g.words_per_snp(),
+                            g.stride_words(), g.samples()};
+    const PackedBitMatrix expect(sub, store.plan(), PackSides::kBoth);
+    const PackedBitMatrix& got = store.shard(i);
+
+    ASSERT_EQ(got.a_data_words(), expect.a_data_words());
+    EXPECT_EQ(std::memcmp(got.a_data(), expect.a_data(),
+                          expect.a_data_words() * 8), 0);
+    ASSERT_EQ(got.b_data_words(), expect.b_data_words());
+    if (expect.b_data_words() != 0) {
+      EXPECT_EQ(std::memcmp(got.b_data(), expect.b_data(),
+                            expect.b_data_words() * 8), 0);
+    }
+    const SparseColumns& se = expect.sparse_columns();
+    const SparseColumns& sg = got.sparse_columns();
+    EXPECT_EQ(sg.threshold, se.threshold);
+    EXPECT_EQ(sg.popcount, se.popcount);
+    EXPECT_EQ(sg.kind, se.kind);
+    EXPECT_EQ(sg.offset, se.offset);
+    EXPECT_EQ(sg.index, se.index);
+    EXPECT_EQ(sg.sparse_count, se.sparse_count);
+    EXPECT_EQ(got.a_sliver_flags(), expect.a_sliver_flags());
+    EXPECT_EQ(got.b_sliver_flags(), expect.b_sliver_flags());
+    ASSERT_EQ(got.has_sample_major(), expect.has_sample_major());
+    if (expect.has_sample_major()) {
+      ASSERT_EQ(got.sample_major_stride(), expect.sample_major_stride());
+      EXPECT_EQ(std::memcmp(got.sample_major(), expect.sample_major(),
+                            g.samples() * expect.sample_major_stride() * 8),
+                0);
+    }
+  }
+
+  // Persisted popcounts reproduce the matrix's derived counts globally.
+  const std::vector<std::uint64_t> counts = store.allele_counts();
+  ASSERT_EQ(counts.size(), g.snps());
+  for (std::size_t s = 0; s < g.snps(); ++s) {
+    EXPECT_EQ(counts[s], g.derived_count(s)) << "snp " << s;
+  }
+}
+
+TEST(ShardStore, ResidencyAccountingTracksMaterializeAndRelease) {
+  const BitMatrix g = random_matrix(64, 300, 5);
+  const std::string path = temp_path("residency.ldshard");
+  GemmConfig cfg;
+  cfg.arch = KernelArch::kScalar;
+  write_shard_store(path, g.view(), cfg, /*rows_per_shard=*/20);
+  ShardStore store = open_shard_store(path);
+  ASSERT_EQ(store.shards(), 4u);
+
+  EXPECT_EQ(store.resident_bytes(), 0u);
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i < store.shards(); ++i) {
+    EXPECT_FALSE(store.is_materialized(i));
+    store.shard(i);
+    EXPECT_TRUE(store.is_materialized(i));
+    sum += store.shard_bytes(i);
+    EXPECT_EQ(store.resident_bytes(), sum);
+  }
+  EXPECT_EQ(sum, store.total_payload_bytes());
+  EXPECT_GE(store.max_shard_bytes(), store.shard_bytes(3));
+
+  // The mapping really is resident once materialized (page-cache probe).
+  EXPECT_GT(store.probe_resident_bytes(), 0u);
+
+  store.release(1);
+  EXPECT_FALSE(store.is_materialized(1));
+  EXPECT_EQ(store.resident_bytes(), sum - store.shard_bytes(1));
+  store.release(1);  // idempotent
+  EXPECT_EQ(store.resident_bytes(), sum - store.shard_bytes(1));
+
+  // A released shard comes back bit-identical (stable re-materialization).
+  const PackedBitMatrix& back = store.shard(1);
+  EXPECT_EQ(back.snps(), store.shard_rows(1));
+  EXPECT_EQ(store.resident_bytes(), sum);
+
+  // prefetch is a pure hint: no materialization, no accounting change.
+  store.release(2);
+  store.prefetch(2);
+  EXPECT_FALSE(store.is_materialized(2));
+}
+
+TEST(ShardStore, OpenRejectsMissingAndForeignFiles) {
+  EXPECT_THROW(ShardStore::open(temp_path("nope.ldshard")), Error);
+  const std::string bogus = temp_path("bogus.ldshard");
+  std::ofstream(bogus, std::ios::binary) << "definitely not a shard store";
+  EXPECT_THROW(ShardStore::open(bogus), ParseError);
+}
+
+class ShardParseForgery : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const BitMatrix g = random_matrix(50, 200, 7, 0.05);
+    GemmConfig cfg;
+    cfg.arch = KernelArch::kScalar;
+    cfg.kc_words = 4;
+    path_ = temp_path("forgery.ldshard");
+    write_shard_store(path_, g.view(), cfg, /*rows_per_shard=*/20);
+    bytes_ = read_file(path_);
+    ASSERT_GE(bytes_.size(), 120u);
+    // The pristine file parses.
+    const ShardIndex idx = parse_shard_index(bytes_.data(), bytes_.size());
+    ASSERT_EQ(idx.shards.size(), 3u);
+    ASSERT_EQ(idx.n_snps, 50u);
+  }
+
+  void expect_reject(const char* why) {
+    EXPECT_THROW(parse_shard_index(bytes_.data(), bytes_.size()), ParseError)
+        << why;
+  }
+
+  std::string path_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+TEST_F(ShardParseForgery, BadMagic) {
+  bytes_[0] ^= 0xFF;
+  expect_reject("magic");
+}
+
+TEST_F(ShardParseForgery, TruncatedMap) {
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{7},
+                                 std::size_t{119}, bytes_.size() - 1}) {
+    EXPECT_THROW(parse_shard_index(bytes_.data(), keep), ParseError)
+        << "kept " << keep;
+  }
+}
+
+TEST_F(ShardParseForgery, FileBytesMismatch) {
+  set_field(bytes_, kFFileBytes, bytes_.size() + 64);
+  expect_reject("file_bytes");
+}
+
+TEST_F(ShardParseForgery, AbsurdSnpAndSampleCounts) {
+  auto fresh = bytes_;
+  set_field(bytes_, kFSnps, std::uint64_t{1} << 60);
+  expect_reject("absurd SNP count");
+  bytes_ = fresh;
+  set_field(bytes_, kFSamples, std::uint64_t{1} << 40);
+  expect_reject("absurd sample count");
+  bytes_ = fresh;
+  set_field(bytes_, kFShardCount, 0);
+  expect_reject("zero shards");
+  bytes_ = fresh;
+  set_field(bytes_, kFShardCount, get_field(bytes_, kFSnps) + 1);
+  expect_reject("more shards than rows");
+}
+
+TEST_F(ShardParseForgery, PlanGeometryOutOfRange) {
+  auto fresh = bytes_;
+  set_field(bytes_, kFArch, 0);  // kAuto is not a persistable arch
+  expect_reject("arch auto");
+  bytes_ = fresh;
+  set_field(bytes_, kFArch, 99);
+  expect_reject("arch unknown");
+  bytes_ = fresh;
+  set_field(bytes_, kFMr, 0);
+  expect_reject("mr zero");
+  bytes_ = fresh;
+  set_field(bytes_, kFKc, std::uint64_t{1} << 40);
+  expect_reject("absurd kc");
+  bytes_ = fresh;
+  set_field(bytes_, kFWords, get_field(bytes_, kFWords) + 1);
+  expect_reject("words inconsistent with samples");
+}
+
+TEST_F(ShardParseForgery, BrokenRowPartition) {
+  auto fresh = bytes_;
+  set_rec(bytes_, 1, kRRowBegin, get_rec(bytes_, 1, kRRowBegin) + 1);
+  expect_reject("gap in the partition");
+  bytes_ = fresh;
+  set_rec(bytes_, 2, kRRowEnd, get_rec(bytes_, 2, kRRowEnd) - 1);
+  expect_reject("partition does not cover the matrix");
+  bytes_ = fresh;
+  set_rec(bytes_, 0, kRRowEnd, get_rec(bytes_, 0, kRRowBegin));
+  expect_reject("empty shard");
+}
+
+TEST_F(ShardParseForgery, ExtentViolations) {
+  auto fresh = bytes_;
+  // Overlap: point shard 1's slivers at shard 0's.
+  set_rec(bytes_, 1, kRAOff, get_rec(bytes_, 0, kRAOff));
+  expect_reject("overlapping extents");
+  bytes_ = fresh;
+  set_rec(bytes_, 0, kRAOff, 8);  // inside the header
+  expect_reject("extent inside the header");
+  bytes_ = fresh;
+  set_rec(bytes_, 0, kRAOff, get_rec(bytes_, 0, kRAOff) + 8);
+  expect_reject("misaligned extent (and overlap)");
+  bytes_ = fresh;
+  set_rec(bytes_, 2, kRPopOff, bytes_.size() + (std::uint64_t{1} << 30));
+  expect_reject("extent beyond the file");
+  bytes_ = fresh;
+  set_rec(bytes_, 0, kRPopOff, 0);
+  expect_reject("popcounts are mandatory");
+}
+
+TEST_F(ShardParseForgery, SliverGeometryMismatch) {
+  auto fresh = bytes_;
+  set_rec(bytes_, 0, kRAWords, get_rec(bytes_, 0, kRAWords) + 8);
+  expect_reject("a_words off the plan-implied size");
+  bytes_ = fresh;
+  // mr == nr stores share B with A: forging a B extent must be rejected.
+  ASSERT_EQ(get_rec(bytes_, 0, kRBWords), 0u);
+  set_rec(bytes_, 0, kRBWords, get_rec(bytes_, 0, kRAWords));
+  expect_reject("B words on a shared-side store");
+}
+
+TEST_F(ShardParseForgery, SparseSectionConsistency) {
+  auto fresh = bytes_;
+  // index_count without an index extent.
+  set_rec(bytes_, 0, kRIndexOff, 0);
+  if (get_rec(bytes_, 0, kRIndexCount) != 0) {
+    expect_reject("count without list data");
+  }
+  bytes_ = fresh;
+  set_rec(bytes_, 0, kRIndexCount,
+          get_rec(bytes_, 0, kRIndexCount) +
+              (std::uint64_t{1} << 40));
+  expect_reject("absurd index count");
+  bytes_ = fresh;
+  if (get_rec(bytes_, 0, kRSmOff) != 0) {
+    set_rec(bytes_, 0, kRSmStride, get_rec(bytes_, 0, kRSmStride) + 1);
+    expect_reject("transpose stride off words_for_bits(rows)");
+  }
+}
+
+TEST(TileStore, RoundTripBothCodecsAndRandomLookup) {
+  // Values with shared high bytes (the XOR codec's favorable case) plus
+  // NaN and exact-zero runs; strided tiles exercise the ld != cols path.
+  const std::size_t n = 37;
+  std::vector<double> matrix(n * n);
+  Rng rng(11);
+  double prev = 0.25;
+  for (double& v : matrix) {
+    const double r = rng.next_double();
+    // Run-heavy like a real LD matrix: saturated blocks repeat the previous
+    // value, monomorphic stretches are NaN, the rest is fresh entropy.
+    if (r < 0.5) {
+      v = prev;
+    } else if (r < 0.6) {
+      v = std::nan("");
+    } else {
+      v = rng.next_double();
+    }
+    prev = v;
+  }
+  for (const TileCodec codec : {TileCodec::kRaw, TileCodec::kXor}) {
+    const std::string path = temp_path("tiles.ldtile");
+    {
+      TileStoreWriter w(path, LdStatistic::kD, n, n, codec);
+      // Cover the matrix with 16-row/13-col tiles through a stride-n view.
+      for (std::size_t i = 0; i < n; i += 16) {
+        for (std::size_t j = 0; j < n; j += 13) {
+          LdTile t;
+          t.row_begin = i;
+          t.col_begin = j;
+          t.rows = std::min<std::size_t>(16, n - i);
+          t.cols = std::min<std::size_t>(13, n - j);
+          t.values = matrix.data() + i * n + j;
+          t.ld = n;
+          w.add(t);
+        }
+      }
+      w.close();
+      if (codec == TileCodec::kXor) {
+        EXPECT_LT(w.payload_bytes(), w.raw_bytes());  // zeros/NaN runs pack
+      } else {
+        EXPECT_EQ(w.payload_bytes(), w.raw_bytes());
+      }
+    }
+
+    TileStoreReader r(path);
+    EXPECT_EQ(r.stat(), LdStatistic::kD);
+    EXPECT_EQ(r.codec(), codec);
+    EXPECT_EQ(r.matrix_rows(), n);
+    EXPECT_EQ(r.matrix_cols(), n);
+    std::size_t cells = 0;
+    for (std::size_t t = 0; t < r.tiles(); ++t) {
+      const TileData td = r.read_tile(t);
+      for (std::size_t i = 0; i < td.rec.rows; ++i) {
+        for (std::size_t j = 0; j < td.rec.cols; ++j) {
+          const double want =
+              matrix[(td.rec.row_begin + i) * n + td.rec.col_begin + j];
+          const double have = td.at(i, j);
+          EXPECT_EQ(std::memcmp(&want, &have, 8), 0);
+          ++cells;
+        }
+      }
+    }
+    EXPECT_EQ(cells, n * n);
+
+    double v = 0.0;
+    ASSERT_TRUE(r.find(19, 33, &v));
+    EXPECT_EQ(std::memcmp(&v, &matrix[19 * n + 33], 8), 0);
+  }
+}
+
+TEST(TileStore, ReaderRejectsTruncationAndCorruptPayload) {
+  const std::string path = temp_path("tile_forge.ldtile");
+  std::vector<double> vals(24, 0.5);
+  {
+    TileStoreWriter w(path, LdStatistic::kRSquared, 6, 4, TileCodec::kXor);
+    LdTile t;
+    t.rows = 6;
+    t.cols = 4;
+    t.values = vals.data();
+    t.ld = 4;
+    w.add(t);
+    w.close();
+  }
+  std::vector<std::uint8_t> bytes = read_file(path);
+
+  // Missing footer = writer died mid-stream.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size() - 8));
+  }
+  EXPECT_THROW(TileStoreReader{path}, ParseError);
+
+  // Corrupt XOR control byte in the payload.
+  auto forged = bytes;
+  forged[40] = 0xFF;  // first payload byte (header is 40 bytes)
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(forged.data()),
+              static_cast<std::streamsize>(forged.size()));
+  }
+  TileStoreReader r(path);
+  EXPECT_THROW(r.read_tile(0), ParseError);
+}
+
+}  // namespace
+}  // namespace ldla

@@ -22,6 +22,7 @@
 #include "core/gemm/macro.hpp"
 #include "core/gemm/nest.hpp"
 #include "core/ld.hpp"
+#include "core/ld_stream.hpp"
 #include "core/parallel.hpp"
 #include "sim/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -490,6 +491,62 @@ TEST_F(TraceFixture, NestDriversExposeStealCounters) {
   } else {
     EXPECT_EQ(d.counters.barrier_waits, 1u);
   }
+}
+
+// ---- Streaming io counters --------------------------------------------
+//
+// The stream walk's counter semantics are deterministic (DESIGN.md §4.7):
+//   prefetch_stalls  = acquires that had to materialize on the critical path
+//   prefetch_hits    = acquires that found the shard already materialized
+//   prefetch_issued  = next-pair shards found cold at prefetch time
+//   io_bytes_read    = payload bytes of every materialization
+// For a 2-shard store walked (0,0) (1,0) (1,1) with threads=1, prefetch on
+// and no budget, the schedule is fully determined: pair (0,0) stalls on
+// shard 0 and prefetches shard 1 in the overlap task; the run_tasks join
+// makes every later acquire a hit (the diagonal's shared key is acquired
+// once). Totals: 1 stall, 3 hits, 1 issue, io = both payloads.
+
+TEST_F(TraceFixture, StreamCountersMatchTheDeterministicWalk) {
+  const BitMatrix g = random_matrix(40, 300, 77);
+  GemmConfig cfg = small_blocking(KernelArch::kScalar);
+  const std::string path = ::testing::TempDir() + "trace_stream.ldshard";
+  write_shard_store(path, g.view(), cfg, /*rows_per_shard=*/20);
+  ShardStore store = ShardStore::open(path);
+  ASSERT_EQ(store.shards(), 2u);
+  const std::uint64_t payload =
+      store.shard_bytes(0) + store.shard_bytes(1);
+
+  const trace::TraceSnapshot before = trace::snapshot();
+  ld_matrix_stream(store, [](const LdTile&) {}, {});
+  const trace::TraceSnapshot d = trace::snapshot().since(before);
+
+  EXPECT_EQ(d.counters.prefetch_stalls, 1u);
+  EXPECT_EQ(d.counters.prefetch_hits, 3u);
+  EXPECT_EQ(d.counters.prefetch_issued, 1u);
+  EXPECT_EQ(d.counters.io_bytes_read, payload);
+  EXPECT_GT(d.phase_self_ns[static_cast<std::size_t>(trace::Phase::kIo)], 0u);
+}
+
+TEST_F(TraceFixture, StreamCountersWithoutPrefetchAreAllStalls) {
+  const BitMatrix g = random_matrix(40, 300, 78);
+  GemmConfig cfg = small_blocking(KernelArch::kScalar);
+  const std::string path = ::testing::TempDir() + "trace_stream_np.ldshard";
+  write_shard_store(path, g.view(), cfg, /*rows_per_shard=*/20);
+  ShardStore store = ShardStore::open(path);
+  ASSERT_EQ(store.shards(), 2u);
+
+  StreamOptions opts;
+  opts.prefetch = false;
+  const trace::TraceSnapshot before = trace::snapshot();
+  ld_matrix_stream(store, [](const LdTile&) {}, opts);
+  const trace::TraceSnapshot d = trace::snapshot().since(before);
+
+  // (0,0): stall 0. (1,0): stall 1, hit 0. (1,1): hit 1.
+  EXPECT_EQ(d.counters.prefetch_stalls, 2u);
+  EXPECT_EQ(d.counters.prefetch_hits, 2u);
+  EXPECT_EQ(d.counters.prefetch_issued, 0u);
+  EXPECT_EQ(d.counters.io_bytes_read,
+            store.shard_bytes(0) + store.shard_bytes(1));
 }
 
 }  // namespace

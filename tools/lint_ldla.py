@@ -48,6 +48,12 @@ Rules that clang-tidy cannot express, enforced as a CI/ctest gate:
      scope. (std::thread::hardware_concurrency() is a query, not a spawn,
      and stays allowed everywhere.)
 
+  8. mmap-confinement — mmap/munmap/madvise/mincore/pread and
+     <sys/mman.h> may appear only in src/io/shard_store.cpp: the shard
+     store owns the out-of-core mapping lifecycle, so fd hygiene, mapping
+     bounds, and residency probing are auditable in one translation unit
+     and every other layer consumes shards through its typed API.
+
 Engines:
 
   * ast  — libclang (python clang.cindex) over compile_commands.json: the
@@ -196,6 +202,20 @@ THREAD_ALLOWED = {
     "src/util/thread_pool.cpp",
 }
 
+# --- rule 8: mmap confinement --------------------------------------------------
+
+MMAP_RE = re.compile(
+    r"(\bmmap\s*\(|\bmunmap\s*\(|\bmadvise\s*\(|\bmincore\s*\(|"
+    r"\bpread\s*\(|#\s*include\s*<sys/mman\.h>)"
+)
+MMAP_NAMES_RE = re.compile(r"^(mmap|munmap|madvise|mincore|pread)$")
+
+MMAP_ALLOWED = {
+    # The shard store owns the mapping lifecycle end to end: open/mmap,
+    # madvise prefetch hints, mincore residency probes, munmap on close.
+    "src/io/shard_store.cpp",
+}
+
 # --- rule 3: public API guard manifest ---------------------------------------
 
 # file -> list of (function_name, guard_kind); guard_kind is "expect" for
@@ -264,6 +284,14 @@ PUBLIC_API = {
     "src/io/ms_format.cpp": [("parse_ms", "parse")],
     "src/io/vcf_lite.cpp": [("parse_vcf", "parse")],
     "src/io/ldm_binary.cpp": [("read_ldm", "parse")],
+    "src/io/shard_store.cpp": [
+        ("write_shard_store", "expect"),
+        ("open_shard_store", "parse"),
+    ],
+    "src/core/ld_stream.cpp": [
+        ("ld_matrix_stream", "expect"),
+        ("ld_cross_stream", "expect"),
+    ],
 }
 
 GUARD_TOKENS = {
@@ -444,6 +472,10 @@ class TextEngine:
             self._scan_pattern(rel, code, PERF_EVENT_RE, PERF_EVENT_ALLOWED,
                                "perf-event-confinement",
                                "util/perf_counters", findings)
+            self._scan_pattern(rel, code, MMAP_RE, MMAP_ALLOWED,
+                               "mmap-confinement",
+                               "io/shard_store.cpp (the store owns the "
+                               "mapping lifecycle)", findings)
         for path in project_sources(self.root, ("src", "bench")):
             rel = path.relative_to(self.root).as_posix()
             code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
@@ -715,6 +747,10 @@ class AstEngine:
                 self._add(rel, line, "atomics-confinement",
                           "'#include <atomic>' outside the litmus-gated "
                           "concurrency files")
+            if name == "sys/mman.h" and rel not in MMAP_ALLOWED:
+                self._add(rel, line, "mmap-confinement",
+                          f"'#include <{name}>' outside io/shard_store.cpp "
+                          "(the store owns the mapping lifecycle)")
             return
 
         if kind == ci.CursorKind.MACRO_INSTANTIATION:
@@ -762,6 +798,14 @@ class AstEngine:
                 PERF_EVENT_NAMES_RE.match(spelling):
             self._add(rel, line, "perf-event-confinement",
                       f"'{spelling}' outside util/perf_counters")
+
+        # Rule 8: mapping syscalls stay inside the shard store.
+        if rel not in MMAP_ALLOWED and kind in (
+                ci.CursorKind.CALL_EXPR, ci.CursorKind.DECL_REF_EXPR) and \
+                MMAP_NAMES_RE.match(spelling):
+            self._add(rel, line, "mmap-confinement",
+                      f"'{spelling}' outside io/shard_store.cpp "
+                      "(the store owns the mapping lifecycle)")
 
         # Rule 5: atomics.
         if rel not in ATOMICS_ALLOWED:
@@ -910,6 +954,10 @@ class AstEngine:
             text._scan_pattern(rel, code, PERF_EVENT_RE, PERF_EVENT_ALLOWED,
                                "perf-event-confinement",
                                "util/perf_counters", tmp)
+            text._scan_pattern(rel, code, MMAP_RE, MMAP_ALLOWED,
+                               "mmap-confinement",
+                               "io/shard_store.cpp (the store owns the "
+                               "mapping lifecycle)", tmp)
             text._scan_pattern(rel, code, ATOMIC_RE, ATOMICS_ALLOWED,
                                "atomics-confinement",
                                "the litmus-gated concurrency files", tmp)
@@ -993,7 +1041,8 @@ def main() -> int:
         ast_findings = ast_engine.run()
         text_findings = TextEngine(root).run()
         compat_rules = {"intrinsics-confinement", "no-naked-allocation",
-                        "public-api-guards", "perf-event-confinement"}
+                        "public-api-guards", "perf-event-confinement",
+                        "mmap-confinement"}
 
         def verdicts(fs):
             return {(f.file, f.rule) for f in fs if f.rule in compat_rules}
