@@ -17,6 +17,7 @@
 #include "ldla.hpp"
 #include "sim/rng.hpp"
 #include "util/annotations.hpp"
+#include "util/metrics.hpp"
 #include "util/sync.hpp"
 #include "util/cpu_info.hpp"
 #include "util/peak.hpp"
@@ -62,9 +63,9 @@ class BenchJson {
            std::size_t snps, std::size_t samples, double seconds,
            double lds_per_sec, double pct_peak = -1.0) {
     const MutexLock lock(mu_);
-    rows_.push_back(
-        Row{workload, kernel, snps, samples, seconds, lds_per_sec, pct_peak,
-            false, trace::TraceSnapshot{}});
+    rows_.push_back(Row{workload, kernel, snps, samples, seconds, lds_per_sec,
+                        pct_peak, false, trace::TraceSnapshot{},
+                        std::numeric_limits<double>::quiet_NaN(), {}});
   }
 
   /// Row with a per-phase breakdown: `phases` is the trace-snapshot delta
@@ -77,7 +78,8 @@ class BenchJson {
            const trace::TraceSnapshot& phases) {
     const MutexLock lock(mu_);
     rows_.push_back(Row{workload, kernel, snps, samples, seconds, lds_per_sec,
-                        pct_peak, trace::compiled(), phases});
+                        pct_peak, trace::compiled(), phases,
+                        std::numeric_limits<double>::quiet_NaN(), {}});
   }
 
   /// Annotate the most recently added row with its thread-scaling speedup
@@ -86,6 +88,15 @@ class BenchJson {
   void set_last_speedup(double speedup_vs_1t) {
     const MutexLock lock(mu_);
     if (!rows_.empty()) rows_.back().speedup_vs_1t = speedup_vs_1t;
+  }
+
+  /// Embed a metrics snapshot (metrics::render_json()) into the most
+  /// recently added row; emitted verbatim under the "metrics" key so
+  /// compare_bench.py and the CI overhead gate can read registry values
+  /// per row. The string must be a complete JSON object.
+  void annotate_last_metrics(const std::string& metrics_json) {
+    const MutexLock lock(mu_);
+    if (!rows_.empty()) rows_.back().metrics_json = metrics_json;
   }
 
   /// Writes the report once; later calls return the first outcome. True
@@ -111,6 +122,7 @@ class BenchJson {
     bool has_phases = false;
     trace::TraceSnapshot phases;
     double speedup_vs_1t = std::numeric_limits<double>::quiet_NaN();
+    std::string metrics_json;  ///< raw JSON object; empty = not annotated
   };
 
   bool write_report() LDLA_REQUIRES(mu_) {
@@ -139,6 +151,9 @@ class BenchJson {
       std::fputs(", ", f);
       number(f, "speedup_vs_1t", r.speedup_vs_1t);
       if (r.has_phases) write_phases(f, r.phases);
+      if (!r.metrics_json.empty()) {
+        std::fprintf(f, ", \"metrics\": %s", r.metrics_json.c_str());
+      }
       std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
     }
     std::fputs("]\n", f);
@@ -411,6 +426,27 @@ inline LdScanTiming time_gemm_ld_scan(const BitMatrix& g, unsigned threads,
       opts, threads);
   out.seconds = timer.seconds();
   return out;
+}
+
+/// Dump the metrics registry as metrics_<name>.prom and metrics_<name>.json
+/// into $LDLA_METRICS_DUMP_DIR when that variable is set (the bench-smoke
+/// CI job and scripts/validate_metrics.py --run set it). Returns false only
+/// when a dump was requested and a write failed.
+inline bool maybe_dump_metrics(const char* name) {
+  const char* dir = std::getenv("LDLA_METRICS_DUMP_DIR");
+  if (dir == nullptr || dir[0] == '\0') return true;
+  const std::string base = std::string(dir) + "/metrics_" + name;
+  bool ok = true;
+  if (!metrics::dump_prometheus(base + ".prom")) {
+    std::fprintf(stderr, "metrics: cannot write %s.prom\n", base.c_str());
+    ok = false;
+  }
+  if (!metrics::dump_json(base + ".json")) {
+    std::fprintf(stderr, "metrics: cannot write %s.json\n", base.c_str());
+    ok = false;
+  }
+  if (ok) std::printf("wrote %s.prom / .json\n", base.c_str());
+  return ok;
 }
 
 inline std::string human_rate(double per_sec) {

@@ -91,6 +91,18 @@ int main(int argc, char** argv) {
   json.add("ingest", "auto", n, k, ingest_seconds,
            static_cast<double>(n) / ingest_seconds);
 
+  // Health sampler: poll /proc self-stats plus a mincore probe against the
+  // shard mapping every 50 ms for the duration of the streamed arms, so the
+  // exported ldla_shard_mincore_resident_bytes gauge cross-checks the
+  // store's own residency accounting with what the kernel actually holds.
+  metrics::Sampler::add_probe(
+      "ldla_shard_mincore_resident_bytes",
+      [](void* ctx) -> std::uint64_t {
+        return static_cast<const ShardStore*>(ctx)->probe_resident_bytes();
+      },
+      &store);
+  metrics::Sampler::start(50);
+
   // Budget: a quarter of the store, floored at the walker's minimum.
   const std::size_t budget =
       std::max(4 * store.max_shard_bytes(), store.total_payload_bytes() / 4);
@@ -135,6 +147,13 @@ int main(int argc, char** argv) {
     return r;
   });
 
+  // Take one deterministic sample while a shard is provably materialized,
+  // so the mincore gauge in the export reflects live residency rather than
+  // whatever the last periodic tick happened to catch post-eviction.
+  (void)store.shard(0);
+  metrics::Sampler::sample_now();
+  store.release(0);
+
   // ---- the three claims -------------------------------------------------
   if (streamed.checksum != in_ram.checksum) {
     std::printf("STREAM CHECKSUM MISMATCH (stream %016llx vs scan %016llx)\n",
@@ -169,6 +188,7 @@ int main(int argc, char** argv) {
            pairs / in_ram.seconds, -1.0, in_ram.phases);
   json.add("stream-budget", "auto", n, k, streamed.seconds,
            pairs / streamed.seconds, -1.0, streamed.phases);
+  json.annotate_last_metrics(metrics::render_json());
   table.add_row({"in-RAM ld_stat_scan", fmt_fixed(in_ram.seconds, 3), "-",
                  "-"});
   table.add_row({"ld_matrix_stream",
@@ -189,8 +209,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(streamed.phases.counters.prefetch_hits),
       static_cast<unsigned long long>(
           streamed.phases.counters.prefetch_stalls));
+  const bool dump_ok = maybe_dump_metrics("stream");
+  // Stop the sampler (and drop its probe into `store`) before the store
+  // leaves scope and the backing file is removed.
+  metrics::Sampler::stop();
+  metrics::Sampler::clear_probes();
   std::remove(store_path.c_str());
   const bool json_ok = json.flush();
   const bool trace_ok = finish_trace();
-  return (json_ok && trace_ok) ? rc : 1;
+  return (json_ok && dump_ok && trace_ok) ? rc : 1;
 }

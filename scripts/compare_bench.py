@@ -20,6 +20,13 @@ around the workload) additionally get a phase-level diff on regressed rows,
 so a slowdown is attributed to packing / kernel / epilogue / mirror time
 rather than just flagged. Pass --phases to print the phase diff for every
 common row.
+
+Rows that embed a metrics registry snapshot (the "metrics" object,
+schema ldla-metrics-v1, from BenchJson::annotate_last_metrics) get the
+same treatment: changed counters, gauges that moved by more than 10%,
+and histogram p99s that moved by more than 25% are diffed on regressed
+rows (or on every common row with --metrics) — so "the stream got slower"
+comes annotated with "prefetch stalls tripled, residency halved".
 """
 
 import argparse
@@ -90,6 +97,47 @@ def phase_diff_lines(base_row, cand_row):
     return lines
 
 
+def metrics_diff_lines(base_row, cand_row):
+    """Diff the embedded ldla-metrics-v1 snapshots of one row pair; []
+    when either side lacks one. Counters print when changed at all,
+    gauges when moved > 10%, histogram p99 when moved > 25% — thresholds
+    that keep genuinely-noisy values (RSS, wall-clock quantiles) from
+    drowning the signal."""
+    b = base_row.get("metrics")
+    c = cand_row.get("metrics")
+    if not isinstance(b, dict) or not isinstance(c, dict):
+        return []
+    lines = []
+
+    def moved(bv, cv, rel):
+        if bv == cv:
+            return False
+        base_mag = max(abs(bv), 1e-12)
+        return abs(cv - bv) / base_mag > rel
+
+    bc, cc = b.get("counters", {}), c.get("counters", {})
+    for name in sorted(set(bc) | set(cc)):
+        bv = (bc.get(name) or {}).get("value", 0) or 0
+        cv = (cc.get(name) or {}).get("value", 0) or 0
+        if bv == cv:
+            continue
+        delta = f" ({cv / bv:.2f}x)" if bv else ""
+        lines.append(f"      {name}: {bv} -> {cv}{delta}")
+    bg, cg = b.get("gauges", {}), c.get("gauges", {})
+    for name in sorted(set(bg) | set(cg)):
+        bv = (bg.get(name) or {}).get("value", 0) or 0
+        cv = (cg.get(name) or {}).get("value", 0) or 0
+        if moved(bv, cv, 0.10):
+            lines.append(f"      {name}: {bv:.4g} -> {cv:.4g}")
+    bh, ch = b.get("histograms", {}), c.get("histograms", {})
+    for name in sorted(set(bh) | set(ch)):
+        bv = (bh.get(name) or {}).get("p99", 0) or 0
+        cv = (ch.get(name) or {}).get("p99", 0) or 0
+        if moved(bv, cv, 0.25):
+            lines.append(f"      {name} p99: {bv:.4g}s -> {cv:.4g}s")
+    return lines
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff two bench_json directories; flag rate regressions.")
@@ -102,6 +150,10 @@ def main():
                         help="print the per-phase time diff for every "
                              "common row that carries one (regressed rows "
                              "always get it)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the embedded metrics-snapshot diff for "
+                             "every common row that carries one (regressed "
+                             "rows always get it)")
     args = parser.parse_args()
     if not 0.0 < args.threshold < 1.0:
         parser.error("--threshold must be in (0, 1)")
@@ -143,6 +195,13 @@ def main():
                 print(f"  phases for {fmt_key(key)}:")
                 print("\n".join(lines))
 
+    if args.metrics:
+        for key in common:
+            lines = metrics_diff_lines(base[key], cand[key])
+            if lines:
+                print(f"  metrics for {fmt_key(key)}:")
+                print("\n".join(lines))
+
     if not regressions:
         print("no regressions")
         return 0
@@ -152,6 +211,11 @@ def main():
               f"({(1.0 - ratio):.1%} slower)")
         for line in phase_diff_lines(base[key], cand[key]):
             print(line)
+        mlines = metrics_diff_lines(base[key], cand[key])
+        if mlines:
+            print("    metrics snapshot:")
+            for line in mlines:
+                print(line)
     return 1
 
 

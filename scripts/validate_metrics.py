@@ -1,0 +1,364 @@
+#!/usr/bin/env python3
+"""Validate metrics_<run>.prom / metrics_<run>.json exports from
+src/util/metrics.cpp.
+
+Prometheus text (exposition format 0.0.4) checks: every metric carries a
+# HELP and a # TYPE line before its samples, names are Prometheus-valid,
+counters end in `_total`, histogram buckets are cumulative (non-decreasing
+in le order), the `+Inf` bucket equals `_count`, and `_sum`/`_count` are
+present. JSON checks: the `ldla-metrics-v1` schema envelope, quantile
+ordering p50 <= p90 <= p99 <= p999, cumulative bucket counts whose last
+entry equals `count`, and (when both files are given for the same run)
+counter/gauge agreement between the two renderings.
+
+Usage:
+    scripts/validate_metrics.py FILE.prom [FILE.json ...]
+    scripts/validate_metrics.py --run BENCH_BINARY [--require a,b] [-- args]
+
+With --run, the bench binary executes in a temporary directory with
+LDLA_SMOKE=1 and LDLA_METRICS_DUMP_DIR pointing at that directory, then
+every metrics_*.prom / metrics_*.json it produced is validated. This is
+the ctest / CI entry point: it proves the whole chain (instrumentation ->
+registry -> exporter) emits loadable, self-consistent exports.
+
+--require NAMES (comma-separated) additionally demands that each named
+metric is present with a non-trivial (> 0) value in every validated .prom
+file — the bench-smoke gate that residency/prefetch/pool instrumentation
+actually fired.
+
+Exit status: 0 = valid, 1 = validation failure, 2 = usage/setup error.
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{le="(?P<le>[^"]+)"\})? (?P<value>\S+)$')
+QUANTILES = ["p50", "p90", "p99", "p999"]
+
+
+def parse_number(text):
+    if text == "+Inf":
+        return math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_prom(path, errors):
+    """Parse into {family: {"type": str, "help": str, "samples": [...]}}
+    where histogram samples keep (le, value) pairs in file order."""
+    families = {}
+    current = None
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        errors.append(f"{path}: cannot read: {e}")
+        return families
+    for i, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3]:
+                errors.append(f"{path}:{i}: HELP line without text")
+                continue
+            current = families.setdefault(
+                parts[2], {"type": None, "help": None, "samples": []})
+            current["help"] = parts[3]
+        elif line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram"):
+                errors.append(f"{path}:{i}: malformed TYPE line: {line}")
+                continue
+            fam = families.setdefault(
+                parts[2], {"type": None, "help": None, "samples": []})
+            fam["type"] = parts[3]
+        elif line.startswith("#"):
+            continue
+        else:
+            m = SAMPLE_RE.match(line)
+            if m is None:
+                errors.append(f"{path}:{i}: unparseable sample: {line}")
+                continue
+            value = parse_number(m.group("value"))
+            if value is None:
+                errors.append(f"{path}:{i}: non-numeric value: {line}")
+                continue
+            families.setdefault(
+                family_of(m.group("name")),
+                {"type": None, "help": None, "samples": []})["samples"].append(
+                    (m.group("name"), m.group("le"), value))
+    return families
+
+
+def family_of(sample_name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def validate_prom(path):
+    errors = []
+    families = parse_prom(path, errors)
+    if not families and not errors:
+        errors.append(f"{path}: no metric families found")
+    for name, fam in sorted(families.items()):
+        where = f"{path}: {name}"
+        if not NAME_RE.match(name):
+            errors.append(f"{where}: invalid metric name")
+        if fam["type"] is None:
+            errors.append(f"{where}: missing # TYPE line")
+            continue
+        if fam["help"] is None:
+            errors.append(f"{where}: missing # HELP line")
+        if not fam["samples"]:
+            errors.append(f"{where}: no samples")
+            continue
+        if fam["type"] == "counter":
+            if not name.endswith("_total"):
+                errors.append(f"{where}: counter name must end in _total")
+            for sample_name, le, value in fam["samples"]:
+                if sample_name != name or le is not None:
+                    errors.append(f"{where}: unexpected counter sample "
+                                  f"{sample_name}")
+                elif value < 0:
+                    errors.append(f"{where}: negative counter value {value}")
+        elif fam["type"] == "gauge":
+            for sample_name, le, value in fam["samples"]:
+                if sample_name != name or le is not None:
+                    errors.append(f"{where}: unexpected gauge sample "
+                                  f"{sample_name}")
+        else:
+            validate_prom_histogram(name, fam, errors, path)
+    return errors
+
+
+def validate_prom_histogram(name, fam, errors, path):
+    where = f"{path}: {name}"
+    buckets, total, sum_seconds = [], None, None
+    for sample_name, le, value in fam["samples"]:
+        if sample_name == name + "_bucket":
+            upper = parse_number(le) if le is not None else None
+            if upper is None:
+                errors.append(f"{where}: bucket without a numeric le")
+            else:
+                buckets.append((upper, value))
+        elif sample_name == name + "_count":
+            total = value
+        elif sample_name == name + "_sum":
+            sum_seconds = value
+        else:
+            errors.append(f"{where}: unexpected sample {sample_name}")
+    if total is None or sum_seconds is None:
+        errors.append(f"{where}: histogram missing _sum/_count")
+        return
+    if not buckets or buckets[-1][0] != math.inf:
+        errors.append(f"{where}: histogram must end with a +Inf bucket")
+        return
+    if buckets[-1][1] != total:
+        errors.append(f"{where}: +Inf bucket {buckets[-1][1]} != _count "
+                      f"{total}")
+    uppers = [b[0] for b in buckets]
+    counts = [b[1] for b in buckets]
+    if uppers != sorted(uppers) or len(set(uppers)) != len(uppers):
+        errors.append(f"{where}: bucket le values not strictly increasing")
+    if counts != sorted(counts):
+        errors.append(f"{where}: cumulative bucket counts decrease")
+    if total > 0 and sum_seconds < 0:
+        errors.append(f"{where}: negative _sum")
+
+
+def validate_json(path):
+    errors = []
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: cannot parse: {e}"]
+    if data.get("schema") != "ldla-metrics-v1":
+        errors.append(f"{path}: schema must be 'ldla-metrics-v1', got "
+                      f"{data.get('schema')!r}")
+    if not isinstance(data.get("enabled"), bool):
+        errors.append(f"{path}: 'enabled' must be a boolean")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(data.get(section), dict):
+            errors.append(f"{path}: missing '{section}' object")
+            return errors
+    for name, body in sorted(data["counters"].items()):
+        if not (isinstance(body.get("value"), int) and body["value"] >= 0):
+            errors.append(f"{path}: counters.{name}.value must be a "
+                          "non-negative integer")
+        if not body.get("help"):
+            errors.append(f"{path}: counters.{name} missing help")
+    for name, body in sorted(data["gauges"].items()):
+        if not isinstance(body.get("value"), (int, float)):
+            errors.append(f"{path}: gauges.{name}.value must be numeric")
+        if not body.get("help"):
+            errors.append(f"{path}: gauges.{name} missing help")
+    for name, body in sorted(data["histograms"].items()):
+        validate_json_histogram(path, name, body, errors)
+    return errors
+
+
+def validate_json_histogram(path, name, body, errors):
+    where = f"{path}: histograms.{name}"
+    count = body.get("count")
+    if not (isinstance(count, int) and count >= 0):
+        errors.append(f"{where}: count must be a non-negative integer")
+        return
+    if not isinstance(body.get("sum_seconds"), (int, float)):
+        errors.append(f"{where}: missing sum_seconds")
+    qs = []
+    for q in QUANTILES:
+        v = body.get(q)
+        if not isinstance(v, (int, float)) or v < 0:
+            errors.append(f"{where}: {q} must be a non-negative number")
+            return
+        qs.append(v)
+    if qs != sorted(qs):
+        errors.append(f"{where}: quantiles not ordered "
+                      f"(p50 <= p90 <= p99 <= p999): {qs}")
+    buckets = body.get("buckets")
+    if not isinstance(buckets, list):
+        errors.append(f"{where}: missing buckets array")
+        return
+    prev_upper, prev_count = -1.0, 0
+    for i, entry in enumerate(buckets):
+        if (not isinstance(entry, list) or len(entry) != 2
+                or not isinstance(entry[0], (int, float))
+                or not isinstance(entry[1], int)):
+            errors.append(f"{where}: buckets[{i}] must be "
+                          "[upper_seconds, cumulative_count]")
+            return
+        upper, cum = entry
+        if upper <= prev_upper:
+            errors.append(f"{where}: bucket uppers not increasing at [{i}]")
+        if cum < prev_count:
+            errors.append(f"{where}: cumulative counts decrease at [{i}]")
+        prev_upper, prev_count = upper, cum
+    if count > 0 and (not buckets or buckets[-1][1] != count):
+        errors.append(f"{where}: last cumulative bucket != count ({count})")
+    if count == 0 and buckets:
+        errors.append(f"{where}: empty histogram with non-empty buckets")
+
+
+def check_required(path, required, errors):
+    """Every required metric must appear in the .prom file with a
+    non-trivial (> 0) scalar value (counters/gauges) or count
+    (histograms)."""
+    families = parse_prom(path, errors)
+    for name in required:
+        fam = families.get(name)
+        if fam is None:
+            errors.append(f"{path}: required metric '{name}' is absent")
+            continue
+        value = None
+        for sample_name, le, v in fam["samples"]:
+            if sample_name == name or sample_name == name + "_count":
+                value = v
+        if value is None:
+            errors.append(f"{path}: required metric '{name}' has no value "
+                          "sample")
+        elif value <= 0:
+            errors.append(f"{path}: required metric '{name}' is trivial "
+                          f"({value}); its instrumentation never fired")
+
+
+def validate_path(path, required=()):
+    if path.endswith(".prom"):
+        errors = validate_prom(path)
+        if required and not errors:
+            check_required(path, required, errors)
+        return errors
+    if path.endswith(".json"):
+        return validate_json(path)
+    return [f"{path}: expected a .prom or .json file"]
+
+
+def run_and_validate(binary, extra_args, required):
+    """Execute `binary` in smoke mode with a temp dump dir; validate every
+    metrics_* export it writes."""
+    binary = os.path.abspath(binary)
+    if not os.access(binary, os.X_OK):
+        print(f"error: {binary} is not executable", file=sys.stderr)
+        return 2
+    with tempfile.TemporaryDirectory(prefix="ldla_metrics_") as tmp:
+        env = dict(os.environ)
+        env.update({"LDLA_SMOKE": "1", "LDLA_METRICS_DUMP_DIR": tmp,
+                    "LDLA_BENCH_JSON_DIR": tmp})
+        proc = subprocess.run([binary] + extra_args, env=env, cwd=tmp,
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True)
+        if proc.returncode != 0:
+            print(proc.stdout)
+            print(f"error: {binary} exited {proc.returncode}",
+                  file=sys.stderr)
+            return 1
+        dumps = sorted(glob.glob(os.path.join(tmp, "metrics_*.prom"))
+                       + glob.glob(os.path.join(tmp, "metrics_*.json")))
+        if not dumps:
+            print(proc.stdout)
+            print(f"error: {binary} wrote no metrics_* exports into "
+                  "LDLA_METRICS_DUMP_DIR", file=sys.stderr)
+            return 1
+        failures = 0
+        for path in dumps:
+            errors = validate_path(path, required)
+            for e in errors:
+                print(e, file=sys.stderr)
+            failures += bool(errors)
+            if not errors:
+                print(f"ok: {os.path.basename(path)}")
+        return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate ldla metrics_<run>.prom/.json exports.")
+    parser.add_argument("paths", nargs="*",
+                        help="metrics export files to validate")
+    parser.add_argument("--run", metavar="BINARY",
+                        help="run this bench in a temp dir with metrics "
+                             "dumping on, then validate its exports")
+    parser.add_argument("--require", metavar="NAMES", default="",
+                        help="comma-separated metric names that must be "
+                             "present and non-trivial in every .prom file")
+    args, extra = parser.parse_known_args()
+    if extra and extra[0] == "--":
+        extra = extra[1:]
+    required = tuple(n for n in args.require.split(",") if n)
+
+    if args.run:
+        if args.paths:
+            parser.error("--run and file paths are mutually exclusive")
+        return run_and_validate(args.run, extra, required)
+
+    if not args.paths:
+        parser.error("give export files to validate, or --run BINARY")
+    failures = 0
+    for path in args.paths:
+        errors = validate_path(path, required)
+        for e in errors:
+            print(e, file=sys.stderr)
+        failures += bool(errors)
+        if not errors:
+            print(f"ok: {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@
 #include "core/gemm/macro.hpp"
 #include "core/gemm/syrk.hpp"
 #include "util/contract.hpp"
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace ldla {
@@ -112,6 +113,10 @@ void mirror_ld_lower_to_upper(LdMatrix& m) {
 }
 
 LdMatrix ld_matrix(const BitMatrix& g, const LdOptions& opts) {
+  LDLA_METRICS_ONLY(
+      static metrics::Histogram& h_call = metrics::histogram(
+          "ldla_ld_matrix_seconds", "ld_matrix driver call latency");
+      metrics::ScopedLatency metrics_lat(h_call);)
   const std::size_t n = g.snps();
   LdMatrix out(n, n);
   if (n == 0) return out;
@@ -165,6 +170,11 @@ LdMatrix ld_matrix(const BitMatrix& g, const LdOptions& opts) {
 
 LdMatrix ld_cross_matrix(const BitMatrix& a, const BitMatrix& b,
                          const LdOptions& opts) {
+  LDLA_METRICS_ONLY(
+      static metrics::Histogram& h_call = metrics::histogram(
+          "ldla_ld_cross_matrix_seconds",
+          "ld_cross_matrix driver call latency");
+      metrics::ScopedLatency metrics_lat(h_call);)
   LDLA_EXPECT(a.samples() == b.samples(),
               "cross-matrix LD needs matching sample sets");
   const std::size_t m = a.snps();
@@ -215,6 +225,10 @@ LdMatrix ld_cross_matrix(const BitMatrix& a, const BitMatrix& b,
 
 void ld_scan(const BitMatrix& g, const LdTileVisitor& visit,
              const LdOptions& opts) {
+  LDLA_METRICS_ONLY(
+      static metrics::Histogram& h_call = metrics::histogram(
+          "ldla_ld_scan_seconds", "ld_scan driver call latency");
+      metrics::ScopedLatency metrics_lat(h_call);)
   const std::size_t n = g.snps();
   if (n == 0) return;
   LDLA_EXPECT(g.samples() > 0, "matrix has no samples");
@@ -286,6 +300,10 @@ void ld_scan(const BitMatrix& g, const LdTileVisitor& visit,
 
 void ld_cross_scan(const BitMatrix& a, const BitMatrix& b,
                    const LdTileVisitor& visit, const LdOptions& opts) {
+  LDLA_METRICS_ONLY(
+      static metrics::Histogram& h_call = metrics::histogram(
+          "ldla_ld_cross_scan_seconds", "ld_cross_scan driver call latency");
+      metrics::ScopedLatency metrics_lat(h_call);)
   LDLA_EXPECT(a.samples() == b.samples(),
               "cross-matrix LD needs matching sample sets");
   const std::size_t m = a.snps();
@@ -357,6 +375,10 @@ void ld_cross_scan(const BitMatrix& a, const BitMatrix& b,
 
 void ld_stat_scan(const BitMatrix& g, const LdStatTileVisitor& visit,
                   const LdOptions& opts) {
+  LDLA_METRICS_ONLY(
+      static metrics::Histogram& h_call = metrics::histogram(
+          "ldla_ld_stat_scan_seconds", "ld_stat_scan driver call latency");
+      metrics::ScopedLatency metrics_lat(h_call);)
   const std::size_t n = g.snps();
   if (n == 0) return;
   LDLA_EXPECT(g.samples() > 0, "matrix has no samples");
@@ -433,6 +455,11 @@ void ld_stat_scan(const BitMatrix& g, const LdStatTileVisitor& visit,
 void ld_cross_stat_scan(const BitMatrix& a, const BitMatrix& b,
                         const LdStatTileVisitor& visit,
                         const LdOptions& opts) {
+  LDLA_METRICS_ONLY(
+      static metrics::Histogram& h_call = metrics::histogram(
+          "ldla_ld_cross_stat_scan_seconds",
+          "ld_cross_stat_scan driver call latency");
+      metrics::ScopedLatency metrics_lat(h_call);)
   LDLA_EXPECT(a.samples() == b.samples(),
               "cross-matrix LD needs matching sample sets");
   const std::size_t m = a.snps();

@@ -10,6 +10,7 @@
 #include "core/gemm/nest.hpp"
 #include "core/gemm/syrk.hpp"
 #include "util/contract.hpp"
+#include "util/metrics.hpp"
 #include "util/partition.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
@@ -94,6 +95,11 @@ void scan_row_range(const BitMatrix& g, const Range& range,
 
 void ld_scan_parallel(const BitMatrix& g, const LdTileVisitor& visit,
                       const LdOptions& opts, unsigned threads) {
+  LDLA_METRICS_ONLY(
+      static metrics::Histogram& h_call = metrics::histogram(
+          "ldla_ld_scan_parallel_seconds",
+          "ld_scan_parallel driver call latency");
+      metrics::ScopedLatency metrics_lat(h_call);)
   const std::size_t n = g.snps();
   if (n == 0) return;
   LDLA_EXPECT(g.samples() > 0, "matrix has no samples");
@@ -243,6 +249,11 @@ void ld_cross_scan_parallel(const BitMatrix& a, const BitMatrix& b,
 
 LdMatrix ld_matrix_parallel(const BitMatrix& g, const LdOptions& opts,
                             unsigned threads) {
+  LDLA_METRICS_ONLY(
+      static metrics::Histogram& h_call = metrics::histogram(
+          "ldla_ld_matrix_parallel_seconds",
+          "ld_matrix_parallel driver call latency");
+      metrics::ScopedLatency metrics_lat(h_call);)
   const std::size_t n = g.snps();
   LdMatrix out(n, n);
   if (n == 0) return out;

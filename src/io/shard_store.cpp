@@ -15,6 +15,7 @@
 #include <limits>
 #include <utility>
 
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace ldla {
@@ -681,6 +682,15 @@ const PackedBitMatrix& ShardStore::shard(std::size_t i) {
     touch_extent(rec.b_off, rec.b_words * 8);
     touch_extent(rec.sm_off, index_.n_samples * rec.sm_stride * 8);
     LDLA_TRACE_ADD_IO_READ(shard_bytes_[i]);
+    LDLA_METRICS_ONLY(
+        static metrics::Counter& c_mat = metrics::counter(
+            "ldla_shard_materializations_total",
+            "shards materialized (packed payloads faulted in)");
+        static metrics::Counter& c_io = metrics::counter(
+            "ldla_shard_io_bytes_total",
+            "shard payload bytes explicitly faulted/read");
+        c_mat.inc();
+        c_io.add(shard_bytes_[i]);)
   }
   MutexLock lock(mu_);
   if (!wrappers_[i]) {
@@ -704,6 +714,11 @@ void ShardStore::release(std::size_t i) {
     wrappers_[i].reset();
     resident_ -= shard_bytes_[i];
   }
+  LDLA_METRICS_ONLY(
+      static metrics::Counter& c_rel = metrics::counter(
+          "ldla_shard_releases_total",
+          "shards released back to the page cache");
+      c_rel.inc();)
   // Hand the pages back: page-align each extent inward-safely (WILLNEED in
   // prefetch() aligns outward; DONTNEED must not clip a neighboring
   // still-resident extent, so only fully-owned pages are dropped).

@@ -20,7 +20,9 @@
 // visible to the analysis.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "util/annotations.hpp"
@@ -82,6 +84,18 @@ class CondVar {
     std::unique_lock<std::mutex> native(lock.mu_.m_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// wait() with a relative timeout. Returns true when notified before the
+  /// timeout, false on timeout (either way the mutex is held again on
+  /// return; callers re-check their predicate as with wait()).
+  bool wait_for(MutexLock& lock,
+                std::uint64_t timeout_ms) LDLA_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(lock.mu_.m_, std::adopt_lock);
+    const std::cv_status st =
+        cv_.wait_for(native, std::chrono::milliseconds(timeout_ms));
+    native.release();
+    return st == std::cv_status::no_timeout;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

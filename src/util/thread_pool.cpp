@@ -6,6 +6,7 @@
 
 #include "util/contract.hpp"
 #include "util/cpu_info.hpp"
+#include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace ldla {
@@ -58,6 +59,10 @@ ThreadPool::~ThreadPool() {
 // destroyed between the decrement and the notify.
 void ThreadPool::run_node(TaskNode* node) {
   LDLA_TRACE_TASK_DEQUEUED(node->enqueued_ns);
+  LDLA_METRICS_ONLY(
+      static metrics::Counter& c_tasks = metrics::counter(
+          "ldla_pool_tasks_total", "thread-pool tasks executed");
+      c_tasks.inc();)
   std::exception_ptr error;
   try {
     LDLA_TRACE_SPAN(kTaskRun);
@@ -82,9 +87,18 @@ ThreadPool::TaskNode* ThreadPool::try_steal_any() noexcept {
     TaskNode* node = nullptr;
     if (sub.deque.steal(node)) {
       LDLA_TRACE_ADD_STEAL();
+      LDLA_METRICS_ONLY(
+          static metrics::Counter& c_steals = metrics::counter(
+              "ldla_pool_steals_total", "deque items taken by a non-owner");
+          c_steals.inc();)
       return node;
     }
     LDLA_TRACE_ADD_FAILED_STEAL();
+    LDLA_METRICS_ONLY(
+        static metrics::Counter& c_failed = metrics::counter(
+            "ldla_pool_failed_steals_total",
+            "steal probes that found nothing or lost the race");
+        c_failed.inc();)
   }
   return nullptr;
 }
@@ -104,6 +118,11 @@ void ThreadPool::worker_loop(unsigned worker_index) {
     if (stop_) return;
     if (pending_.load(std::memory_order_relaxed) > 0) continue;  // re-sweep
     LDLA_TRACE_ADD_PARK();
+    LDLA_METRICS_ONLY(
+        static metrics::Counter& c_parks = metrics::counter(
+            "ldla_pool_parks_total",
+            "worker blocks on the idle condition variable");
+        c_parks.inc();)
     // Manual predicate loop (not the lambda overload) so the guarded reads
     // of stop_ stay inside this function's analyzed lock scope.
     while (!stop_ && pending_.load(std::memory_order_relaxed) == 0) {
@@ -125,6 +144,10 @@ void ThreadPool::run_tasks(std::size_t tasks,
       try {
         LDLA_TRACE_SPAN(kTaskRun);
         LDLA_TRACE_ADD_TASK_RUN();
+        LDLA_METRICS_ONLY(
+            static metrics::Counter& c_tasks = metrics::counter(
+                "ldla_pool_tasks_total", "thread-pool tasks executed");
+            c_tasks.inc();)
         fn(t);
       } catch (...) {
         if (!first_error) first_error = std::current_exception();
@@ -174,6 +197,12 @@ void ThreadPool::run_tasks(std::size_t tasks,
     sub->deque.push(&nodes[t]);
   }
   pending_.fetch_add(pushed, std::memory_order_relaxed);
+  LDLA_METRICS_ONLY(
+      static metrics::Gauge& g_depth = metrics::gauge(
+          "ldla_pool_queue_depth",
+          "task nodes resident in submission deques");
+      g_depth.set(static_cast<std::uint64_t>(
+          pending_.load(std::memory_order_relaxed)));)
   {
     // Empty critical section: pairs with the worker's predicate check so
     // a worker between "saw pending == 0" and "blocked" cannot miss the
@@ -199,6 +228,11 @@ void ThreadPool::run_tasks(std::size_t tasks,
   {
     MutexLock lock(set.m);
     LDLA_TRACE_ADD_BARRIER_WAIT();
+    LDLA_METRICS_ONLY(
+        static metrics::Counter& c_barriers = metrics::counter(
+            "ldla_pool_barrier_waits_total",
+            "fork-join caller barriers (pooled run_tasks joins)");
+        c_barriers.inc();)
     if (set.remaining > 0) {
       LDLA_TRACE_SPAN(kBarrier);
       while (set.remaining > 0) set.done.wait(lock);
@@ -223,9 +257,18 @@ void ThreadPool::parallel_for(
   });
 }
 
+namespace {
+std::atomic<ThreadPool*> g_global_pool{nullptr};
+}  // namespace
+
 ThreadPool& global_pool() {
   static ThreadPool pool;
+  g_global_pool.store(&pool, std::memory_order_release);
   return pool;
+}
+
+ThreadPool* global_pool_if_started() noexcept {
+  return g_global_pool.load(std::memory_order_acquire);
 }
 
 }  // namespace ldla

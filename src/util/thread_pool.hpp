@@ -62,6 +62,12 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
+  /// Instantaneous count of task nodes resident in submission deques
+  /// (relaxed; the metrics sampler polls this as a queue-depth gauge).
+  [[nodiscard]] std::size_t pending_tasks() const noexcept {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
   /// Run fn(t) for t in [0, tasks) across the pool and wait for completion.
   /// The calling thread participates, so a pool of size 1 still provides
   /// two-way overlap-free execution with zero queueing overhead.
@@ -123,5 +129,10 @@ class ThreadPool {
 
 /// Process-wide pool sized to the machine; created on first use.
 ThreadPool& global_pool();
+
+/// The global pool if some caller has already instantiated it, nullptr
+/// otherwise. Never creates the pool — observers (the metrics sampler)
+/// must not spawn a worker team as a side effect of looking at it.
+ThreadPool* global_pool_if_started() noexcept;
 
 }  // namespace ldla

@@ -54,6 +54,14 @@ Rules that clang-tidy cannot express, enforced as a CI/ctest gate:
      bounds, and residency probing are auditable in one translation unit
      and every other layer consumes shards through its typed API.
 
+  9. proc-confinement — "/proc/..." path literals may appear only in
+     src/util/metrics.cpp (the health sampler), src/util/cpu_info.cpp
+     (topology probing), and src/util/perf_counters.cpp
+     (perf_event_paranoid): parsing kernel text interfaces is brittle, so
+     every procfs read lives behind one of those three audited probes.
+     This rule scans RAW source text (the shared strip pass blanks string
+     literals, which is exactly where the paths live).
+
 Engines:
 
   * ast  — libclang (python clang.cindex) over compile_commands.json: the
@@ -167,6 +175,11 @@ ATOMICS_ALLOWED = {
     "src/util/thread_pool.cpp",
     # Per-thread trace slots published to the session reaper.
     "src/util/trace.cpp",
+    # Always-on metrics: striped relaxed counters, the registry enable
+    # flag, and log-linear histogram buckets — scrape-side aggregation is
+    # mutex-guarded, the hot path is write-only relaxed increments.
+    "src/util/metrics.hpp",
+    "src/util/metrics.cpp",
 }
 
 # --- rule 6: lock-annotation freshness ----------------------------------------
@@ -200,6 +213,10 @@ THREAD_RE = re.compile(
 THREAD_ALLOWED = {
     "src/util/thread_pool.hpp",
     "src/util/thread_pool.cpp",
+    # The metrics health sampler owns one long-lived background thread with
+    # an explicit start/stop lifecycle (joined under its control mutex) —
+    # a daemon, not ad-hoc parallelism, so the pool is the wrong home.
+    "src/util/metrics.cpp",
 }
 
 # --- rule 8: mmap confinement --------------------------------------------------
@@ -214,6 +231,22 @@ MMAP_ALLOWED = {
     # The shard store owns the mapping lifecycle end to end: open/mmap,
     # madvise prefetch hints, mincore residency probes, munmap on close.
     "src/io/shard_store.cpp",
+}
+
+# --- rule 9: procfs confinement -------------------------------------------------
+
+# Scans RAW text (not the stripped pass): the leading quote pins the match
+# to string literals, which is where procfs paths live; prose mentions of
+# /proc in comments stay legal.
+PROC_RE = re.compile(r'"/proc/')
+
+PROC_ALLOWED = {
+    # The health sampler parses /proc/self/{statm,stat,io} on its tick.
+    "src/util/metrics.cpp",
+    # Topology/cache probing.
+    "src/util/cpu_info.cpp",
+    # Reads /proc/sys/kernel/perf_event_paranoid to predict EACCES.
+    "src/util/perf_counters.cpp",
 }
 
 # --- rule 3: public API guard manifest ---------------------------------------
@@ -291,6 +324,11 @@ PUBLIC_API = {
     "src/core/ld_stream.cpp": [
         ("ld_matrix_stream", "expect"),
         ("ld_cross_stream", "expect"),
+    ],
+    "src/util/metrics.cpp": [
+        ("Sampler::start", "expect"),
+        ("dump_prometheus", "expect"),
+        ("dump_json", "expect"),
     ],
 }
 
@@ -413,6 +451,19 @@ def guarded_via_helper(code: str, body: str, tokens: tuple[str, ...]) -> bool:
     return False
 
 
+def proc_scan(rel: str, raw: str, findings: list["Finding"]) -> None:
+    """Rule 9 on RAW (unstripped) text — shared verbatim by both engines,
+    so their verdicts agree by construction."""
+    if rel in PROC_ALLOWED:
+        return
+    for lineno, line in enumerate(raw.splitlines(), 1):
+        if PROC_RE.search(line):
+            findings.append(Finding(
+                rel, lineno, "proc-confinement",
+                "procfs path literal outside the audited probes "
+                "(util/metrics, util/cpu_info, util/perf_counters)"))
+
+
 def project_sources(root: pathlib.Path,
                     subdirs: tuple[str, ...]) -> list[pathlib.Path]:
     out: list[pathlib.Path] = []
@@ -478,7 +529,9 @@ class TextEngine:
                                "mapping lifecycle)", findings)
         for path in project_sources(self.root, ("src", "bench")):
             rel = path.relative_to(self.root).as_posix()
-            code = strip_comments_and_strings(path.read_text(encoding="utf-8"))
+            raw = path.read_text(encoding="utf-8")
+            code = strip_comments_and_strings(raw)
+            proc_scan(rel, raw, findings)
             self._scan_pattern(rel, code, ATOMIC_RE, ATOMICS_ALLOWED,
                                "atomics-confinement",
                                "the litmus-gated concurrency files", findings)
@@ -717,8 +770,19 @@ class AstEngine:
             self._walk(tu.cursor)
         self._check_mutex_coverage()
         self._check_public_api()
+        self._proc_scan_all()
         self._text_fallback_for_unseen()
         return list(self.findings.values())
+
+    def _proc_scan_all(self) -> None:
+        """Rule 9 runs on raw text for every file regardless of AST
+        coverage: string literals are opaque to the cursor walk."""
+        for path in project_sources(self.root, ("src", "bench")):
+            rel = path.relative_to(self.root).as_posix()
+            tmp: list[Finding] = []
+            proc_scan(rel, path.read_text(encoding="utf-8"), tmp)
+            for f in tmp:
+                self.findings[f.key()] = f
 
     def _walk(self, cursor) -> None:
         for child in cursor.get_children():
@@ -1042,7 +1106,7 @@ def main() -> int:
         text_findings = TextEngine(root).run()
         compat_rules = {"intrinsics-confinement", "no-naked-allocation",
                         "public-api-guards", "perf-event-confinement",
-                        "mmap-confinement"}
+                        "mmap-confinement", "proc-confinement"}
 
         def verdicts(fs):
             return {(f.file, f.rule) for f in fs if f.rule in compat_rules}
