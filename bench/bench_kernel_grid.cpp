@@ -1,0 +1,115 @@
+// Register-tile grid sweep: every kernel variant the registry exposes on
+// this machine, timed on the same symmetric-count workload, one BenchJson
+// row per variant — the empirical basis for the tuner's stage-1 ranking
+// and for EXPERIMENTS.md's tile-geometry table. Ends with the tuned
+// (kernel x kc x mc) choice head-to-head against the untuned family
+// default, which the joint search must never lose.
+#include "bench_common.hpp"
+#include "core/gemm/kernel.hpp"
+#include "core/gemm/tune_cache.hpp"
+
+using namespace ldla;
+using namespace ldla::bench;
+
+namespace {
+
+struct Point {
+  double rate = 0.0;
+  double seconds = 0.0;
+};
+
+Point run(const BitMatrix& g, const GemmConfig& cfg) {
+  Point best;
+  const int reps = smoke_mode() ? 1 : 3;
+  for (int rep = 0; rep < reps; ++rep) {
+    const CountScanResult r = time_symmetric_counts(g, cfg);
+    const double rate = static_cast<double>(r.word_triples) / r.seconds;
+    if (rate > best.rate) best = Point{rate, r.seconds};
+  }
+  return best;
+}
+
+std::string tile_label(const KernelInfo& k) {
+  // Built with += (GCC 12's -Wrestrict misfires on chained string +).
+  std::string s = std::to_string(k.mr);
+  s += "x";
+  s += std::to_string(k.nr);
+  if (k.ku != 1) {
+    s += "u";
+    s += std::to_string(k.ku);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  maybe_start_trace(argc, argv, "kernel_grid");
+  print_header("Micro-kernel variant grid",
+               "Sec. IV register blocking: the (mr, nr, ku) grid the "
+               "generator instantiates, swept exhaustively");
+
+  const std::size_t n = full_mode() ? 4096 : smoke_mode() ? 256 : 1024;
+  const std::size_t k = full_mode() ? 32768 : smoke_mode() ? 1024 : 8192;
+  const BitMatrix g = random_bits(n, k, 101);
+  std::printf("problem: %zu SNPs x %zu samples (%zu words/SNP)\n",
+              n, k, g.words_per_snp());
+  std::printf("variants available: %zu of %zu compiled\n\n",
+              available_kernel_variants().size(), kernel_registry().size());
+
+  BenchJson json("kernel_grid");
+  Table table({"variant", "tile", "Gtriples/s", "vs family default"});
+
+  // One untimed pass first: faults in the bit matrix and the pack
+  // buffers so the first grid row isn't charged a cold-start cost the
+  // later rows skip.
+  { GemmConfig warm; (void)run(g, warm); }
+
+  // Time the whole grid, then normalize each row against its own
+  // family's default tile *from the same sweep* — a separate timing
+  // pass for the defaults drifts by tens of percent on noisy shared
+  // hosts and poisons the ratio column.
+  std::vector<std::pair<const KernelInfo*, Point>> rows;
+  for (const KernelInfo* kv : available_kernel_variants()) {
+    GemmConfig cfg;
+    cfg.arch = kv->arch;
+    cfg.mr = kv->mr;
+    cfg.nr = kv->nr;
+    cfg.ku = kv->ku;
+    rows.emplace_back(kv, run(g, cfg));
+  }
+  const auto family_default_rate = [&](KernelArch a) {
+    for (const auto& [kv, p] : rows) {
+      if (kv->arch == a && kv->family_default) return p.rate;
+    }
+    return 0.0;
+  };
+  for (const auto& [kv, p] : rows) {
+    json.add(kv->name, kernel_arch_name(kv->arch), n, k, p.seconds, p.rate);
+    const double base = family_default_rate(kv->arch);
+    table.add_row({kv->name, tile_label(*kv), fmt_fixed(p.rate / 1e9, 2),
+                   base > 0.0 ? fmt_fixed(p.rate / base, 2) + "x" : "-"});
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // Tuned joint choice vs the fixed family default the tuner replaced.
+  GemmConfig auto_cfg;
+  const Point untuned = run(g, auto_cfg);
+  const GemmConfig tuned_cfg = tune_gemm_config(g.view(), auto_cfg);
+  const Point tuned = run(g, tuned_cfg);
+  const GemmPlan plan = resolve_plan(tuned_cfg, g.words_per_snp());
+  const KernelInfo& winner = kernel_for_plan(plan);
+  json.add("auto-default", kernel_arch_name(plan.arch), n, k,
+           untuned.seconds, untuned.rate);
+  json.add("tuned", winner.name, n, k, tuned.seconds, tuned.rate);
+  std::printf("\ntuned:   %s kc=%zu mc=%zu  %.2f Gtriples/s\n", winner.name,
+              plan.kc_words, plan.mc, tuned.rate / 1e9);
+  std::printf("untuned: auto default            %.2f Gtriples/s  (tuned = "
+              "%.2fx)\n",
+              untuned.rate / 1e9, tuned.rate / untuned.rate);
+
+  bool ok = json.flush();
+  ok = maybe_dump_metrics("kernel_grid") && ok;
+  ok = finish_trace() && ok;
+  return ok ? 0 : 1;
+}

@@ -40,9 +40,12 @@ import sys
 import tempfile
 
 NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# One optional label pair: histogram buckets carry le="..."; info gauges
+# (ldla_kernel_variant etc.) carry their single identifying label.
 SAMPLE_RE = re.compile(
     r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
-    r'(?:\{le="(?P<le>[^"]+)"\})? (?P<value>\S+)$')
+    r'(?:\{(?P<label>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<lvalue>[^"]*)"\})?'
+    r' (?P<value>\S+)$')
 QUANTILES = ["p50", "p90", "p99", "p999"]
 
 
@@ -97,10 +100,11 @@ def parse_prom(path, errors):
             if value is None:
                 errors.append(f"{path}:{i}: non-numeric value: {line}")
                 continue
+            le = m.group("lvalue") if m.group("label") == "le" else None
             families.setdefault(
                 family_of(m.group("name")),
                 {"type": None, "help": None, "samples": []})["samples"].append(
-                    (m.group("name"), m.group("le"), value))
+                    (m.group("name"), le, value, m.group("label")))
     return families
 
 
@@ -131,17 +135,24 @@ def validate_prom(path):
         if fam["type"] == "counter":
             if not name.endswith("_total"):
                 errors.append(f"{where}: counter name must end in _total")
-            for sample_name, le, value in fam["samples"]:
-                if sample_name != name or le is not None:
+            for sample_name, le, value, label in fam["samples"]:
+                if sample_name != name or label is not None:
                     errors.append(f"{where}: unexpected counter sample "
                                   f"{sample_name}")
                 elif value < 0:
                     errors.append(f"{where}: negative counter value {value}")
         elif fam["type"] == "gauge":
-            for sample_name, le, value in fam["samples"]:
-                if sample_name != name or le is not None:
+            for sample_name, le, value, label in fam["samples"]:
+                if sample_name != name:
                     errors.append(f"{where}: unexpected gauge sample "
                                   f"{sample_name}")
+                elif label == "le":
+                    errors.append(f"{where}: gauge sample with an le label")
+                elif label is not None and value != 1:
+                    # Info-style gauge: the label carries the payload, the
+                    # sample value is pinned to 1 by convention.
+                    errors.append(f"{where}: info gauge value must be 1, "
+                                  f"got {value}")
         else:
             validate_prom_histogram(name, fam, errors, path)
     return errors
@@ -150,7 +161,7 @@ def validate_prom(path):
 def validate_prom_histogram(name, fam, errors, path):
     where = f"{path}: {name}"
     buckets, total, sum_seconds = [], None, None
-    for sample_name, le, value in fam["samples"]:
+    for sample_name, le, value, label in fam["samples"]:
         if sample_name == name + "_bucket":
             upper = parse_number(le) if le is not None else None
             if upper is None:
@@ -209,6 +220,22 @@ def validate_json(path):
             errors.append(f"{path}: gauges.{name}.value must be numeric")
         if not body.get("help"):
             errors.append(f"{path}: gauges.{name} missing help")
+    # "infos" is optional (builds predating the info-gauge exporter omit
+    # it); when present each entry carries a label name and a string (or
+    # null = never set) value.
+    infos = data.get("infos", {})
+    if not isinstance(infos, dict):
+        errors.append(f"{path}: 'infos' must be an object")
+    else:
+        for name, body in sorted(infos.items()):
+            if not body.get("help"):
+                errors.append(f"{path}: infos.{name} missing help")
+            if not isinstance(body.get("label"), str) or not body["label"]:
+                errors.append(f"{path}: infos.{name} missing label")
+            if not (body.get("value") is None
+                    or isinstance(body["value"], str)):
+                errors.append(f"{path}: infos.{name}.value must be a string "
+                              "or null")
     for name, body in sorted(data["histograms"].items()):
         validate_json_histogram(path, name, body, errors)
     return errors
@@ -267,7 +294,7 @@ def check_required(path, required, errors):
             errors.append(f"{path}: required metric '{name}' is absent")
             continue
         value = None
-        for sample_name, le, v in fam["samples"]:
+        for sample_name, le, v, label in fam["samples"]:
             if sample_name == name or sample_name == name + "_count":
                 value = v
         if value is None:

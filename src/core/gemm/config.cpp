@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/gemm/kernel.hpp"
+#include "core/gemm/tune_cache.hpp"
 #include "util/contract.hpp"
 #include "util/cpu_info.hpp"
 
@@ -30,31 +31,8 @@ std::string parallel_mode_name(ParallelMode m) {
   return "unknown";
 }
 
-bool kernel_available(KernelArch a) {
-  const CpuFeatures& f = cpu_info().features;
-  switch (a) {
-    case KernelArch::kAuto:
-    case KernelArch::kSwar:
-      return true;
-    case KernelArch::kScalar:
-      return f.popcnt;
-    case KernelArch::kStrawman:
-    case KernelArch::kAvx2:
-#if LDLA_HAVE_AVX2_TU
-      return f.avx2;
-#else
-      return false;
-#endif
-    case KernelArch::kAvx512:
-    case KernelArch::kAvx512Wide:
-#if LDLA_HAVE_AVX512_TU
-      return f.avx512f && f.avx512bw && f.avx512vpopcntdq;
-#else
-      return false;
-#endif
-  }
-  return false;
-}
+// kernel_available lives in dispatch.cpp now: availability is a registry
+// question (family feature-gate AND at least one compiled variant).
 
 std::vector<KernelArch> available_kernels() {
   std::vector<KernelArch> out;
@@ -84,13 +62,47 @@ GemmPlan resolve_plan(const GemmConfig& cfg, std::size_t k_words) {
   if (arch == KernelArch::kAuto) arch = resolve_auto_arch();
   LDLA_EXPECT(kernel_available(arch),
               "requested GEMM kernel is unavailable on this CPU/build");
-  const KernelInfo& info = kernel_info(arch);
+
+  // Select the micro-kernel variant: an explicit (mr, nr, ku) override
+  // wins; a fully-auto config consults the persistent tuning cache; the
+  // family's default variant is the fallback either way.
+  std::size_t want_kc = cfg.kc_words;
+  std::size_t want_mc = cfg.mc;
+  const KernelInfo* info = nullptr;
+  if (cfg.mr != 0 || cfg.nr != 0 || cfg.ku != 0) {
+    LDLA_EXPECT(cfg.mr != 0 && cfg.nr != 0 && cfg.ku != 0,
+                "GemmConfig variant override requires all of mr, nr, ku");
+    info = find_kernel(arch, cfg.mr, cfg.nr, cfg.ku);
+    if (info == nullptr) {
+      throw ContractViolation("GemmConfig names a register-tile geometry (" +
+                              kernel_arch_name(arch) + " " +
+                              std::to_string(cfg.mr) + "x" +
+                              std::to_string(cfg.nr) + "u" +
+                              std::to_string(cfg.ku) +
+                              ") with no registered kernel variant");
+    }
+  } else if (cfg.arch == KernelArch::kAuto && cfg.kc_words == 0 &&
+             cfg.mc == 0 && cfg.nc == 0 && cfg.blocking && cfg.packing) {
+    // Only untouched configs take cached decisions: any explicit knob means
+    // the caller (a bench ablation, the tuner itself) wants exactly what it
+    // asked for.
+    if (const auto hit = tune_cache_lookup(k_words)) {
+      const KernelInfo* k = find_kernel(hit->variant);
+      if (k != nullptr && kernel_available(k->arch)) {
+        info = k;
+        arch = k->arch;
+        want_kc = hit->kc_words;
+        want_mc = hit->mc;
+      }
+    }
+  }
+  if (info == nullptr) info = &kernel_info(arch);
 
   GemmPlan plan;
   plan.arch = arch;
-  plan.mr = info.mr;
-  plan.nr = info.nr;
-  plan.ku = info.ku;
+  plan.mr = info->mr;
+  plan.nr = info->nr;
+  plan.ku = info->ku;
   plan.packing = cfg.packing;
 
   const CacheInfo& cache = cpu_info().cache;
@@ -99,8 +111,8 @@ GemmPlan resolve_plan(const GemmConfig& cfg, std::size_t k_words) {
   // comfortably in L1 alongside the C tile; a third of L1d measures best
   // (bench_blocking_ablation) — it leaves headroom for the streaming B
   // panel lines.
-  if (cfg.kc_words != 0) {
-    plan.kc_words = cfg.kc_words;
+  if (want_kc != 0) {
+    plan.kc_words = want_kc;
   } else {
     const std::size_t bytes_per_k = (plan.mr + plan.nr) * sizeof(std::uint64_t);
     plan.kc_words = std::max<std::size_t>(
@@ -111,8 +123,8 @@ GemmPlan resolve_plan(const GemmConfig& cfg, std::size_t k_words) {
   plan.kc_words = (plan.kc_words + plan.ku - 1) / plan.ku * plan.ku;
 
   // mc: packed A block (mc * kc words) should fit in ~half of L2.
-  if (cfg.mc != 0) {
-    plan.mc = cfg.mc;
+  if (want_mc != 0) {
+    plan.mc = want_mc;
   } else {
     const std::size_t a_block_budget = cache.l2 / 2;
     plan.mc = std::max<std::size_t>(

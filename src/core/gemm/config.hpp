@@ -43,6 +43,15 @@ inline constexpr std::size_t kSparseThresholdAuto =
 struct GemmConfig {
   KernelArch arch = KernelArch::kAuto;
 
+  /// Register-tile geometry override selecting one variant from the kernel
+  /// registry (kernel.hpp). Zero means "the family's default variant"; when
+  /// any of the three is set, all three must be, and (arch, mr, nr, ku)
+  /// must name a registered variant or resolve_plan throws. Written by
+  /// tune_gemm_config and the tuning cache; rarely set by hand.
+  std::size_t mr = 0;
+  std::size_t nr = 0;
+  std::size_t ku = 0;
+
   /// Cache-blocking parameters in *words* (kc) and rows/columns (mc, nc).
   /// Zero means "derive from the detected cache hierarchy".
   std::size_t kc_words = 0;

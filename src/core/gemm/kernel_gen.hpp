@@ -1,0 +1,288 @@
+// Micro-kernel generator: one C++ template family per SIMD body, each
+// instantiated over an (mr, nr, ku) grid by the kernels_*.cpp translation
+// units ("Automating the Last-Mile for High Performance Dense Linear
+// Algebra" — generate the register-tile family, select empirically).
+//
+// Every instantiation computes the same register tile
+//
+//     C[i][j] += sum_{k < kc} POPCNT(Ap[k][i] & Bp[k][j])
+//
+// over the packed sliver layout of core/gemm/kernel.hpp: within one
+// k-chunk, row i's ku words sit at ap[i*ku + kk], and a chunk advances the
+// panel pointers by mr*ku (A) / nr*ku (B) words. MR/NR/unroll are template
+// parameters, so the compiler fully unrolls the tile body and keeps the
+// MR×NR accumulators in registers — exactly what the hand-written kernels
+// did, minus the hand-writing.
+//
+// Grid constraints (checked again at registry construction in dispatch.cpp):
+//   * mr, nr must divide 64 — the sparse transpose gather (PR 7,
+//     sparse_kernel.hpp) pre-shifts a register tile's d0 within one word
+//     and relies on tiles never straddling a word boundary;
+//   * mr * nr <= 256 — the drivers' edge-tile scratch is uint32_t[16*16];
+//   * ku is the packing interleave: kc is always a multiple of ku.
+//
+// SIMD bodies are guarded by compiler predefines (__AVX2__ / __AVX512*__),
+// not LDLA_HAVE_*_TU: this header is included from TUs compiled with
+// per-file -m flags, and the predefine is exactly "this TU may emit that
+// ISA". Intrinsics confinement: this header is on the lint allowlist and
+// is only included from the kernel TUs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+#include "core/popcount.hpp"
+
+namespace ldla::kernels::gen {
+
+// ---------------------------------------------------------------------------
+// Word-at-a-time bodies (scalar POPCNT / SWAR), ku = unroll depth.
+// ---------------------------------------------------------------------------
+
+/// Popcount policy for the word-at-a-time template: the scalar POPCNT
+/// instruction (the paper's kernel)...
+struct PopHardware {
+  static std::uint32_t count(std::uint64_t w) {
+    return static_cast<std::uint32_t>(__builtin_popcountll(w));
+  }
+};
+
+/// ...or the branch-free SWAR fallback for machines without one.
+struct PopSwar {
+  static std::uint32_t count(std::uint64_t w) {
+    return static_cast<std::uint32_t>(popcount_u64_swar(w));
+  }
+};
+
+/// Scalar MR×NR micro-kernel, KU-deep k-unroll. KU > 1 only changes the
+/// packed interleave granularity and the manifest unroll depth — the
+/// accumulator set is identical — so it is purely a scheduling knob for
+/// the tuner.
+template <std::size_t MR, std::size_t NR, std::size_t KU, class Pop>
+void ugemm_word(std::size_t kc, const std::uint64_t* ap,
+                const std::uint64_t* bp, std::uint32_t* c, std::size_t ldc) {
+  std::uint32_t acc[MR][NR] = {};
+  const std::size_t chunks = kc / KU;
+  for (std::size_t ch = 0; ch < chunks; ++ch) {
+    for (std::size_t kk = 0; kk < KU; ++kk) {
+      std::uint64_t a[MR];
+      for (std::size_t i = 0; i < MR; ++i) a[i] = ap[i * KU + kk];
+      for (std::size_t j = 0; j < NR; ++j) {
+        const std::uint64_t b = bp[j * KU + kk];
+        for (std::size_t i = 0; i < MR; ++i) {
+          acc[i][j] += Pop::count(a[i] & b);
+        }
+      }
+    }
+    ap += MR * KU;
+    bp += NR * KU;
+  }
+  for (std::size_t i = 0; i < MR; ++i) {
+    for (std::size_t j = 0; j < NR; ++j) c[i * ldc + j] += acc[i][j];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 bodies
+// ---------------------------------------------------------------------------
+#if defined(__AVX2__)
+
+namespace detail2 {
+
+inline __m256i popcount_epi64_pshufb(__m256i v) {
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                      _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline std::uint32_t hsum_epi64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si64(s) +
+                                    _mm_extract_epi64(s, 1));
+}
+
+/// Carry-save adder: (hi, lo) such that a + b + cin = 2*hi + lo, bitwise.
+inline void csa(__m256i& hi, __m256i& lo, __m256i a, __m256i b, __m256i cin) {
+  const __m256i u = _mm256_xor_si256(a, b);
+  hi = _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, cin));
+  lo = _mm256_xor_si256(u, cin);
+}
+
+}  // namespace detail2
+
+/// AVX2 PSHUFB micro-kernel: AND in SIMD, nibble-lookup popcount, SAD
+/// reduction — the best software SIMD pre-VPOPCNT. ku = 4*CHUNKS: each
+/// k-chunk is CHUNKS 256-bit vectors per row (CHUNKS > 1 deepens the
+/// unroll so more independent popcount chains are in flight).
+template <std::size_t MR, std::size_t NR, std::size_t CHUNKS>
+void ugemm_avx2_pshufb(std::size_t kc, const std::uint64_t* ap,
+                       const std::uint64_t* bp, std::uint32_t* c,
+                       std::size_t ldc) {
+  constexpr std::size_t kKu = 4 * CHUNKS;
+  __m256i acc[MR][NR];
+  for (auto& row : acc) {
+    for (auto& v : row) v = _mm256_setzero_si256();
+  }
+  const std::size_t chunks = kc / kKu;
+  for (std::size_t k = 0; k < chunks; ++k) {
+    __m256i a[MR][CHUNKS];
+    for (std::size_t i = 0; i < MR; ++i) {
+      for (std::size_t h = 0; h < CHUNKS; ++h) {
+        a[i][h] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(ap + i * kKu + 4 * h));
+      }
+    }
+    ap += MR * kKu;
+    for (std::size_t j = 0; j < NR; ++j) {
+      for (std::size_t h = 0; h < CHUNKS; ++h) {
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(bp + j * kKu + 4 * h));
+        for (std::size_t i = 0; i < MR; ++i) {
+          acc[i][j] = _mm256_add_epi64(
+              acc[i][j],
+              detail2::popcount_epi64_pshufb(_mm256_and_si256(a[i][h], b)));
+        }
+      }
+    }
+    bp += NR * kKu;
+  }
+  for (std::size_t i = 0; i < MR; ++i) {
+    for (std::size_t j = 0; j < NR; ++j) {
+      c[i * ldc + j] += detail2::hsum_epi64(acc[i][j]);
+    }
+  }
+}
+
+/// AVX2 Harley–Seal micro-kernel, ku = 16 (4 vectors per row per chunk).
+/// Each accumulator stream keeps a 2-deep carry-save counter (ones, twos):
+/// per chunk the four AND results compress through three CSAs and only the
+/// weight-4 carry is PSHUFB-popcounted — one nibble lookup per 4 vectors
+/// where the plain PSHUFB kernel pays 4, at the cost of 3 register-resident
+/// counters per stream. Small tiles only: MR*NR <= 8 keeps the counter set
+/// within the 16 ymm registers.
+template <std::size_t MR, std::size_t NR>
+void ugemm_avx2_harley_seal(std::size_t kc, const std::uint64_t* ap,
+                            const std::uint64_t* bp, std::uint32_t* c,
+                            std::size_t ldc) {
+  static_assert(MR * NR <= 8, "Harley-Seal counters exceed the register file");
+  constexpr std::size_t kKu = 16;
+  __m256i ones[MR][NR];
+  __m256i twos[MR][NR];
+  __m256i acc[MR][NR];
+  for (std::size_t i = 0; i < MR; ++i) {
+    for (std::size_t j = 0; j < NR; ++j) {
+      ones[i][j] = _mm256_setzero_si256();
+      twos[i][j] = _mm256_setzero_si256();
+      acc[i][j] = _mm256_setzero_si256();
+    }
+  }
+  const std::size_t chunks = kc / kKu;
+  for (std::size_t k = 0; k < chunks; ++k) {
+    for (std::size_t i = 0; i < MR; ++i) {
+      const __m256i a0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ap + i * kKu));
+      const __m256i a1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ap + i * kKu + 4));
+      const __m256i a2 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ap + i * kKu + 8));
+      const __m256i a3 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ap + i * kKu + 12));
+      for (std::size_t j = 0; j < NR; ++j) {
+        const __m256i v0 = _mm256_and_si256(
+            a0, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(bp + j * kKu)));
+        const __m256i v1 = _mm256_and_si256(
+            a1, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(bp + j * kKu + 4)));
+        const __m256i v2 = _mm256_and_si256(
+            a2, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(bp + j * kKu + 8)));
+        const __m256i v3 = _mm256_and_si256(
+            a3, _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(bp + j * kKu + 12)));
+        __m256i twos_a;
+        __m256i twos_b;
+        __m256i fours;
+        detail2::csa(twos_a, ones[i][j], v0, v1, ones[i][j]);
+        detail2::csa(twos_b, ones[i][j], v2, v3, ones[i][j]);
+        detail2::csa(fours, twos[i][j], twos_a, twos_b, twos[i][j]);
+        acc[i][j] = _mm256_add_epi64(acc[i][j],
+                                     detail2::popcount_epi64_pshufb(fours));
+      }
+    }
+    ap += MR * kKu;
+    bp += NR * kKu;
+  }
+  for (std::size_t i = 0; i < MR; ++i) {
+    for (std::size_t j = 0; j < NR; ++j) {
+      const std::uint32_t total =
+          4 * detail2::hsum_epi64(acc[i][j]) +
+          2 * detail2::hsum_epi64(detail2::popcount_epi64_pshufb(twos[i][j])) +
+          detail2::hsum_epi64(detail2::popcount_epi64_pshufb(ones[i][j]));
+      c[i * ldc + j] += total;
+    }
+  }
+}
+
+#endif  // __AVX2__
+
+// ---------------------------------------------------------------------------
+// AVX-512 VPOPCNTDQ body
+// ---------------------------------------------------------------------------
+#if defined(__AVX512F__) && defined(__AVX512VPOPCNTDQ__)
+
+/// AVX-512 VPOPCNTDQ micro-kernel — the "hardware support" arm of Section
+/// V-B: all three LD ops vectorize. ku = 8*CHUNKS (CHUNKS 512-bit vectors
+/// per row per k-chunk).
+template <std::size_t MR, std::size_t NR, std::size_t CHUNKS>
+void ugemm_avx512(std::size_t kc, const std::uint64_t* ap,
+                  const std::uint64_t* bp, std::uint32_t* c,
+                  std::size_t ldc) {
+  constexpr std::size_t kKu = 8 * CHUNKS;
+  __m512i acc[MR][NR];
+  for (auto& row : acc) {
+    for (auto& v : row) v = _mm512_setzero_si512();
+  }
+  const std::size_t chunks = kc / kKu;
+  for (std::size_t k = 0; k < chunks; ++k) {
+    __m512i a[MR][CHUNKS];
+    for (std::size_t i = 0; i < MR; ++i) {
+      for (std::size_t h = 0; h < CHUNKS; ++h) {
+        a[i][h] = _mm512_loadu_si512(ap + i * kKu + 8 * h);
+      }
+    }
+    ap += MR * kKu;
+    for (std::size_t j = 0; j < NR; ++j) {
+      for (std::size_t h = 0; h < CHUNKS; ++h) {
+        const __m512i b = _mm512_loadu_si512(bp + j * kKu + 8 * h);
+        for (std::size_t i = 0; i < MR; ++i) {
+          acc[i][j] = _mm512_add_epi64(
+              acc[i][j], _mm512_popcnt_epi64(_mm512_and_si512(a[i][h], b)));
+        }
+      }
+    }
+    bp += NR * kKu;
+  }
+  for (std::size_t i = 0; i < MR; ++i) {
+    for (std::size_t j = 0; j < NR; ++j) {
+      c[i * ldc + j] +=
+          static_cast<std::uint32_t>(_mm512_reduce_add_epi64(acc[i][j]));
+    }
+  }
+}
+
+#endif  // __AVX512F__ && __AVX512VPOPCNTDQ__
+
+}  // namespace ldla::kernels::gen

@@ -1,34 +1,30 @@
 // AVX2 micro-kernels, compiled with -mavx2.
 //
-// avx2_2x4   — the best software-SIMD kernel available before a hardware
-//              vectorized popcount existed: AND in SIMD, PSHUFB nibble
-//              popcount, SAD reduction. Shuffle-port bound; the paper's
-//              Section V analysis predicts (and our benches confirm) only a
-//              modest gain over scalar despite 4x wider data paths.
+// avx2-pshufb-*  — the best software-SIMD family available before a
+//              hardware vectorized popcount existed: AND in SIMD, PSHUFB
+//              nibble popcount, SAD reduction (kernel_gen.hpp templates,
+//              instantiated over the tile grid; the u8 variant doubles the
+//              k-unroll). Shuffle-port bound; the paper's Section V
+//              analysis predicts (and our benches confirm) only a modest
+//              gain over scalar despite 4x wider data paths.
+// avx2-harley-seal-* — carry-save-adder compression ahead of the nibble
+//              popcount: 4 AND results per stream compress to one PSHUFB
+//              lookup, trading shuffle pressure for logic ops. Small tiles
+//              only (the 3 counters per stream eat the register file).
 // strawman_2x4 — the exact instruction sequence Section V analyzes: SIMD
 //              AND, then *extract* each 64-bit lane, scalar POPCNT it, and
 //              re-insert for a SIMD add. Extraction serializes on the same
-//              ports, so this is no faster than scalar — kept as a
-//              measurable artifact of the paper's argument.
+//              ports, so this is no faster than scalar — kept hand-written
+//              as a measurable artifact of the paper's argument, not part
+//              of the generated family.
 #include <immintrin.h>
 
 #include "core/gemm/kernel.hpp"
+#include "core/gemm/kernel_gen.hpp"
 
 namespace ldla::kernels {
 
 namespace {
-
-inline __m256i popcount_epi64_pshufb(__m256i v) {
-  const __m256i lookup = _mm256_setr_epi8(
-      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
-      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
-  const __m256i low_mask = _mm256_set1_epi8(0x0f);
-  const __m256i lo = _mm256_and_si256(v, low_mask);
-  const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
-  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
-                                      _mm256_shuffle_epi8(lookup, hi));
-  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
-}
 
 inline std::uint32_t hsum_epi64(__m256i v) {
   const __m128i lo = _mm256_castsi256_si128(v);
@@ -36,65 +32,6 @@ inline std::uint32_t hsum_epi64(__m256i v) {
   const __m128i s = _mm_add_epi64(lo, hi);
   return static_cast<std::uint32_t>(_mm_cvtsi128_si64(s) +
                                     _mm_extract_epi64(s, 1));
-}
-
-}  // namespace
-
-void avx2_2x4(std::size_t kc, const std::uint64_t* ap, const std::uint64_t* bp,
-              std::uint32_t* c, std::size_t ldc) {
-  // ku = 4: each packed entry is a 256-bit chunk (4 words) of one row.
-  __m256i c00 = _mm256_setzero_si256();
-  __m256i c01 = _mm256_setzero_si256();
-  __m256i c02 = _mm256_setzero_si256();
-  __m256i c03 = _mm256_setzero_si256();
-  __m256i c10 = _mm256_setzero_si256();
-  __m256i c11 = _mm256_setzero_si256();
-  __m256i c12 = _mm256_setzero_si256();
-  __m256i c13 = _mm256_setzero_si256();
-
-  const std::size_t chunks = kc / 4;
-  for (std::size_t k = 0; k < chunks; ++k) {
-    const __m256i a0 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ap));
-    const __m256i a1 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ap + 4));
-    ap += 8;
-    const __m256i b0 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
-    const __m256i b1 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 4));
-    const __m256i b2 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 8));
-    const __m256i b3 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 12));
-    bp += 16;
-
-    c00 = _mm256_add_epi64(c00,
-                           popcount_epi64_pshufb(_mm256_and_si256(a0, b0)));
-    c01 = _mm256_add_epi64(c01,
-                           popcount_epi64_pshufb(_mm256_and_si256(a0, b1)));
-    c02 = _mm256_add_epi64(c02,
-                           popcount_epi64_pshufb(_mm256_and_si256(a0, b2)));
-    c03 = _mm256_add_epi64(c03,
-                           popcount_epi64_pshufb(_mm256_and_si256(a0, b3)));
-    c10 = _mm256_add_epi64(c10,
-                           popcount_epi64_pshufb(_mm256_and_si256(a1, b0)));
-    c11 = _mm256_add_epi64(c11,
-                           popcount_epi64_pshufb(_mm256_and_si256(a1, b1)));
-    c12 = _mm256_add_epi64(c12,
-                           popcount_epi64_pshufb(_mm256_and_si256(a1, b2)));
-    c13 = _mm256_add_epi64(c13,
-                           popcount_epi64_pshufb(_mm256_and_si256(a1, b3)));
-  }
-
-  c[0 * ldc + 0] += hsum_epi64(c00);
-  c[0 * ldc + 1] += hsum_epi64(c01);
-  c[0 * ldc + 2] += hsum_epi64(c02);
-  c[0 * ldc + 3] += hsum_epi64(c03);
-  c[1 * ldc + 0] += hsum_epi64(c10);
-  c[1 * ldc + 1] += hsum_epi64(c11);
-  c[1 * ldc + 2] += hsum_epi64(c12);
-  c[1 * ldc + 3] += hsum_epi64(c13);
 }
 
 void strawman_2x4(std::size_t kc, const std::uint64_t* ap,
@@ -143,5 +80,29 @@ void strawman_2x4(std::size_t kc, const std::uint64_t* ap,
     }
   }
 }
+
+namespace gen = ldla::kernels::gen;
+
+template <std::size_t MR, std::size_t NR, std::size_t CH = 1>
+constexpr MicroKernelFn pshufb_fn = &gen::ugemm_avx2_pshufb<MR, NR, CH>;
+
+const KernelInfo kTable[] = {
+    {KernelArch::kAvx2, "avx2-pshufb-2x4", 2, 4, 4, pshufb_fn<2, 4>, true},
+    {KernelArch::kAvx2, "avx2-pshufb-4x4", 4, 4, 4, pshufb_fn<4, 4>},
+    {KernelArch::kAvx2, "avx2-pshufb-2x8", 2, 8, 4, pshufb_fn<2, 8>},
+    {KernelArch::kAvx2, "avx2-pshufb-1x8", 1, 8, 4, pshufb_fn<1, 8>},
+    {KernelArch::kAvx2, "avx2-pshufb-4x2", 4, 2, 4, pshufb_fn<4, 2>},
+    {KernelArch::kAvx2, "avx2-pshufb-2x4u8", 2, 4, 8, pshufb_fn<2, 4, 2>},
+    {KernelArch::kAvx2, "avx2-harley-seal-2x2", 2, 2, 16,
+     &gen::ugemm_avx2_harley_seal<2, 2>},
+    {KernelArch::kAvx2, "avx2-harley-seal-1x4", 1, 4, 16,
+     &gen::ugemm_avx2_harley_seal<1, 4>},
+    {KernelArch::kStrawman, "simd-extract-strawman-2x4", 2, 4, 4,
+     &strawman_2x4, true},
+};
+
+}  // namespace
+
+std::span<const KernelInfo> avx2_variants() { return kTable; }
 
 }  // namespace ldla::kernels

@@ -1,118 +1,41 @@
-// AVX-512 VPOPCNTDQ micro-kernel, compiled with -mavx512f/bw/vpopcntdq.
+// AVX-512 VPOPCNTDQ micro-kernels, compiled with -mavx512f/bw/vpopcntdq.
 //
 // This is the "hardware support" arm of the paper's Section V-B: with a
-// vectorized popcount instruction all three LD operations (AND, POPCNT, ADD)
-// vectorize, restoring the v-fold speedup SIMD promises. 4x4 register tile,
-// 8 words (512 bits) per packed chunk, 16 zmm accumulators.
+// vectorized popcount instruction all three LD operations (AND, POPCNT,
+// ADD) vectorize, restoring the v-fold speedup SIMD promises. All shapes
+// instantiate the kernel_gen.hpp template: 8 words (512 bits) per packed
+// chunk (16 for the u16 deep-unroll variant), one zmm accumulator per tile
+// entry. The 4x4 default is the historical hand-written shape; 2x8 under
+// kAvx512Wide is the tile-geometry ablation (fewer accumulators, wider B
+// reuse per A load — the trade-off every GotoBLAS port settles
+// empirically), and the remaining grid points feed the joint tuner.
 #include <immintrin.h>
 
 #include "core/gemm/kernel.hpp"
+#include "core/gemm/kernel_gen.hpp"
 
 namespace ldla::kernels {
 
-void avx512_4x4(std::size_t kc, const std::uint64_t* ap,
-                const std::uint64_t* bp, std::uint32_t* c, std::size_t ldc) {
-  __m512i c00 = _mm512_setzero_si512();
-  __m512i c01 = _mm512_setzero_si512();
-  __m512i c02 = _mm512_setzero_si512();
-  __m512i c03 = _mm512_setzero_si512();
-  __m512i c10 = _mm512_setzero_si512();
-  __m512i c11 = _mm512_setzero_si512();
-  __m512i c12 = _mm512_setzero_si512();
-  __m512i c13 = _mm512_setzero_si512();
-  __m512i c20 = _mm512_setzero_si512();
-  __m512i c21 = _mm512_setzero_si512();
-  __m512i c22 = _mm512_setzero_si512();
-  __m512i c23 = _mm512_setzero_si512();
-  __m512i c30 = _mm512_setzero_si512();
-  __m512i c31 = _mm512_setzero_si512();
-  __m512i c32 = _mm512_setzero_si512();
-  __m512i c33 = _mm512_setzero_si512();
+namespace {
+namespace gen = ldla::kernels::gen;
 
-  const std::size_t chunks = kc / 8;
-  for (std::size_t k = 0; k < chunks; ++k) {
-    const __m512i a0 = _mm512_loadu_si512(ap);
-    const __m512i a1 = _mm512_loadu_si512(ap + 8);
-    const __m512i a2 = _mm512_loadu_si512(ap + 16);
-    const __m512i a3 = _mm512_loadu_si512(ap + 24);
-    ap += 32;
-    const __m512i b0 = _mm512_loadu_si512(bp);
-    const __m512i b1 = _mm512_loadu_si512(bp + 8);
-    const __m512i b2 = _mm512_loadu_si512(bp + 16);
-    const __m512i b3 = _mm512_loadu_si512(bp + 24);
-    bp += 32;
+template <std::size_t MR, std::size_t NR, std::size_t CH = 1>
+constexpr MicroKernelFn avx512_fn = &gen::ugemm_avx512<MR, NR, CH>;
 
-    c00 = _mm512_add_epi64(c00, _mm512_popcnt_epi64(_mm512_and_si512(a0, b0)));
-    c01 = _mm512_add_epi64(c01, _mm512_popcnt_epi64(_mm512_and_si512(a0, b1)));
-    c02 = _mm512_add_epi64(c02, _mm512_popcnt_epi64(_mm512_and_si512(a0, b2)));
-    c03 = _mm512_add_epi64(c03, _mm512_popcnt_epi64(_mm512_and_si512(a0, b3)));
-    c10 = _mm512_add_epi64(c10, _mm512_popcnt_epi64(_mm512_and_si512(a1, b0)));
-    c11 = _mm512_add_epi64(c11, _mm512_popcnt_epi64(_mm512_and_si512(a1, b1)));
-    c12 = _mm512_add_epi64(c12, _mm512_popcnt_epi64(_mm512_and_si512(a1, b2)));
-    c13 = _mm512_add_epi64(c13, _mm512_popcnt_epi64(_mm512_and_si512(a1, b3)));
-    c20 = _mm512_add_epi64(c20, _mm512_popcnt_epi64(_mm512_and_si512(a2, b0)));
-    c21 = _mm512_add_epi64(c21, _mm512_popcnt_epi64(_mm512_and_si512(a2, b1)));
-    c22 = _mm512_add_epi64(c22, _mm512_popcnt_epi64(_mm512_and_si512(a2, b2)));
-    c23 = _mm512_add_epi64(c23, _mm512_popcnt_epi64(_mm512_and_si512(a2, b3)));
-    c30 = _mm512_add_epi64(c30, _mm512_popcnt_epi64(_mm512_and_si512(a3, b0)));
-    c31 = _mm512_add_epi64(c31, _mm512_popcnt_epi64(_mm512_and_si512(a3, b1)));
-    c32 = _mm512_add_epi64(c32, _mm512_popcnt_epi64(_mm512_and_si512(a3, b2)));
-    c33 = _mm512_add_epi64(c33, _mm512_popcnt_epi64(_mm512_and_si512(a3, b3)));
-  }
+const KernelInfo kTable[] = {
+    {KernelArch::kAvx512, "avx512-vpopcntdq-4x4", 4, 4, 8, avx512_fn<4, 4>,
+     true},
+    {KernelArch::kAvx512, "avx512-vpopcntdq-4x8", 4, 8, 8, avx512_fn<4, 8>},
+    {KernelArch::kAvx512, "avx512-vpopcntdq-8x4", 8, 4, 8, avx512_fn<8, 4>},
+    {KernelArch::kAvx512, "avx512-vpopcntdq-1x8", 1, 8, 8, avx512_fn<1, 8>},
+    {KernelArch::kAvx512, "avx512-vpopcntdq-4x4u16", 4, 4, 16,
+     avx512_fn<4, 4, 2>},
+    {KernelArch::kAvx512Wide, "avx512-vpopcntdq-2x8", 2, 8, 8,
+     avx512_fn<2, 8>, true},
+};
 
-  c[0 * ldc + 0] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c00));
-  c[0 * ldc + 1] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c01));
-  c[0 * ldc + 2] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c02));
-  c[0 * ldc + 3] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c03));
-  c[1 * ldc + 0] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c10));
-  c[1 * ldc + 1] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c11));
-  c[1 * ldc + 2] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c12));
-  c[1 * ldc + 3] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c13));
-  c[2 * ldc + 0] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c20));
-  c[2 * ldc + 1] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c21));
-  c[2 * ldc + 2] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c22));
-  c[2 * ldc + 3] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c23));
-  c[3 * ldc + 0] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c30));
-  c[3 * ldc + 1] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c31));
-  c[3 * ldc + 2] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c32));
-  c[3 * ldc + 3] += static_cast<std::uint32_t>(_mm512_reduce_add_epi64(c33));
-}
+}  // namespace
 
-}  // namespace ldla::kernels
-
-// Alternative register-tile geometry: 2x8. Fewer accumulators (16 zmm) but
-// wider B reuse per A load — the tile-shape trade-off every GotoBLAS port
-// must settle empirically (bench_blocking_ablation prints both).
-namespace ldla::kernels {
-
-void avx512_2x8(std::size_t kc, const std::uint64_t* ap,
-                const std::uint64_t* bp, std::uint32_t* c, std::size_t ldc) {
-  __m512i acc[2][8];
-  for (auto& row : acc) {
-    for (auto& v : row) v = _mm512_setzero_si512();
-  }
-
-  const std::size_t chunks = kc / 8;
-  for (std::size_t k = 0; k < chunks; ++k) {
-    const __m512i a0 = _mm512_loadu_si512(ap);
-    const __m512i a1 = _mm512_loadu_si512(ap + 8);
-    ap += 16;
-    for (int j = 0; j < 8; ++j) {
-      const __m512i b = _mm512_loadu_si512(bp + 8 * j);
-      acc[0][j] = _mm512_add_epi64(acc[0][j],
-                                   _mm512_popcnt_epi64(_mm512_and_si512(a0, b)));
-      acc[1][j] = _mm512_add_epi64(acc[1][j],
-                                   _mm512_popcnt_epi64(_mm512_and_si512(a1, b)));
-    }
-    bp += 64;
-  }
-
-  for (std::size_t i = 0; i < 2; ++i) {
-    for (std::size_t j = 0; j < 8; ++j) {
-      c[i * ldc + j] +=
-          static_cast<std::uint32_t>(_mm512_reduce_add_epi64(acc[i][j]));
-    }
-  }
-}
+std::span<const KernelInfo> avx512_variants() { return kTable; }
 
 }  // namespace ldla::kernels

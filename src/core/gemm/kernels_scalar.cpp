@@ -1,66 +1,36 @@
-// The paper's LD micro-kernel: scalar 64-bit POPCNT, 4x4 register tile.
+// The paper's LD micro-kernel family: scalar 64-bit POPCNT.
 //
-// Per k step: 4 A words and 4 B words are loaded, and all 16 (AND, POPCNT,
-// ADD) triples issue — the instruction mix whose theoretical peak is 3 ops
-// per cycle (Section IV-B). Accumulators live in registers for the whole
-// kc panel.
+// Per k step, mr A words and nr B words are loaded and all mr*nr (AND,
+// POPCNT, ADD) triples issue — the instruction mix whose theoretical peak
+// is 3 ops per cycle (Section IV-B). Accumulators live in registers for
+// the whole kc panel. The 4x4 default is the shape the paper analyzes;
+// the other grid points exist for the joint kernel×blocking tuner, and
+// the ku=4 variant deepens the manifest unroll without changing the
+// accumulator set.
+//
+// This TU is compiled with -fno-tree-vectorize so GCC cannot silently turn
+// the scalar loop into VPOPCNTDQ and fake the Section V comparison.
 #include "core/gemm/kernel.hpp"
+#include "core/gemm/kernel_gen.hpp"
 
 namespace ldla::kernels {
 
-void scalar_4x4(std::size_t kc, const std::uint64_t* ap,
-                const std::uint64_t* bp, std::uint32_t* c, std::size_t ldc) {
-  std::uint32_t c00 = 0, c01 = 0, c02 = 0, c03 = 0;
-  std::uint32_t c10 = 0, c11 = 0, c12 = 0, c13 = 0;
-  std::uint32_t c20 = 0, c21 = 0, c22 = 0, c23 = 0;
-  std::uint32_t c30 = 0, c31 = 0, c32 = 0, c33 = 0;
+namespace {
+namespace gen = ldla::kernels::gen;
 
-  for (std::size_t k = 0; k < kc; ++k) {
-    const std::uint64_t a0 = ap[0];
-    const std::uint64_t a1 = ap[1];
-    const std::uint64_t a2 = ap[2];
-    const std::uint64_t a3 = ap[3];
-    ap += 4;
-    const std::uint64_t b0 = bp[0];
-    const std::uint64_t b1 = bp[1];
-    const std::uint64_t b2 = bp[2];
-    const std::uint64_t b3 = bp[3];
-    bp += 4;
+template <std::size_t MR, std::size_t NR, std::size_t KU = 1>
+constexpr MicroKernelFn scalar_fn =
+    &gen::ugemm_word<MR, NR, KU, gen::PopHardware>;
 
-    c00 += static_cast<std::uint32_t>(__builtin_popcountll(a0 & b0));
-    c01 += static_cast<std::uint32_t>(__builtin_popcountll(a0 & b1));
-    c02 += static_cast<std::uint32_t>(__builtin_popcountll(a0 & b2));
-    c03 += static_cast<std::uint32_t>(__builtin_popcountll(a0 & b3));
-    c10 += static_cast<std::uint32_t>(__builtin_popcountll(a1 & b0));
-    c11 += static_cast<std::uint32_t>(__builtin_popcountll(a1 & b1));
-    c12 += static_cast<std::uint32_t>(__builtin_popcountll(a1 & b2));
-    c13 += static_cast<std::uint32_t>(__builtin_popcountll(a1 & b3));
-    c20 += static_cast<std::uint32_t>(__builtin_popcountll(a2 & b0));
-    c21 += static_cast<std::uint32_t>(__builtin_popcountll(a2 & b1));
-    c22 += static_cast<std::uint32_t>(__builtin_popcountll(a2 & b2));
-    c23 += static_cast<std::uint32_t>(__builtin_popcountll(a2 & b3));
-    c30 += static_cast<std::uint32_t>(__builtin_popcountll(a3 & b0));
-    c31 += static_cast<std::uint32_t>(__builtin_popcountll(a3 & b1));
-    c32 += static_cast<std::uint32_t>(__builtin_popcountll(a3 & b2));
-    c33 += static_cast<std::uint32_t>(__builtin_popcountll(a3 & b3));
-  }
+const KernelInfo kTable[] = {
+    {KernelArch::kScalar, "scalar-popcnt-4x4", 4, 4, 1, scalar_fn<4, 4>, true},
+    {KernelArch::kScalar, "scalar-popcnt-2x8", 2, 8, 1, scalar_fn<2, 8>},
+    {KernelArch::kScalar, "scalar-popcnt-8x4", 8, 4, 1, scalar_fn<8, 4>},
+    {KernelArch::kScalar, "scalar-popcnt-4x4u4", 4, 4, 4, scalar_fn<4, 4, 4>},
+};
 
-  c[0 * ldc + 0] += c00;
-  c[0 * ldc + 1] += c01;
-  c[0 * ldc + 2] += c02;
-  c[0 * ldc + 3] += c03;
-  c[1 * ldc + 0] += c10;
-  c[1 * ldc + 1] += c11;
-  c[1 * ldc + 2] += c12;
-  c[1 * ldc + 3] += c13;
-  c[2 * ldc + 0] += c20;
-  c[2 * ldc + 1] += c21;
-  c[2 * ldc + 2] += c22;
-  c[2 * ldc + 3] += c23;
-  c[3 * ldc + 0] += c30;
-  c[3 * ldc + 1] += c31;
-  c[3 * ldc + 2] += c32;
-  c[3 * ldc + 3] += c33;
-}
+}  // namespace
+
+std::span<const KernelInfo> scalar_variants() { return kTable; }
 
 }  // namespace ldla::kernels

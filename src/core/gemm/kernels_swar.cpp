@@ -1,31 +1,25 @@
-// Portable micro-kernel for machines without a POPCNT instruction: the same
-// 4x4 tile as the scalar kernel with a branch-free SWAR popcount. Serves as
-// the "software popcount" arm of the Section IV-A comparison and as the
-// always-available fallback.
+// Portable micro-kernel for machines without a POPCNT instruction: the
+// same word-at-a-time template as the scalar family with a branch-free
+// SWAR popcount body. Serves as the "software popcount" arm of the
+// Section IV-A comparison and as the always-available fallback, so one
+// geometry suffices.
+//
+// Compiled with -fno-tree-vectorize (see kernels_scalar.cpp).
 #include "core/gemm/kernel.hpp"
-#include "core/popcount.hpp"
+#include "core/gemm/kernel_gen.hpp"
 
 namespace ldla::kernels {
 
-void swar_4x4(std::size_t kc, const std::uint64_t* ap, const std::uint64_t* bp,
-              std::uint32_t* c, std::size_t ldc) {
-  std::uint32_t acc[4][4] = {};
-  for (std::size_t k = 0; k < kc; ++k) {
-    const std::uint64_t a[4] = {ap[0], ap[1], ap[2], ap[3]};
-    const std::uint64_t b[4] = {bp[0], bp[1], bp[2], bp[3]};
-    ap += 4;
-    bp += 4;
-    for (std::size_t i = 0; i < 4; ++i) {
-      for (std::size_t j = 0; j < 4; ++j) {
-        acc[i][j] += static_cast<std::uint32_t>(popcount_u64_swar(a[i] & b[j]));
-      }
-    }
-  }
-  for (std::size_t i = 0; i < 4; ++i) {
-    for (std::size_t j = 0; j < 4; ++j) {
-      c[i * ldc + j] += acc[i][j];
-    }
-  }
-}
+namespace {
+namespace gen = ldla::kernels::gen;
+
+const KernelInfo kTable[] = {
+    {KernelArch::kSwar, "swar-4x4", 4, 4, 1,
+     &gen::ugemm_word<4, 4, 1, gen::PopSwar>, true},
+};
+
+}  // namespace
+
+std::span<const KernelInfo> swar_variants() { return kTable; }
 
 }  // namespace ldla::kernels

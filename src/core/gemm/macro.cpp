@@ -9,6 +9,7 @@
 #include "core/gemm/fused_tile.hpp"
 #include "core/gemm/kernel.hpp"
 #include "core/gemm/packing.hpp"
+#include "core/gemm/tune_cache.hpp"
 #include "core/popcount.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/contract.hpp"
@@ -90,7 +91,7 @@ void gemm_count(const BitMatrixView& a, const BitMatrixView& b,
     return;
   }
 
-  const KernelInfo& kern = kernel_info(plan.arch);
+  const KernelInfo& kern = kernel_for_plan(plan);
   const std::size_t mr = plan.mr;
   const std::size_t nr = plan.nr;
   const std::size_t ku = plan.ku;
@@ -188,7 +189,7 @@ void gemm_count_packed(const PackedBitMatrix& a, std::size_t a_begin,
   LDLA_EXPECT(c.rows >= m && c.cols >= n, "output matrix is too small");
   LDLA_EXPECT(c.ld >= c.cols, "output leading dimension too small");
 
-  const KernelInfo& kern = kernel_info(plan.arch);
+  const KernelInfo& kern = kernel_for_plan(plan);
   const std::size_t mr = plan.mr;
   const std::size_t nr = plan.nr;
   // resolve_plan rounds mc/nc to register-tile multiples, so cache-block
@@ -274,7 +275,7 @@ void gemm_count_fused(const PackedBitMatrix& a, std::size_t a_begin,
                   a.words_per_snp() == b.words_per_snp(),
               "packed operands were built for incompatible plans");
 
-  const KernelInfo& kern = kernel_info(plan.arch);
+  const KernelInfo& kern = kernel_for_plan(plan);
   const std::size_t mr = plan.mr;
   const std::size_t nr = plan.nr;
   const std::size_t mc = plan.mc;
@@ -346,33 +347,119 @@ void gemm_count_parallel(const BitMatrixView& a, const BitMatrixView& b,
   }
 }
 
+namespace {
+
+/// Candidate variants for the joint tuner. A forced family restricts the
+/// search to its own grid; kAuto searches every runnable variant except
+/// the ablation-artifact families (strawman, swar), which exist to be
+/// measured against, not to win.
+std::vector<const KernelInfo*> tuner_candidates(const GemmConfig& base) {
+  std::vector<const KernelInfo*> out;
+  for (const KernelInfo* k : available_kernel_variants()) {
+    if (base.arch != KernelArch::kAuto) {
+      if (k->arch != base.arch) continue;
+    } else if (k->arch == KernelArch::kStrawman ||
+               k->arch == KernelArch::kSwar) {
+      continue;
+    }
+    out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace
+
 GemmConfig tune_gemm_config(const BitMatrixView& sample,
                             const GemmConfig& base) {
   GemmConfig best = base;
   if (sample.n_snps == 0 || sample.n_words == 0) return best;
+
+  // A cached decision short-circuits the whole sweep — and, because a hit
+  // writes nothing, back-to-back tuned runs leave the cache file
+  // byte-identical. Only re-tunable configs participate: the tuner varies
+  // exactly {variant, kc, mc}, so any of those forced means the caller
+  // wants what it asked for.
+  const bool cacheable = base.arch == KernelArch::kAuto && base.mr == 0 &&
+                         base.nr == 0 && base.ku == 0 && base.kc_words == 0 &&
+                         base.mc == 0 && base.blocking && base.packing;
+  if (cacheable) {
+    if (const auto hit = tune_cache_lookup(sample.n_words)) {
+      const KernelInfo* k = find_kernel(hit->variant);
+      if (k != nullptr && kernel_available(k->arch)) {
+        best.arch = k->arch;
+        best.mr = k->mr;
+        best.nr = k->nr;
+        best.ku = k->ku;
+        best.kc_words = hit->kc_words;
+        best.mc = hit->mc;
+        return best;
+      }
+    }
+  }
 
   // A problem-shaped probe: up to 128 rows of the sample against itself.
   BitMatrixView probe = sample;
   probe.n_snps = std::min<std::size_t>(probe.n_snps, 128);
   CountMatrix c(probe.n_snps, probe.n_snps);
 
+  const auto time_cfg = [&](const GemmConfig& cfg) {
+    double fastest = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 2; ++rep) {
+      c.zero();
+      Timer t;
+      gemm_count(probe, probe, c.ref(), cfg);
+      fastest = std::min(fastest, t.seconds());
+    }
+    return fastest;
+  };
+
+  const auto variant_cfg = [&](const KernelInfo* k) {
+    GemmConfig cfg = base;
+    cfg.arch = k->arch;
+    cfg.mr = k->mr;
+    cfg.nr = k->nr;
+    cfg.ku = k->ku;
+    return cfg;
+  };
+
+  // Stage 1: rank every candidate variant at its default blocking and keep
+  // the top few — blocking moves times by tens of percent, variant choice
+  // by integer factors, so the survivors always contain the joint winner.
+  struct Scored {
+    const KernelInfo* k;
+    double t;
+  };
+  std::vector<Scored> scored;
+  for (const KernelInfo* k : tuner_candidates(base)) {
+    scored.push_back({k, time_cfg(variant_cfg(k))});
+  }
+  if (scored.empty()) return best;
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& x, const Scored& y) { return x.t < y.t; });
+  if (scored.size() > 4) scored.resize(4);
+
+  // Stage 2: joint (variant × kc × mc) grid on the survivors.
   double best_time = std::numeric_limits<double>::infinity();
-  for (const std::size_t kc : {64u, 128u, 256u, 512u}) {
-    for (const std::size_t mc : {32u, 64u, 128u, 256u}) {
-      GemmConfig cfg = base;
-      cfg.kc_words = kc;
-      cfg.mc = mc;
-      double fastest = std::numeric_limits<double>::infinity();
-      for (int rep = 0; rep < 2; ++rep) {
-        c.zero();
-        Timer t;
-        gemm_count(probe, probe, c.ref(), cfg);
-        fastest = std::min(fastest, t.seconds());
+  for (const Scored& s : scored) {
+    for (const std::size_t kc : {64u, 128u, 256u, 512u}) {
+      for (const std::size_t mc : {32u, 64u, 128u, 256u}) {
+        GemmConfig cfg = variant_cfg(s.k);
+        cfg.kc_words = kc;
+        cfg.mc = mc;
+        const double t = time_cfg(cfg);
+        if (t < best_time) {
+          best_time = t;
+          best = cfg;
+        }
       }
-      if (fastest < best_time) {
-        best_time = fastest;
-        best = cfg;
-      }
+    }
+  }
+
+  if (cacheable) {
+    const KernelInfo* k = find_kernel(best.arch, best.mr, best.nr, best.ku);
+    if (k != nullptr) {
+      tune_cache_store(sample.n_words,
+                       TuneCacheEntry{k->name, best.kc_words, best.mc});
     }
   }
   return best;

@@ -131,7 +131,7 @@ void gemm_count_parallel_nest(const PackedBitMatrix& a, std::size_t a_begin,
 
   if (threads == 0) threads = default_thread_count();
 
-  const KernelInfo& kern = kernel_info(plan.arch);
+  const KernelInfo& kern = kernel_for_plan(plan);
   const std::size_t mr = plan.mr;
   const std::size_t nr = plan.nr;
   const std::size_t mc = plan.mc;
@@ -188,7 +188,7 @@ void syrk_count_parallel_nest(const PackedBitMatrix& a, std::size_t row_begin,
   if (threads == 0) threads = default_thread_count();
 
   const GemmPlan& plan = a.plan();
-  const KernelInfo& kern = kernel_info(plan.arch);
+  const KernelInfo& kern = kernel_for_plan(plan);
   const std::size_t mr = plan.mr;
   const std::size_t nr = plan.nr;
   const std::size_t mc = plan.mc;

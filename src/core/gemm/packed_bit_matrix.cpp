@@ -289,6 +289,45 @@ PackedPanelView PackedBitMatrix::b_panel(std::size_t p,
   return side_panel(b_shares_a_ ? a_ : b_, p, sliver_begin, slivers);
 }
 
+BitMatrix unpack_packed(const PackedBitMatrix& p) {
+  LDLA_EXPECT(p.has_a_side() || p.has_b_side(),
+              "cannot unpack a PackedBitMatrix with no materialized side");
+  BitMatrix m(p.snps(), p.samples());
+  if (p.empty() || p.words_per_snp() == 0) return m;
+  LDLA_EXPECT(m.words_per_snp() == p.words_per_snp(),
+              "packed word count inconsistent with the sample count");
+  const std::size_t ku = p.plan().ku;
+  const bool use_a = p.has_a_side();
+  const std::size_t r = use_a ? p.plan().mr : p.plan().nr;
+  const std::size_t slivers = (p.snps() + r - 1) / r;
+  for (std::size_t panel = 0; panel < p.panels(); ++panel) {
+    const std::size_t k_begin = p.panel_k_begin(panel);
+    const std::size_t kc = p.panel_kc(panel);
+    const PackedPanelView v = use_a ? p.a_panel(panel, 0, slivers)
+                                    : p.b_panel(panel, 0, slivers);
+    for (std::size_t s = 0; s < slivers; ++s) {
+      const std::uint64_t* sp = v.sliver(s);
+      const std::size_t row_lo = s * r;
+      const std::size_t rows = std::min(r, p.snps() - row_lo);
+      // Sliver layout (kernel.hpp): within a ku chunk, row i's words sit at
+      // sp[i*ku + kk]; each chunk advances sp by r*ku. Words past kc are
+      // pack padding (zero) and are skipped rather than copied out.
+      for (std::size_t chunk = 0; chunk * ku < kc; ++chunk) {
+        for (std::size_t i = 0; i < rows; ++i) {
+          std::uint64_t* dst = m.row_data(row_lo + i);
+          for (std::size_t kk = 0; kk < ku; ++kk) {
+            const std::size_t kidx = chunk * ku + kk;
+            if (kidx < kc) {
+              dst[k_begin + kidx] = sp[(chunk * r + i) * ku + kk];
+            }
+          }
+        }
+      }
+    }
+  }
+  return m;
+}
+
 void expect_packed_matches(const PackedBitMatrix& p, const BitMatrixView& m) {
   LDLA_EXPECT(p.snps() == m.n_snps && p.words_per_snp() == m.n_words &&
                   p.samples() == m.n_samples,

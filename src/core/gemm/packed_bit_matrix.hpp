@@ -250,6 +250,13 @@ class PackedBitMatrix {
   const std::uint32_t* scaled_ptr_ = nullptr;  ///< prescaled lists (ditto)
 };
 
+/// Reconstruct the row-major bit matrix from a pack's slivers — the exact
+/// inverse of pack_panel over every k panel (reading the A side when
+/// materialized, else the B side; padding rows and words are dropped).
+/// The shard store's repack fallback uses this to re-pack a mapped shard
+/// under a different register-tile geometry without the original source.
+[[nodiscard]] BitMatrix unpack_packed(const PackedBitMatrix& p);
+
 /// Guard helper for drivers accepting a caller-supplied packed operand:
 /// the packed copy must describe a matrix of the same shape as `m` (the
 /// caller is responsible for it actually being packed from the same data).

@@ -33,10 +33,13 @@ SparseColumns build_sparse_columns(const BitMatrixView& m,
   if (n == 0 || m.n_words == 0) {
     return sc;
   }
+  // Resolve the backend once — per-row kAuto re-resolution was measurable
+  // across the million-row packs the shard ingester feeds through here.
+  const PopcountMethod pm = resolve_popcount_method();
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t* row = m.row(i);
     const std::uint64_t pc =
-        popcount_words(std::span<const std::uint64_t>(row, m.n_words));
+        popcount_words(std::span<const std::uint64_t>(row, m.n_words), pm);
     LDLA_EXPECT(pc <= m.n_samples,
                 "column popcount exceeds n_samples (dirty row padding?)");
     sc.popcount[i] = static_cast<std::uint32_t>(pc);

@@ -58,7 +58,7 @@ void syrk_count_packed(const PackedBitMatrix& a, std::size_t row_begin,
   }
 
   const GemmPlan& plan = a.plan();
-  const KernelInfo& kern = kernel_info(plan.arch);
+  const KernelInfo& kern = kernel_for_plan(plan);
   const std::size_t mr = plan.mr;
   const std::size_t nr = plan.nr;
   const std::size_t mc = plan.mc;
@@ -146,7 +146,7 @@ void syrk_count_fused(const PackedBitMatrix& a, std::size_t row_begin,
               "symmetric driver needs both operand sides packed");
 
   const GemmPlan& plan = a.plan();
-  const KernelInfo& kern = kernel_info(plan.arch);
+  const KernelInfo& kern = kernel_for_plan(plan);
   const std::size_t mr = plan.mr;
   const std::size_t nr = plan.nr;
   const std::size_t mc = plan.mc;
@@ -210,7 +210,7 @@ void syrk_count(const BitMatrixView& a, CountMatrixRef c,
     std::memset(&c.at(i, 0), 0, (i + 1) * sizeof(std::uint32_t));
   }
 
-  const KernelInfo& kern = kernel_info(plan.arch);
+  const KernelInfo& kern = kernel_for_plan(plan);
   const std::size_t mr = plan.mr;
   const std::size_t nr = plan.nr;
   const std::size_t ku = plan.ku;

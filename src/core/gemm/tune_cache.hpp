@@ -1,0 +1,67 @@
+// Persistent tuning cache for the joint kernel × blocking search.
+//
+// tune_gemm_config's empirical sweep costs real time (it times every
+// candidate micro-kernel variant and a kc × mc grid on the survivors), so
+// its winner is persisted to a small JSON file and reused by later
+// processes on the same machine. Entries are keyed by a CPU signature
+// (brand + ISA features + cache sizes — anything that changes which
+// variant wins) and a problem-shape bucket (ceil-log2 of the k extent in
+// words, the dimension the blocking derivation actually depends on). A
+// file written on one machine is silently ignored on another, and a
+// corrupt or truncated file is treated as empty — both fall back to
+// re-tuning, never to an error.
+//
+// The file path comes from the LDLA_TUNE_CACHE environment variable; when
+// it is unset the cache is disabled and every call is a no-op miss. The
+// *_at entry points take an explicit path (and skip the process-wide
+// memo) so tests can exercise round-trips without touching the
+// environment.
+//
+// Lookups/stores count into ldla_tune_cache_hits_total /
+// ldla_tune_cache_misses_total. A store that finds the identical entry
+// already present leaves the file untouched, so two back-to-back tuned
+// runs produce byte-identical cache files (asserted in CI).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace ldla {
+
+/// One cached tuning decision: the winning registry variant (by name — the
+/// name is the stable identity across builds) plus the blocking pair the
+/// joint search settled on.
+struct TuneCacheEntry {
+  std::string variant;
+  std::size_t kc_words = 0;
+  std::size_t mc = 0;
+};
+
+/// Signature of the machine the cache was tuned on. Any difference —
+/// brand, ISA feature set, cache hierarchy — invalidates the whole file.
+std::string tune_cache_cpu_signature();
+
+/// Shape bucket for a problem with `k_words` packed words per row:
+/// ceil(log2(k_words)), so problems within a factor of two share a tuning
+/// decision. k_words == 0 buckets as 0.
+std::size_t tune_shape_bucket(std::size_t k_words);
+
+/// Cache file path from $LDLA_TUNE_CACHE; empty when the cache is
+/// disabled.
+std::string tune_cache_path();
+
+/// Look up / persist the decision for a problem shape via the env-selected
+/// file. Misses (disabled, absent file, foreign CPU, corrupt file, bucket
+/// not present) return nullopt; stores on a disabled cache are no-ops.
+std::optional<TuneCacheEntry> tune_cache_lookup(std::size_t k_words);
+void tune_cache_store(std::size_t k_words, const TuneCacheEntry& entry);
+
+/// Explicit-path seams for tests: same semantics, no environment variable
+/// and no memoization. store_at returns false on I/O failure.
+std::optional<TuneCacheEntry> tune_cache_lookup_at(const std::string& path,
+                                                   std::size_t k_words);
+bool tune_cache_store_at(const std::string& path, std::size_t k_words,
+                         const TuneCacheEntry& entry);
+
+}  // namespace ldla

@@ -15,6 +15,8 @@
 #include <limits>
 #include <utility>
 
+#include "core/gemm/kernel.hpp"
+#include "core/popcount.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -431,6 +433,7 @@ ShardStore& ShardStore::operator=(ShardStore&& other) noexcept {
     map_ = std::exchange(other.map_, nullptr);
     map_size_ = std::exchange(other.map_size_, 0);
     index_ = std::move(other.index_);
+    repack_plan_ = std::exchange(other.repack_plan_, std::nullopt);
     shard_bytes_ = std::move(other.shard_bytes_);
     total_payload_bytes_ = std::exchange(other.total_payload_bytes_, 0);
     max_shard_bytes_ = std::exchange(other.max_shard_bytes_, 0);
@@ -452,7 +455,31 @@ void ShardStore::unmap() noexcept {
   }
 }
 
-ShardStore ShardStore::open(const std::string& path) {
+namespace {
+
+/// "arch=avx2 mr=4 nr=4 ku=4 kc=256" — the geometry half of the guard's
+/// error message, for both the stored and the expected plan.
+std::string plan_geometry(const GemmPlan& p) {
+  std::string s = "arch=" + kernel_arch_name(p.arch);
+  s += " mr=" + std::to_string(p.mr);
+  s += " nr=" + std::to_string(p.nr);
+  s += " ku=" + std::to_string(p.ku);
+  s += " kc=" + std::to_string(p.kc_words);
+  return s;
+}
+
+/// The five plan fields that determine the persisted sliver layout. mc/nc
+/// are loop blocking and sparse_threshold only reclassifies columns — none
+/// of those change the bytes on disk, so they never trip the guard.
+bool same_pack_geometry(const GemmPlan& a, const GemmPlan& b) {
+  return a.arch == b.arch && a.mr == b.mr && a.nr == b.nr && a.ku == b.ku &&
+         a.kc_words == b.kc_words;
+}
+
+}  // namespace
+
+ShardStore ShardStore::open(const std::string& path,
+                            const ShardOpenOptions& opts) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) throw Error("shard store: cannot open " + path);
   struct stat st {};
@@ -472,9 +499,43 @@ ShardStore ShardStore::open(const std::string& path) {
   s.map_ = static_cast<const std::uint8_t*>(p);
   s.map_size_ = size;
   s.index_ = parse_shard_index(s.map_, size);  // unmaps via dtor on throw
-  LDLA_EXPECT(kernel_available(s.index_.plan.arch),
-              "shard store was packed for a kernel this machine cannot run; "
-              "re-ingest with a portable arch");
+  const GemmPlan& stored = s.index_.plan;
+  // The header's plan must name a variant the registry actually holds AND
+  // a family this CPU can run — a store packed by a build with a different
+  // kernel grid fails here with the remedy spelled out, not deep inside
+  // kernel_for_plan at first compute.
+  if (find_kernel(stored.arch, stored.mr, stored.nr, stored.ku) == nullptr ||
+      !kernel_available(stored.arch)) {
+    throw Error("shard store " + path + ": packed for kernel variant (" +
+                plan_geometry(stored) +
+                ") that this build/machine cannot run; re-ingest with "
+                "ldla_ingest (--arch picks a portable family)");
+  }
+  if (opts.expect_plan != nullptr &&
+      !same_pack_geometry(stored, *opts.expect_plan)) {
+    if (!opts.repack_on_mismatch) {
+      throw Error(
+          "shard store " + path + ": pack geometry (" + plan_geometry(stored) +
+          ") does not match the expected plan (" +
+          plan_geometry(*opts.expect_plan) +
+          ") — the tuned register tile changed since ingest. Either "
+          "re-ingest the dataset with ldla_ingest under the current plan, "
+          "pass the stored plan explicitly (GemmConfig{.arch,.mr,.nr,.ku,"
+          ".kc_words}), or open with ShardOpenOptions{.repack_on_mismatch "
+          "= true} to re-pack each shard at materialization");
+    }
+    const GemmPlan& want = *opts.expect_plan;
+    LDLA_EXPECT(want.packing && want.mr != 0 && want.nr != 0 &&
+                    want.ku != 0 && want.kc_words != 0,
+                "repack-on-mismatch needs a fully resolved packing plan");
+    if (find_kernel(want.arch, want.mr, want.nr, want.ku) == nullptr ||
+        !kernel_available(want.arch)) {
+      throw Error("shard store " + path + ": expected plan (" +
+                  plan_geometry(want) +
+                  ") names a kernel variant this build/machine cannot run");
+    }
+    s.repack_plan_ = want;
+  }
 
   s.shard_bytes_.reserve(s.index_.shards.size());
   for (const ShardRecord& rec : s.index_.shards) {
@@ -653,8 +714,57 @@ std::unique_ptr<PackedBitMatrix> ShardStore::materialize(std::size_t i) const {
     bad("sparse columns recorded without a sample-major transpose");
   }
   ext.sparse = std::move(sp);
-  return std::make_unique<PackedBitMatrix>(
+  auto mapped = std::make_unique<PackedBitMatrix>(
       PackedBitMatrix::from_external(std::move(ext)));
+  if (!repack_plan_) return mapped;
+  // Repack fallback (ShardOpenOptions): reconstruct the shard's rows from
+  // the mapped slivers and pack both sides fresh under the expected plan.
+  // The mapped wrapper above already ran the full payload validation, so
+  // the repack starts from checked data; the result owns its memory (the
+  // resident-byte accounting keeps the mapped sizes as an approximation).
+  const BitMatrix m = unpack_packed(*mapped);
+  mapped.reset();
+  LDLA_METRICS_ONLY(
+      static metrics::Counter& c_rp = metrics::counter(
+          "ldla_shard_repacks_total",
+          "shards re-packed at materialization (pack-geometry mismatch)");
+      c_rp.inc();)
+  return std::make_unique<PackedBitMatrix>(m.view(), *repack_plan_,
+                                           PackSides::kBoth);
+}
+
+bool ShardStore::verify_shard_popcounts(std::size_t i) const {
+  LDLA_EXPECT(i < index_.shards.size(), "shard index out of range");
+  const ShardRecord& rec = record(i);
+  const std::uint64_t rows = rec.rows();
+  const auto* pop = reinterpret_cast<const std::uint32_t*>(map_ + rec.pop_off);
+  if (rec.sm_off != 0) {
+    // One positional-popcount strip pass over the sample-major transpose
+    // yields every column's count at once: counts[w*64 + b] is the number
+    // of samples with bit b of transpose word w set, i.e. the derived
+    // count of shard-local SNP w*64 + b.
+    const auto* sm = reinterpret_cast<const std::uint64_t*>(map_ + rec.sm_off);
+    std::vector<std::uint32_t> counts(rec.sm_stride * 64);
+    positional_popcount_strip(sm, index_.n_samples, rec.sm_stride,
+                              rec.sm_stride, counts.data());
+    for (std::uint64_t c = 0; c < rows; ++c) {
+      if (counts[c] != pop[c]) return false;
+    }
+    // Padding columns beyond the shard's rows must be empty in every
+    // sample row, or the transpose itself is corrupt.
+    for (std::size_t c = rows; c < counts.size(); ++c) {
+      if (counts[c] != 0) return false;
+    }
+    return true;
+  }
+  // Fully dense shards persist no transpose: reconstruct the rows from the
+  // slivers and count each directly.
+  const std::unique_ptr<PackedBitMatrix> pm = materialize(i);
+  const BitMatrix m = unpack_packed(*pm);
+  for (std::uint64_t c = 0; c < rows; ++c) {
+    if (m.derived_count(c) != pop[c]) return false;
+  }
+  return true;
 }
 
 const PackedBitMatrix& ShardStore::shard(std::size_t i) {
@@ -765,9 +875,10 @@ std::size_t ShardStore::probe_resident_bytes() const {
   return resident;
 }
 
-ShardStore open_shard_store(const std::string& path) {
+ShardStore open_shard_store(const std::string& path,
+                            const ShardOpenOptions& opts) {
   LDLA_EXPECT(!path.empty(), "open_shard_store needs a file path");
-  return ShardStore::open(path);
+  return ShardStore::open(path, opts);
 }
 
 }  // namespace ldla

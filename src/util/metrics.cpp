@@ -30,6 +30,12 @@ struct Registry {
     h.name_ = name;
     h.help_ = help != nullptr ? help : "";
   }
+  static void set_meta(Info& m, const char* name, const char* label,
+                       const char* help) {
+    m.name_ = name;
+    m.label_ = label;
+    m.help_ = help != nullptr ? help : "";
+  }
 };
 
 std::atomic<bool> g_enabled{true};
@@ -62,6 +68,7 @@ namespace {
 constexpr std::size_t kMaxCounters = 64;
 constexpr std::size_t kMaxGauges = 64;
 constexpr std::size_t kMaxHistograms = 24;
+constexpr std::size_t kMaxInfos = 16;
 
 // Storage is constant-initialized (atomics with constexpr constructors), so
 // registration from any static initializer is safe.
@@ -69,9 +76,11 @@ Mutex g_registry_mu;
 Counter g_counters[kMaxCounters];
 Gauge g_gauges[kMaxGauges];
 Histogram g_histograms[kMaxHistograms];
+Info g_infos[kMaxInfos];
 std::size_t g_n_counters LDLA_GUARDED_BY(g_registry_mu) = 0;
 std::size_t g_n_gauges LDLA_GUARDED_BY(g_registry_mu) = 0;
 std::size_t g_n_histograms LDLA_GUARDED_BY(g_registry_mu) = 0;
+std::size_t g_n_infos LDLA_GUARDED_BY(g_registry_mu) = 0;
 
 bool valid_metric_name(const char* name) {
   if (name == nullptr || *name == '\0') return false;
@@ -87,7 +96,8 @@ bool valid_metric_name(const char* name) {
 }
 
 bool name_in_use(const char* name, const Counter* skip_kind_c,
-                 const Gauge* skip_kind_g, const Histogram* skip_kind_h)
+                 const Gauge* skip_kind_g, const Histogram* skip_kind_h,
+                 const Info* skip_kind_i = nullptr)
     LDLA_REQUIRES(g_registry_mu) {
   if (skip_kind_c == nullptr) {
     for (std::size_t i = 0; i < g_n_counters; ++i) {
@@ -102,6 +112,11 @@ bool name_in_use(const char* name, const Counter* skip_kind_c,
   if (skip_kind_h == nullptr) {
     for (std::size_t i = 0; i < g_n_histograms; ++i) {
       if (std::strcmp(g_histograms[i].name(), name) == 0) return true;
+    }
+  }
+  if (skip_kind_i == nullptr) {
+    for (std::size_t i = 0; i < g_n_infos; ++i) {
+      if (std::strcmp(g_infos[i].name(), name) == 0) return true;
     }
   }
   return false;
@@ -236,6 +251,25 @@ Histogram& histogram(const char* name, const char* help) {
   return h;
 }
 
+Info& info(const char* name, const char* label, const char* help) {
+  LDLA_EXPECT(valid_metric_name(name), "metrics: invalid info name");
+  LDLA_EXPECT(valid_metric_name(label), "metrics: invalid info label name");
+  MutexLock lock(g_registry_mu);
+  for (std::size_t i = 0; i < g_n_infos; ++i) {
+    if (std::strcmp(g_infos[i].name(), name) == 0) {
+      LDLA_EXPECT(std::strcmp(g_infos[i].label(), label) == 0,
+                  "metrics: info re-registered with a different label");
+      return g_infos[i];
+    }
+  }
+  LDLA_EXPECT(!name_in_use(name, nullptr, nullptr, nullptr, g_infos),
+              "metrics: name already registered with a different kind");
+  LDLA_EXPECT(g_n_infos < kMaxInfos, "metrics: info registry full");
+  Info& m = g_infos[g_n_infos++];
+  detail::Registry::set_meta(m, name, label, help);
+  return m;
+}
+
 // ---------------------------------------------------------------------------
 // Trace bridge
 // ---------------------------------------------------------------------------
@@ -319,6 +353,30 @@ std::string render_prometheus() {
     append_double(out, g.value());
     out += '\n';
   }
+  for (std::size_t i = 0; i < g_n_infos; ++i) {
+    const Info& m = g_infos[i];
+    const char* v = m.value();
+    if (v == nullptr) continue;  // never set — no sample to expose
+    help_line(m.name(), m.help(), "gauge");
+    out += m.name();
+    out += '{';
+    out += m.label();
+    out += "=\"";
+    // Exposition format escapes backslash, quote, and newline in label
+    // values.
+    for (const char* p = v; *p != '\0'; ++p) {
+      if (*p == '\\') {
+        out += "\\\\";
+      } else if (*p == '"') {
+        out += "\\\"";
+      } else if (*p == '\n') {
+        out += "\\n";
+      } else {
+        out += *p;
+      }
+    }
+    out += "\"} 1\n";
+  }
   for (std::size_t i = 0; i < g_n_histograms; ++i) {
     const Histogram& h = g_histograms[i];
     help_line(h.name(), h.help(), "histogram");
@@ -380,6 +438,27 @@ std::string render_json() {
     append_json_escaped(out, g.help());
     out += "\", \"value\": ";
     append_double(out, g.value());
+    out += '}';
+  }
+  out += "}, \"infos\": {";
+  for (std::size_t i = 0; i < g_n_infos; ++i) {
+    const Info& m = g_infos[i];
+    if (i != 0) out += ", ";
+    out += '"';
+    append_json_escaped(out, m.name());
+    out += "\": {\"help\": \"";
+    append_json_escaped(out, m.help());
+    out += "\", \"label\": \"";
+    append_json_escaped(out, m.label());
+    out += "\", \"value\": ";
+    const char* v = m.value();
+    if (v == nullptr) {
+      out += "null";
+    } else {
+      out += '"';
+      append_json_escaped(out, v);
+      out += '"';
+    }
     out += '}';
   }
   out += "}, \"histograms\": {";

@@ -233,13 +233,46 @@ class Histogram {
   const char* help_ = "";
 };
 
+/// Prometheus "info"-style metric: one label whose value is a string, the
+/// sample value is always 1 (`name{label="value"} 1`, rendered as a
+/// gauge). The label value must be a string literal or otherwise outlive
+/// the process — the pointer is stored in one atomic, which is what keeps
+/// set() a single relaxed store (kernel dispatch calls it per macro-tile
+/// panel sweep). Until the first set() the metric renders no sample.
+class Info {
+ public:
+  void set(const char* value) noexcept {
+    if (!detail::on()) return;
+    v_.store(value, std::memory_order_relaxed);
+  }
+
+  /// Currently published label value; nullptr before the first set().
+  [[nodiscard]] const char* value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+  [[nodiscard]] const char* label() const noexcept { return label_; }
+  [[nodiscard]] const char* help() const noexcept { return help_; }
+
+ private:
+  friend struct detail::Registry;
+  std::atomic<const char*> v_{nullptr};
+  const char* name_ = nullptr;
+  const char* label_ = nullptr;
+  const char* help_ = "";
+};
+
 /// Find-or-create by name. Names must be valid Prometheus metric names
-/// ([a-zA-Z_:][a-zA-Z0-9_:]*), unique across all three kinds, and string
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*), unique across all four kinds, and string
 /// literals (the pointer is stored). Capacity is fixed; exceeding it or
-/// reusing a name for a different kind throws ContractViolation.
+/// reusing a name for a different kind throws ContractViolation. For
+/// info(), `label` must also be a valid label name and is pinned at first
+/// registration (re-registering with a different label throws).
 Counter& counter(const char* name, const char* help);
 Gauge& gauge(const char* name, const char* help);
 Histogram& histogram(const char* name, const char* help);
+Info& info(const char* name, const char* label, const char* help);
 
 /// RAII latency sample into a histogram (nanosecond steady-clock delta).
 /// When metrics are runtime-disabled at construction, the timestamp is

@@ -1,9 +1,12 @@
 #include "core/gemm/packing.hpp"
 
+#include <cstring>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/gemm/packed_bit_matrix.hpp"
 #include "sim/rng.hpp"
 #include "util/aligned_buffer.hpp"
 #include "util/contract.hpp"
@@ -105,6 +108,39 @@ TEST(Packing, RejectsOutOfRangeStart) {
                ContractViolation);
   EXPECT_THROW(pack_panel(m.view(), 0, 1, 0, 1, 0, 1, out.data()),
                ContractViolation);
+}
+
+// unpack_packed is the exact inverse of the persistent pack, across ragged
+// row/word edges, multiple k panels, and ku interleaves — the shard
+// store's repack fallback depends on this round trip being lossless.
+TEST(Packing, UnpackPackedRoundTripsEveryGeometry) {
+  const BitMatrix m = random_matrix(37, 64 * 5 + 29, 11);
+  for (const auto& [mr, nr, ku] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{4, 4, 1},
+        {2, 8, 1},
+        {4, 4, 4},
+        {8, 4, 1}}) {
+    GemmPlan plan;
+    plan.arch = KernelArch::kScalar;
+    plan.mr = mr;
+    plan.nr = nr;
+    plan.ku = ku;
+    plan.kc_words = 3;  // forces several panels with a ragged tail
+    for (const PackSides sides :
+         {PackSides::kBoth, PackSides::kA, PackSides::kB}) {
+      const PackedBitMatrix packed(m.view(), plan, sides);
+      const BitMatrix back = unpack_packed(packed);
+      ASSERT_EQ(back.snps(), m.snps());
+      ASSERT_EQ(back.samples(), m.samples());
+      for (std::size_t s = 0; s < m.snps(); ++s) {
+        ASSERT_EQ(std::memcmp(back.row_data(s), m.row_data(s),
+                              m.words_per_snp() * 8),
+                  0)
+            << "mr=" << mr << " nr=" << nr << " ku=" << ku << " row " << s;
+      }
+      EXPECT_TRUE(back.padding_is_clean());
+    }
+  }
 }
 
 }  // namespace

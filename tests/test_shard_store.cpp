@@ -196,6 +196,110 @@ TEST(ShardStore, OpenRejectsMissingAndForeignFiles) {
   EXPECT_THROW(ShardStore::open(bogus), ParseError);
 }
 
+TEST(ShardStore, GeometryGuardDetectsTunedPlanDrift) {
+  const BitMatrix g = random_matrix(90, 400, 21, 0.08);
+  GemmConfig cfg;
+  cfg.arch = KernelArch::kScalar;  // stored under the scalar default (4x4)
+  cfg.kc_words = 4;
+  const std::string path = temp_path("guard.ldshard");
+  write_shard_store(path, g.view(), cfg, /*rows_per_shard=*/40);
+
+  // The plan a re-tuned session would resolve: same family, different
+  // register tile — exactly the drift the guard exists to catch.
+  GemmConfig tuned_cfg = cfg;
+  tuned_cfg.mr = 2;
+  tuned_cfg.nr = 8;
+  tuned_cfg.ku = 1;
+  const GemmPlan tuned = resolve_plan(tuned_cfg, g.words_per_snp());
+
+  {
+    // A matching expectation opens clean and does not repack.
+    const GemmPlan same = resolve_plan(cfg, g.words_per_snp());
+    ShardOpenOptions opts;
+    opts.expect_plan = &same;
+    ShardStore s = open_shard_store(path, opts);
+    EXPECT_FALSE(s.repacks_on_materialize());
+  }
+
+  // Mismatch without the repack opt-in: an Error naming both geometries
+  // and the remedies, not a deep contract trip.
+  try {
+    ShardOpenOptions opts;
+    opts.expect_plan = &tuned;
+    open_shard_store(path, opts);
+    FAIL() << "geometry mismatch must throw";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("re-ingest"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("repack_on_mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mr=4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mr=2"), std::string::npos) << msg;
+  }
+
+  // Repack fallback: every shard materializes under the expected plan,
+  // byte-identical to packing the same rows fresh.
+  ShardOpenOptions opts;
+  opts.expect_plan = &tuned;
+  opts.repack_on_mismatch = true;
+  ShardStore s = open_shard_store(path, opts);
+  EXPECT_TRUE(s.repacks_on_materialize());
+  EXPECT_EQ(s.plan().mr, 2u);
+  EXPECT_EQ(s.plan().nr, 8u);
+  EXPECT_EQ(s.stored_plan().mr, 4u);
+  for (std::size_t i = 0; i < s.shards(); ++i) {
+    const std::size_t r0 = s.shard_row_begin(i);
+    const BitMatrixView sub{g.row_data(r0), s.shard_rows(i),
+                            g.words_per_snp(), g.stride_words(), g.samples()};
+    const PackedBitMatrix expect(sub, tuned, PackSides::kBoth);
+    const PackedBitMatrix& got = s.shard(i);
+    EXPECT_EQ(got.plan().mr, tuned.mr);
+    ASSERT_EQ(got.a_data_words(), expect.a_data_words());
+    EXPECT_EQ(std::memcmp(got.a_data(), expect.a_data(),
+                          expect.a_data_words() * 8),
+              0)
+        << "shard " << i;
+    EXPECT_EQ(got.sparse_columns().popcount,
+              expect.sparse_columns().popcount);
+  }
+}
+
+TEST(ShardStore, VerifyShardPopcountsCatchesCorruption) {
+  // Sparse store (has a transpose: the positional-strip path) and a dense
+  // one (no transpose: the unpack path).
+  for (const double density : {0.05, 0.5}) {
+    const BitMatrix g = random_matrix(80, 333, 31, density);
+    GemmConfig cfg;
+    cfg.arch = KernelArch::kScalar;
+    cfg.kc_words = 4;
+    if (density > 0.1) cfg.sparse_threshold = 0;  // keep the dense store dense
+    const std::string path = temp_path("verify.ldshard");
+    write_shard_store(path, g.view(), cfg, /*rows_per_shard=*/30);
+    {
+      ShardStore s = open_shard_store(path);
+      for (std::size_t i = 0; i < s.shards(); ++i) {
+        EXPECT_TRUE(s.verify_shard_popcounts(i))
+            << "density " << density << " shard " << i;
+      }
+    }
+
+    // Nudge one persisted popcount (staying within n_samples so the
+    // materialize-time range check cannot be the thing that fires).
+    std::vector<std::uint8_t> bytes = read_file(path);
+    const std::uint64_t pop_off = get_rec(bytes, 1, 6);
+    std::uint32_t pop0;
+    std::memcpy(&pop0, bytes.data() + pop_off, 4);
+    pop0 = pop0 > 0 ? pop0 - 1 : 1;
+    std::memcpy(bytes.data() + pop_off, &pop0, 4);
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+
+    ShardStore s = open_shard_store(path);
+    EXPECT_TRUE(s.verify_shard_popcounts(0)) << "untouched shard";
+    EXPECT_FALSE(s.verify_shard_popcounts(1)) << "corrupt shard";
+  }
+}
+
 class ShardParseForgery : public ::testing::Test {
  protected:
   void SetUp() override {
